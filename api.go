@@ -1,0 +1,166 @@
+package netcache
+
+import (
+	"fmt"
+
+	"netcache/internal/apps"
+	"netcache/internal/machine"
+	"netcache/internal/trace"
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	App    string // Table 4 name: "cg", "em3d", ..., "wf"
+	System System
+	Config Config  // zero value = Section 4.1 base machine
+	Scale  float64 // input scale; 1.0 = paper inputs, 0 defaults to 0.25
+	Verify bool    // check application results after the run
+
+	// TraceCap, when positive, records the last TraceCap transactions
+	// (Result.Trace) for debugging.
+	TraceCap int
+}
+
+// Result summarizes a run.
+type Result struct {
+	App    string
+	System string
+	Procs  int
+	Cycles int64
+
+	// Read behaviour.
+	Reads              uint64
+	L1Hits             uint64
+	WBHits             uint64
+	L2Hits             uint64
+	L2Misses           uint64
+	LocalMisses        uint64
+	RemoteMisses       uint64
+	SharedCacheHits    uint64
+	SharedCacheHitRate float64
+	AvgL2MissLatency   float64
+
+	// Time decomposition (sums over processors, in pcycles).
+	Busy       int64
+	ReadStall  int64
+	WriteStall int64
+	SyncStall  int64
+
+	ReadLatencyFraction float64
+	SyncFraction        float64
+
+	Writes  uint64
+	Updates uint64
+
+	Proto map[string]uint64
+
+	// Trace holds the recorded transaction tail when RunSpec.TraceCap > 0.
+	Trace []trace.Event
+
+	Raw machine.RunStats
+}
+
+// Run builds the machine, sets up and executes the application, and returns
+// the result.
+func Run(spec RunSpec) (Result, error) {
+	if spec.Scale == 0 {
+		spec.Scale = 0.25
+	}
+	app, err := apps.New(spec.App)
+	if err != nil {
+		return Result{}, err
+	}
+	m := NewMachine(spec.System, spec.Config)
+	var tb *trace.Buffer
+	if spec.TraceCap > 0 {
+		tb = m.AttachTrace(spec.TraceCap)
+	}
+	app.Setup(m, spec.Scale)
+	rs, err := apps.Run(m, app)
+	if err != nil {
+		return Result{}, fmt.Errorf("netcache: %s on %s: %w", spec.App, spec.System, err)
+	}
+	if spec.Verify {
+		if err := app.Verify(); err != nil {
+			return Result{}, fmt.Errorf("netcache: %s on %s: verification: %w", spec.App, spec.System, err)
+		}
+	}
+	res := summarize(spec.App, rs)
+	if tb != nil {
+		res.Trace = tb.Events()
+	}
+	return res, nil
+}
+
+func summarize(app string, rs machine.RunStats) Result {
+	t := rs.Totals()
+	return Result{
+		App:                 app,
+		System:              rs.System,
+		Procs:               rs.Procs,
+		Cycles:              int64(rs.Cycles),
+		Reads:               t.Reads,
+		L1Hits:              t.L1Hits,
+		WBHits:              t.WBHits,
+		L2Hits:              t.L2Hits,
+		L2Misses:            t.L2Misses(),
+		LocalMisses:         t.LocalMiss,
+		RemoteMisses:        t.RemoteMiss,
+		SharedCacheHits:     t.SharedHits,
+		SharedCacheHitRate:  rs.SharedHitRate(),
+		AvgL2MissLatency:    rs.AvgL2MissLatency(),
+		Busy:                int64(t.Busy),
+		ReadStall:           int64(t.ReadStall),
+		WriteStall:          int64(t.WriteStall),
+		SyncStall:           int64(t.SyncStall),
+		ReadLatencyFraction: rs.ReadLatencyFraction(),
+		SyncFraction:        rs.SyncFraction(),
+		Writes:              t.Writes,
+		Updates:             t.UpdatesIssued,
+		Proto:               rs.Proto,
+		Raw:                 rs,
+	}
+}
+
+// Machine re-exports the simulated multiprocessor for custom kernels.
+type Machine = machine.Machine
+
+// Ctx re-exports the per-processor execution-driven API.
+type Ctx = machine.Ctx
+
+// F64 and I64 re-export the typed simulated arrays.
+type (
+	F64 = machine.F64
+	I64 = machine.I64
+)
+
+// RunCustom builds a machine of the given system, calls setup to allocate
+// and initialize application data, and runs the returned body on every
+// simulated processor. Use it to program your own kernels against the
+// execution-driven API:
+//
+//	res, _ := netcache.RunCustom("mykernel", netcache.SystemNetCache, netcache.Config{},
+//	    func(m *netcache.Machine) func(*netcache.Ctx) {
+//	        data := m.NewSharedF64(1 << 16)
+//	        return func(c *netcache.Ctx) {
+//	            for i := c.ID(); i < data.Len(); i += c.NP() {
+//	                data.Store(c, i, float64(i))
+//	            }
+//	            c.Barrier(0)
+//	        }
+//	    })
+func RunCustom(name string, sys System, cfg Config, setup func(*Machine) func(*Ctx)) (Result, error) {
+	m := NewMachine(sys, cfg)
+	body := setup(m)
+	rs, err := m.Run(body)
+	if err != nil {
+		return Result{}, fmt.Errorf("netcache: custom %s on %s: %w", name, sys, err)
+	}
+	return summarize(name, rs), nil
+}
+
+// Apps lists the Table 4 application names.
+func Apps() []string { return apps.Names() }
+
+// DescribeApp returns the Table 4 description and paper input for name.
+func DescribeApp(name string) (desc, input string) { return apps.Describe(name) }

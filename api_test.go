@@ -1,0 +1,147 @@
+package netcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSystem checks system name round-trips.
+func TestParseSystem(t *testing.T) {
+	for _, sys := range []System{SystemNetCache, SystemOptNet, SystemLambdaNet, SystemDMONU, SystemDMONI} {
+		got, err := ParseSystem(sys.String())
+		if err != nil || got != sys {
+			t.Fatalf("round-trip %v: %v %v", sys, got, err)
+		}
+	}
+	if _, err := ParseSystem("token-ring"); err == nil {
+		t.Fatal("bogus system accepted")
+	}
+}
+
+// TestParsePolicyName checks policy parsing.
+func TestParsePolicyName(t *testing.T) {
+	for _, name := range []string{"random", "lru", "lfu", "fifo"} {
+		pol, err := ParsePolicyName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.String() != name {
+			t.Fatalf("round-trip %q -> %q", name, pol)
+		}
+	}
+	if _, err := ParsePolicyName("clock"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestUnknownApp checks the error path.
+func TestUnknownApp(t *testing.T) {
+	if _, err := Run(RunSpec{App: "doom", System: SystemNetCache}); err == nil {
+		t.Fatal("unknown app accepted")
+	} else if !strings.Contains(err.Error(), "doom") {
+		t.Fatalf("unhelpful error %v", err)
+	}
+}
+
+// TestAppsComplete checks the Table 4 registry via the public API.
+func TestAppsComplete(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 12 {
+		t.Fatalf("%d apps, want 12", len(apps))
+	}
+	for _, a := range apps {
+		desc, input := DescribeApp(a)
+		if desc == "" || input == "" {
+			t.Fatalf("missing description for %s", a)
+		}
+	}
+	if d, _ := DescribeApp("nope"); d != "" {
+		t.Fatal("description for unknown app")
+	}
+}
+
+// TestConfigDefaults checks zero-value configs resolve to Section 4.1.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c != d {
+		t.Fatalf("withDefaults = %+v, want %+v", c, d)
+	}
+}
+
+// TestRunCustom checks the custom-kernel entry point.
+func TestRunCustom(t *testing.T) {
+	res, err := RunCustom("spin", SystemNetCache, Config{}, func(m *Machine) func(*Ctx) {
+		a := m.NewSharedF64(1024)
+		return func(c *Ctx) {
+			lo, hi := c.ID()*64, (c.ID()+1)*64
+			for i := lo; i < hi; i++ {
+				a.Store(c, i, float64(i))
+			}
+			c.Barrier(0)
+			var sum float64
+			for i := 0; i < 64; i++ {
+				sum += a.Load(c, (c.ID()*577+i*7)%1024)
+				c.Compute(2)
+			}
+			c.Barrier(1)
+			_ = sum
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "spin" || res.Cycles <= 0 || res.Writes == 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+// TestOptNetEqualsZeroSharedCache checks SystemOptNet and a 0-KB NetCache
+// behave identically.
+func TestOptNetEqualsZeroSharedCache(t *testing.T) {
+	a, err := Run(RunSpec{App: "sor", System: SystemOptNet, Scale: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.System != "optnet" {
+		t.Fatalf("system = %s", a.System)
+	}
+	if a.SharedCacheHits != 0 {
+		t.Fatalf("optnet shared hits = %d", a.SharedCacheHits)
+	}
+}
+
+// TestScaleChangesWork checks larger scales do more simulated work.
+func TestScaleChangesWork(t *testing.T) {
+	small, err := Run(RunSpec{App: "sor", System: SystemNetCache, Scale: 0.06})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(RunSpec{App: "sor", System: SystemNetCache, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Reads <= small.Reads || big.Cycles <= small.Cycles {
+		t.Fatalf("scale had no effect: %d/%d vs %d/%d", small.Reads, small.Cycles, big.Reads, big.Cycles)
+	}
+}
+
+// TestResultAccounting checks the result's derived quantities are coherent.
+func TestResultAccounting(t *testing.T) {
+	res, err := Run(RunSpec{App: "gauss", System: SystemNetCache, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.L1Hits + res.WBHits + res.L2Hits + res.L2Misses; got != res.Reads {
+		t.Fatalf("read classification %d != reads %d", got, res.Reads)
+	}
+	if res.L2Misses != res.LocalMisses+res.RemoteMisses {
+		t.Fatal("miss split inconsistent")
+	}
+	if res.SharedCacheHits > res.RemoteMisses {
+		t.Fatal("more shared-cache hits than remote misses")
+	}
+	if res.ReadLatencyFraction < 0 || res.ReadLatencyFraction > 1 {
+		t.Fatalf("read fraction %f", res.ReadLatencyFraction)
+	}
+}

@@ -1,0 +1,250 @@
+package netcache_test
+
+// One benchmark per table and figure of the paper's evaluation. Each runs
+// the corresponding experiment at a reduced deterministic scale (the
+// netbench command reproduces them at any scale, including the paper's
+// full inputs with -scale 1.0) and reports the headline quantity of the
+// table/figure as a custom metric.
+
+import (
+	"testing"
+
+	"netcache"
+	"netcache/internal/exp"
+	"netcache/internal/timing"
+)
+
+const benchScale = 0.12
+
+func benchRunner() *exp.Runner {
+	return exp.NewRunner(exp.Options{Scale: benchScale})
+}
+
+// benchApps is a representative subset (one per reuse group) used by the
+// per-figure benchmarks to keep iterations bounded; netbench covers all 12.
+var benchApps = []string{"gauss", "sor", "radix"}
+
+// BenchmarkTable1SharedCacheLatencies rebuilds the Table 1 latency model.
+func BenchmarkTable1SharedCacheLatencies(b *testing.B) {
+	var hit, miss timing.Time
+	for i := 0; i < b.N; i++ {
+		m := timing.New(timing.DefaultParams())
+		hit, miss = m.SharedCacheHit(), m.SharedCacheMiss()
+	}
+	b.ReportMetric(float64(hit), "hit-pcycles")
+	b.ReportMetric(float64(miss), "miss-pcycles")
+}
+
+// BenchmarkTable2BaselineMissLatencies rebuilds the Table 2 latency model.
+func BenchmarkTable2BaselineMissLatencies(b *testing.B) {
+	var lam, dmon timing.Time
+	for i := 0; i < b.N; i++ {
+		m := timing.New(timing.DefaultParams())
+		lam, dmon = m.LambdaMiss(), m.DMONMiss()
+	}
+	b.ReportMetric(float64(lam), "lambdanet-pcycles")
+	b.ReportMetric(float64(dmon), "dmon-pcycles")
+}
+
+// BenchmarkTable3CoherenceLatencies rebuilds the Table 3 latency model.
+func BenchmarkTable3CoherenceLatencies(b *testing.B) {
+	var nc, lam, du, di timing.Time
+	for i := 0; i < b.N; i++ {
+		m := timing.New(timing.DefaultParams())
+		nc, lam, du, di = m.CoherenceNetCache(8), m.CoherenceLambda(8), m.CoherenceDMONU(8), m.CoherenceDMONI()
+	}
+	b.ReportMetric(float64(nc), "netcache-pcycles")
+	b.ReportMetric(float64(lam), "lambdanet-pcycles")
+	b.ReportMetric(float64(du), "dmonu-pcycles")
+	b.ReportMetric(float64(di), "dmoni-pcycles")
+}
+
+// BenchmarkTable4Workload runs every Table 4 application once per iteration
+// on the base NetCache machine.
+func BenchmarkTable4Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, app := range netcache.Apps() {
+			if _, err := netcache.Run(netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 0.06}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Speedup regenerates the Figure 5 speedup measurement.
+func BenchmarkFig5Speedup(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		r2 := exp.Figure5(r)
+		sp = r2[0].Speedup
+		_ = r2
+	}
+	b.ReportMetric(sp, "speedup-cg")
+}
+
+// BenchmarkFig6Systems regenerates the Figure 6 four-system comparison on
+// the representative subset.
+func BenchmarkFig6Systems(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure6(r)
+		adv = rows[0].Norm["dmon-i"]
+	}
+	b.ReportMetric(adv, "gauss-dmoni-vs-netcache")
+}
+
+// BenchmarkFig7Effectiveness regenerates the Figure 7 caching study.
+func BenchmarkFig7Effectiveness(b *testing.B) {
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure7(r)
+		hit = rows[0].HitRate
+	}
+	b.ReportMetric(hit, "gauss-hit-%")
+}
+
+// BenchmarkFig8SharedCacheSizes regenerates the Figure 8 size sweep.
+func BenchmarkFig8SharedCacheSizes(b *testing.B) {
+	var h16, h64 float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure8(r)
+		h16, h64 = rows[0].Hits[16], rows[0].Hits[64]
+	}
+	b.ReportMetric(h16, "gauss-hit16-%")
+	b.ReportMetric(h64, "gauss-hit64-%")
+}
+
+// BenchmarkFig9And10SizeEffects regenerates the Figures 9/10 latency and
+// run-time sweeps.
+func BenchmarkFig9And10SizeEffects(b *testing.B) {
+	var rt float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure9And10(r)
+		rt = rows[0].RunTime[32]
+	}
+	b.ReportMetric(rt, "gauss-runtime-32KB-vs-none")
+}
+
+// BenchmarkBlockSize regenerates the Section 5.3.2 block-size study.
+func BenchmarkBlockSize(b *testing.B) {
+	var pen float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.BlockSize(r)
+		pen = rows[0].PenaltyPc
+	}
+	b.ReportMetric(pen, "gauss-128B-penalty-%")
+}
+
+// BenchmarkFig11Associativity regenerates the Figure 11 associativity study.
+func BenchmarkFig11Associativity(b *testing.B) {
+	var dm float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure11(r)
+		dm = rows[0].HitDirect
+	}
+	b.ReportMetric(dm, "gauss-directmapped-hit-%")
+}
+
+// BenchmarkFig12Policies regenerates the Figure 12 replacement-policy study.
+func BenchmarkFig12Policies(b *testing.B) {
+	var rnd, lru float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
+		rows := exp.Figure12(r)
+		rnd, lru = rows[0].Hits["random"], rows[0].Hits["lru"]
+	}
+	b.ReportMetric(rnd, "gauss-random-hit-%")
+	b.ReportMetric(lru, "gauss-lru-hit-%")
+}
+
+// BenchmarkFig13L2Sizes regenerates the Figure 13 second-level cache sweep.
+func BenchmarkFig13L2Sizes(b *testing.B) {
+	var rows []exp.SweepRow
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale})
+		rows = exp.Figure13(r)
+	}
+	b.ReportMetric(float64(len(rows)), "points")
+}
+
+// BenchmarkFig14Rates regenerates the Figure 14 transmission-rate sweep.
+func BenchmarkFig14Rates(b *testing.B) {
+	var rows []exp.SweepRow
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale})
+		rows = exp.Figure14(r)
+	}
+	b.ReportMetric(float64(len(rows)), "points")
+}
+
+// BenchmarkFig15MemoryLatencies regenerates the Figure 15 memory-latency
+// sweep.
+func BenchmarkFig15MemoryLatencies(b *testing.B) {
+	var rows []exp.SweepRow
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: benchScale})
+		rows = exp.Figure15(r)
+	}
+	b.ReportMetric(float64(len(rows)), "points")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulated-reference throughput
+// of the execution-driven engine (not a paper figure; an engineering bench).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var refs uint64
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := netcache.Run(netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += res.Reads + res.Writes
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(refs)/float64(b.N), "refs/run")
+	b.ReportMetric(float64(cycles)/float64(b.N), "pcycles/run")
+}
+
+// BenchmarkAblationDualStart measures the Section 3.4 dual-start design
+// choice (DESIGN.md ablation).
+func BenchmarkAblationDualStart(b *testing.B) {
+	var pen float64
+	for i := 0; i < b.N; i++ {
+		rows := exp.AblationDualStart(exp.NewRunner(exp.Options{Scale: benchScale, Apps: []string{"cg"}}))
+		pen = rows[0].PenaltyPc
+	}
+	b.ReportMetric(pen, "single-start-penalty-%")
+}
+
+// BenchmarkScaling measures the machine-size extension study.
+func BenchmarkScaling(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		rows := exp.Scaling(exp.NewRunner(exp.Options{Scale: 0.06, Apps: []string{"sor"}}))
+		sp = rows[len(rows)-1].Speedup
+	}
+	b.ReportMetric(sp, "p32-speedup")
+}
+
+// BenchmarkDiskCacheExtension measures the Section 3.5 disk-caching
+// extrapolation (extension feature).
+func BenchmarkDiskCacheExtension(b *testing.B) {
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		cfg := netcache.DefaultDiskCacheConfig()
+		cfg.Reads = 200
+		res, err := netcache.RunDiskCache(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hit = res.HitRate
+	}
+	b.ReportMetric(100*hit, "hit-%")
+}

@@ -1,0 +1,322 @@
+// Command netbench regenerates every table and figure of the paper's
+// evaluation (Section 5).
+//
+// Usage:
+//
+//	netbench -exp all -scale 0.5            # everything
+//	netbench -exp fig6,fig8 -scale 1.0      # selected experiments
+//	netbench -exp tables                    # Tables 1-3 (latency models)
+//	netbench -list                          # list experiment ids
+//
+// Experiments: tables, table4, fig5, fig6, fig7, fig8, fig9, fig10,
+// blocksize, fig11, fig12, fig13, fig14, fig15, plus the extension studies
+// ablation (dual-start reads), scaling (machine sizes) and prefetch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"netcache"
+	"netcache/internal/exp"
+	"netcache/internal/stats"
+	"netcache/internal/timing"
+)
+
+var out = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
+		apps  = flag.String("apps", "", "comma-separated app subset (default all twelve)")
+		quiet = flag.Bool("q", false, "suppress per-run progress")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		csv   = flag.String("csv", "", "directory to also write sweep CSVs (fig13-15, scaling)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range allIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := exp.Options{Scale: *scale}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	if !*quiet {
+		opt.Progress = func(f string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, f+"\n", a...)
+		}
+	}
+	runner := exp.NewRunner(opt)
+
+	ids := allIDs
+	if *which != "all" {
+		ids = strings.Split(*which, ",")
+	}
+	csvDir = *csv
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		fn, ok := experiments[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "netbench: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		fn(runner)
+		out.Flush()
+		fmt.Println()
+	}
+}
+
+// csvDir, when set, receives one CSV per sweep experiment.
+var csvDir string
+
+func writeCSV(name string, rows []exp.SweepRow) {
+	if csvDir == "" {
+		return
+	}
+	byKey := map[string]*stats.Series{}
+	var order []string
+	for _, row := range rows {
+		k := row.App + "-" + row.System
+		if byKey[k] == nil {
+			byKey[k] = &stats.Series{Name: k}
+			order = append(order, k)
+		}
+		byKey[k].Add(float64(row.X), float64(row.Cycles))
+	}
+	series := make([]stats.Series, 0, len(order))
+	for _, k := range order {
+		series = append(series, *byKey[k])
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	if err := os.WriteFile(path, []byte(stats.CSV(series)), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
+	}
+}
+
+var allIDs = []string{
+	"tables", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"blocksize", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"ablation", "scaling", "prefetch",
+}
+
+var experiments = map[string]func(*exp.Runner){
+	"tables":    tables,
+	"table4":    table4,
+	"fig5":      fig5,
+	"fig6":      fig6,
+	"fig7":      fig7,
+	"fig8":      fig8,
+	"fig9":      fig9,
+	"fig10":     fig10,
+	"blocksize": blocksize,
+	"fig11":     fig11,
+	"fig12":     fig12,
+	"fig13":     func(r *exp.Runner) { sweepTable(r, "Figure 13: run time vs 2nd-level cache size (KB)", exp.Figure13) },
+	"fig14":     func(r *exp.Runner) { sweepTable(r, "Figure 14: run time vs transmission rate (Gb/s)", exp.Figure14) },
+	"fig15": func(r *exp.Runner) {
+		sweepTable(r, "Figure 15: run time vs memory block read latency (pc)", exp.Figure15)
+	},
+	"ablation": ablation,
+	"scaling":  scaling,
+	"prefetch": prefetchStudy,
+}
+
+func header(title string) {
+	fmt.Fprintf(out, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func tables(*exp.Runner) {
+	m := timing.New(timing.DefaultParams())
+	header("Tables 1-3: contention-free latency model (base parameters, pcycles)")
+	fmt.Fprintf(out, "Table 1\tshared cache read hit\t%d\t(paper: 46)\n", m.SharedCacheHit())
+	fmt.Fprintf(out, "Table 1\tshared cache read miss\t%d\t(paper: 119)\n", m.SharedCacheMiss())
+	fmt.Fprintf(out, "Table 2\tLambdaNet 2nd-level miss\t%d\t(paper: 111)\n", m.LambdaMiss())
+	fmt.Fprintf(out, "Table 2\tDMON 2nd-level miss\t%d\t(paper: 135)\n", m.DMONMiss())
+	fmt.Fprintf(out, "Table 3\tNetCache coherence (8 words)\t%d\t(paper: 41)\n", m.CoherenceNetCache(8))
+	fmt.Fprintf(out, "Table 3\tLambdaNet coherence\t%d\t(paper: 24)\n", m.CoherenceLambda(8))
+	fmt.Fprintf(out, "Table 3\tDMON-U coherence\t%d\t(paper: 43)\n", m.CoherenceDMONU(8))
+	fmt.Fprintf(out, "Table 3\tDMON-I coherence\t%d\t(paper: 37)\n", m.CoherenceDMONI())
+}
+
+func table4(*exp.Runner) {
+	header("Table 4: application workload")
+	for _, name := range netcache.Apps() {
+		desc, input := netcache.DescribeApp(name)
+		fmt.Fprintf(out, "%s\t%s\t%s\n", name, desc, input)
+	}
+}
+
+func fig5(r *exp.Runner) {
+	header("Figure 5: speedups of the 16-node NetCache multiprocessor")
+	fmt.Fprintf(out, "app\tT(1)\tT(16)\tspeedup\n")
+	for _, row := range exp.Figure5(r) {
+		fmt.Fprintf(out, "%s\t%d\t%d\t%.2f\n", row.App, row.T1, row.T16, row.Speedup)
+	}
+}
+
+func fig6(r *exp.Runner) {
+	header("Figure 6: run times normalized to NetCache")
+	fmt.Fprintf(out, "app\tnetcache\tlambdanet\tdmon-u\tdmon-i\n")
+	for _, row := range exp.Figure6(r) {
+		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
+			row.Norm["netcache"], row.Norm["lambdanet"], row.Norm["dmon-u"], row.Norm["dmon-i"])
+	}
+}
+
+func fig7(r *exp.Runner) {
+	header("Figure 7: effectiveness of data caching (32-KByte shared cache)")
+	fmt.Fprintf(out, "app\tread-lat %% of runtime (no $)\thit rate %%\tmiss-lat reduction %%\tread-lat reduction %%\n")
+	for _, row := range exp.Figure7(r) {
+		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			row.App, row.ReadLatFraction, row.HitRate, row.MissLatReduction, row.ReadLatReduction)
+	}
+}
+
+func fig8(r *exp.Runner) {
+	header("Figure 8: shared cache hit rates by size (%)")
+	fmt.Fprintf(out, "app\t16 KB\t32 KB\t64 KB\n")
+	for _, row := range exp.Figure8(r) {
+		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\n", row.App, row.Hits[16], row.Hits[32], row.Hits[64])
+	}
+}
+
+func fig9(r *exp.Runner) {
+	header("Figure 9: read latencies normalized to no shared cache")
+	fmt.Fprintf(out, "app\t0 KB\t16 KB\t32 KB\t64 KB\n")
+	for _, row := range exp.Figure9And10(r) {
+		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
+			row.ReadLat[0], row.ReadLat[16], row.ReadLat[32], row.ReadLat[64])
+	}
+}
+
+func fig10(r *exp.Runner) {
+	header("Figure 10: run times normalized to no shared cache")
+	fmt.Fprintf(out, "app\t0 KB\t16 KB\t32 KB\t64 KB\n")
+	for _, row := range exp.Figure9And10(r) {
+		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
+			row.RunTime[0], row.RunTime[16], row.RunTime[32], row.RunTime[64])
+	}
+}
+
+func blocksize(r *exp.Runner) {
+	header("Section 5.3.2: 128-byte shared cache lines vs 64-byte")
+	fmt.Fprintf(out, "app\tcycles 64B\tcycles 128B\tpenalty %%\thit%% 64B\thit%% 128B\n")
+	for _, row := range exp.BlockSize(r) {
+		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\t%.1f\t%.1f\n",
+			row.App, row.Cycles64, row.Cycles128, row.PenaltyPc, row.Hit64, row.Hit128)
+	}
+}
+
+func fig11(r *exp.Runner) {
+	header("Figure 11: hit rates, fully-associative vs direct-mapped channels (%)")
+	fmt.Fprintf(out, "app\tfully\tdirect\n")
+	for _, row := range exp.Figure11(r) {
+		fmt.Fprintf(out, "%s\t%.1f\t%.1f\n", row.App, row.HitFully, row.HitDirect)
+	}
+}
+
+func fig12(r *exp.Runner) {
+	header("Figure 12: hit rates by replacement policy (%)")
+	fmt.Fprintf(out, "app\trandom\tlfu\tlru\tfifo\n")
+	for _, row := range exp.Figure12(r) {
+		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n", row.App,
+			row.Hits["random"], row.Hits["lfu"], row.Hits["lru"], row.Hits["fifo"])
+	}
+}
+
+func ablation(r *exp.Runner) {
+	header("Ablation: dual-start reads (Section 3.4) vs single-start")
+	fmt.Fprintf(out, "app\tdual-start\tsingle-start\tpenalty %%\n")
+	for _, row := range exp.AblationDualStart(r) {
+		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\n", row.App, row.DualStart, row.SingleStart, row.PenaltyPc)
+	}
+}
+
+func prefetchStudy(r *exp.Runner) {
+	header("Extension: sequential prefetch (Section 6 latency tolerance)")
+	fmt.Fprintf(out, "app\tbase\tprefetch\tgain %%\n")
+	for _, row := range exp.PrefetchStudy(r) {
+		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\n", row.App, row.Base, row.Prefetch, row.GainPc)
+	}
+}
+
+func scaling(r *exp.Runner) {
+	header("Extension: machine-size scaling (p = 1..32)")
+	fmt.Fprintf(out, "app-system")
+	for _, p := range exp.ScalingProcs {
+		fmt.Fprintf(out, "\tp=%d", p)
+	}
+	fmt.Fprintln(out)
+	type key struct{ app, sys string }
+	vals := map[key]map[int]float64{}
+	var order []key
+	for _, row := range exp.Scaling(r) {
+		k := key{row.App, row.System}
+		if vals[k] == nil {
+			vals[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		vals[k][row.Procs] = row.Speedup
+	}
+	for _, k := range order {
+		fmt.Fprintf(out, "%s-%s", k.app, k.sys)
+		for _, p := range exp.ScalingProcs {
+			fmt.Fprintf(out, "\t%.2f", vals[k][p])
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func sweepTable(r *exp.Runner, title string, fn func(*exp.Runner) []exp.SweepRow) {
+	header(title)
+	rows := fn(r)
+	f := strings.Fields(title)
+	writeCSV(strings.ToLower(f[0])+"-"+strings.TrimSuffix(f[1], ":"), rows)
+	// Group by app/system; columns are the swept values.
+	xs := map[int]bool{}
+	type key struct{ app, sys string }
+	vals := map[key]map[int]int64{}
+	var order []key
+	for _, row := range rows {
+		xs[row.X] = true
+		k := key{row.App, row.System}
+		if vals[k] == nil {
+			vals[k] = map[int]int64{}
+			order = append(order, k)
+		}
+		vals[k][row.X] = row.Cycles
+	}
+	var xlist []int
+	for x := range xs {
+		xlist = append(xlist, x)
+	}
+	sort.Ints(xlist)
+	fmt.Fprintf(out, "app-system")
+	for _, x := range xlist {
+		fmt.Fprintf(out, "\t%d", x)
+	}
+	fmt.Fprintln(out)
+	for _, k := range order {
+		fmt.Fprintf(out, "%s-%s", k.app, k.sys)
+		for _, x := range xlist {
+			fmt.Fprintf(out, "\t%d", vals[k][x])
+		}
+		fmt.Fprintln(out)
+	}
+}

@@ -1,0 +1,139 @@
+// Command netsim runs one application on one simulated system and prints a
+// detailed report.
+//
+// Usage:
+//
+//	netsim -app sor -system netcache -scale 0.5 [-procs 16] [-shared 32]
+//	       [-l2 16384] [-rate 10] [-memlat 76] [-policy random] [-direct]
+//	       [-line 64] [-verify] [-prefetch] [-singlestart] [-dump N] [-v]
+//
+// Systems: netcache, optnet, lambdanet, dmon-u, dmon-i, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"netcache"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "sor", "application (see -list)")
+		system   = flag.String("system", "netcache", "system: netcache|optnet|lambdanet|dmon-u|dmon-i|all")
+		scale    = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
+		procs    = flag.Int("procs", 16, "number of nodes")
+		shared   = flag.Int("shared", 32, "shared cache KB (NetCache)")
+		l2       = flag.Int("l2", 16*1024, "second-level cache bytes")
+		rate     = flag.Int("rate", 10, "optical rate in Gbit/s (5, 10, 20)")
+		memlat   = flag.Int("memlat", 76, "memory block read latency in pcycles")
+		policy   = flag.String("policy", "random", "shared cache replacement: random|lru|lfu|fifo")
+		direct   = flag.Bool("direct", false, "direct-mapped cache channels")
+		line     = flag.Int("line", 64, "shared cache line bytes")
+		verify   = flag.Bool("verify", true, "verify application results")
+		list     = flag.Bool("list", false, "list applications and exit")
+		verbose  = flag.Bool("v", false, "print per-node statistics")
+		dump     = flag.Int("dump", 0, "print the last N traced transactions")
+		prefetch = flag.Bool("prefetch", false, "enable sequential next-block prefetching (Section 6 extension)")
+		single   = flag.Bool("singlestart", false, "ablation: single-start reads (ring first)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range netcache.Apps() {
+			desc, input := netcache.DescribeApp(name)
+			fmt.Printf("%-10s %-48s %s\n", name, desc, input)
+		}
+		return
+	}
+
+	pol, err := netcache.ParsePolicyName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := netcache.DefaultConfig()
+	cfg.Procs = *procs
+	cfg.SharedCacheKB = *shared
+	cfg.L2Bytes = *l2
+	cfg.GbitsPerSec = *rate
+	cfg.MemBlockRead = *memlat
+	cfg.SharedPolicy = pol
+	cfg.SharedDirectMap = *direct
+	cfg.SharedLineBytes = *line
+	cfg.Prefetch = *prefetch
+	cfg.SingleStartReads = *single
+
+	systems := []netcache.System{}
+	if *system == "all" {
+		systems = append(systems, netcache.Systems...)
+	} else {
+		s, err := netcache.ParseSystem(*system)
+		if err != nil {
+			fatal(err)
+		}
+		systems = append(systems, s)
+	}
+
+	for _, sys := range systems {
+		res, err := netcache.Run(netcache.RunSpec{
+			App: *app, System: sys, Config: cfg, Scale: *scale, Verify: *verify,
+			TraceCap: *dump,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report(res, *verbose)
+		for _, ev := range res.Trace {
+			fmt.Println(ev)
+		}
+	}
+}
+
+func report(r netcache.Result, verbose bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "== %s on %s (%d nodes)\n", r.App, r.System, r.Procs)
+	fmt.Fprintf(w, "cycles\t%d\t(%.3f ms at 200 MHz)\n", r.Cycles, float64(r.Cycles)*5e-6)
+	fmt.Fprintf(w, "reads\t%d\tL1 %.1f%%  WB %.1f%%  L2 %.1f%%  miss %.2f%%\n",
+		r.Reads, pct(r.L1Hits, r.Reads), pct(r.WBHits, r.Reads), pct(r.L2Hits, r.Reads), pct(r.L2Misses, r.Reads))
+	fmt.Fprintf(w, "L2 misses\t%d\tlocal %d  remote %d  avg latency %.1f pc\n",
+		r.L2Misses, r.LocalMisses, r.RemoteMisses, r.AvgL2MissLatency)
+	if r.System == "netcache" {
+		fmt.Fprintf(w, "shared cache\thits %d\trate %.1f%%\n", r.SharedCacheHits, 100*r.SharedCacheHitRate)
+	}
+	fmt.Fprintf(w, "writes\t%d\tupdates issued %d\n", r.Writes, r.Updates)
+	fmt.Fprintf(w, "stalls\tread %d\twrite %d  sync %d  busy %d\n", r.ReadStall, r.WriteStall, r.SyncStall, r.Busy)
+	fmt.Fprintf(w, "fractions\tread %.1f%%\tsync %.1f%%\n", 100*r.ReadLatencyFraction, 100*r.SyncFraction)
+	tot := r.Raw.Totals()
+	fmt.Fprintf(w, "miss hist\t%s\n", tot.MissHist.String())
+	keys := make([]string, 0, len(r.Proto))
+	for k := range r.Proto {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "proto.%s\t%d\n", k, r.Proto[k])
+	}
+	if verbose {
+		for i, n := range r.Raw.Nodes {
+			fmt.Fprintf(w, "node %d\tbusy %d\tread %d  write %d  sync %d\n",
+				i, n.Busy, n.ReadStall, n.WriteStall, n.SyncStall)
+		}
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	os.Exit(1)
+}

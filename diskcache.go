@@ -1,0 +1,19 @@
+package netcache
+
+import "netcache/internal/diskcache"
+
+// DiskCacheConfig configures the Section 3.5 extension: the NetCache ring
+// used as a disk block cache (a longer fiber stores megabytes of blocks at
+// a fraction of a disk access's latency).
+type DiskCacheConfig = diskcache.Config
+
+// DiskCacheResult summarizes a disk-cache simulation.
+type DiskCacheResult = diskcache.Result
+
+// DefaultDiskCacheConfig returns a laptop-scale configuration of the
+// disk-caching thought experiment.
+func DefaultDiskCacheConfig() DiskCacheConfig { return diskcache.DefaultConfig() }
+
+// RunDiskCache simulates clients reading Zipf-distributed disk blocks
+// through the ring cache; set Channels to zero for the uncached baseline.
+func RunDiskCache(cfg DiskCacheConfig) (DiskCacheResult, error) { return diskcache.Run(cfg) }

@@ -1,0 +1,73 @@
+// Policystudy reproduces the Section 5.3 design-space studies on a chosen
+// application: shared-cache size (Figure 8), channel associativity
+// (Figure 11) and replacement policy (Figure 12) — the experiments that
+// justify the NetCache's "random replacement, fully-associative channels"
+// design.
+//
+// Run with:
+//
+//	go run ./examples/policystudy [-app sor] [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"netcache"
+)
+
+func main() {
+	app := flag.String("app", "sor", "application to study")
+	scale := flag.Float64("scale", 0.25, "input scale")
+	flag.Parse()
+
+	run := func(cfg netcache.Config) netcache.Result {
+		res, err := netcache.Run(netcache.RunSpec{
+			App: *app, System: netcache.SystemNetCache, Config: cfg, Scale: *scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Printf("Shared cache design space for %q (16 nodes)\n\n", *app)
+
+	fmt.Println("Size (Figure 8):")
+	for _, kb := range []int{16, 32, 64} {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedCacheKB = kb
+		res := run(cfg)
+		fmt.Printf("  %2d KB: hit rate %5.1f%%  run time %d\n",
+			kb, 100*res.SharedCacheHitRate, res.Cycles)
+	}
+
+	fmt.Println("\nChannel associativity (Figure 11):")
+	for _, dm := range []bool{false, true} {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedDirectMap = dm
+		res := run(cfg)
+		name := "fully-associative"
+		if dm {
+			name = "direct-mapped"
+		}
+		fmt.Printf("  %-17s: hit rate %5.1f%%\n", name, 100*res.SharedCacheHitRate)
+	}
+
+	fmt.Println("\nReplacement policy (Figure 12):")
+	for _, pol := range []netcache.Policy{
+		netcache.PolicyRandom, netcache.PolicyLFU, netcache.PolicyLRU, netcache.PolicyFIFO,
+	} {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedPolicy = pol
+		res := run(cfg)
+		fmt.Printf("  %-7s: hit rate %5.1f%%\n", pol, 100*res.SharedCacheHitRate)
+	}
+
+	fmt.Println("\nThe paper's design — random replacement on fully-associative")
+	fmt.Println("channels — needs no recency metadata in the ring hardware, and the")
+	fmt.Println("sweeps above show fancier policies do not earn their complexity:")
+	fmt.Println("every processor inserts blocks into the shared cache, so per-node")
+	fmt.Println("recency is a poor signal (Section 5.3.4).")
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate one application on the NetCache multiprocessor and
+// its three baselines, and print the headline comparison the paper's
+// Figure 6 makes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netcache"
+)
+
+func main() {
+	const app = "gauss" // a High-reuse application: big NetCache win
+	fmt.Printf("Simulating %q on four 16-node optical multiprocessors...\n\n", app)
+
+	var base int64
+	for _, sys := range netcache.Systems {
+		res, err := netcache.Run(netcache.RunSpec{
+			App:    app,
+			System: sys,
+			Scale:  0.25, // quarter-scale input; 1.0 = the paper's 256x256
+			Verify: true, // check the elimination actually happened
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-10s %12d pcycles  (%.2fx NetCache)", sys, res.Cycles,
+			float64(res.Cycles)/float64(base))
+		if sys == netcache.SystemNetCache {
+			fmt.Printf("  shared-cache hit rate %.0f%%", 100*res.SharedCacheHitRate)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe NetCache wins because the pivot row each elimination step")
+	fmt.Println("re-reads is captured by the optical ring: one memory fetch serves")
+	fmt.Println("all sixteen processors instead of sixteen serialized ones.")
+}

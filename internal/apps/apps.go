@@ -1,0 +1,168 @@
+// Package apps contains the twelve-application workload of Table 4,
+// re-implemented against the execution-driven machine API: every kernel
+// computes real results on native Go data while issuing the corresponding
+// simulated memory references and synchronizations, so control flow stays
+// data-dependent exactly as in the original execution-driven methodology.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"netcache/internal/machine"
+)
+
+// App is one workload instance. Setup allocates and initializes the
+// simulated data (no simulation cost: the measured region is Run), Run is
+// the per-processor body, and Verify checks the computed results afterwards.
+type App interface {
+	Name() string
+	Setup(m *machine.Machine, scale float64)
+	Run(c *Ctx)
+	Verify() error
+}
+
+// Ctx wraps the machine context with workload conveniences.
+type Ctx struct {
+	*machine.Ctx
+	barSeq int
+}
+
+// Sync is a whole-machine barrier; every processor must execute the same
+// barrier sequence, so an auto-incrementing id keeps call sites in step.
+func (c *Ctx) Sync() {
+	c.Barrier(c.barSeq)
+	c.barSeq++
+}
+
+// Factory builds a fresh App.
+type Factory func() App
+
+var registry = map[string]Factory{}
+var order []string
+
+// Register adds an app factory under its canonical name.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("apps: duplicate registration of " + name)
+	}
+	registry[name] = f
+	order = append(order, name)
+}
+
+// New instantiates the named app.
+func New(name string) (App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	return f(), nil
+}
+
+// Names lists the registered apps in Table 4 order.
+func Names() []string {
+	out := append([]string(nil), order...)
+	sort.SliceStable(out, func(i, j int) bool { return tableOrder(out[i]) < tableOrder(out[j]) })
+	return out
+}
+
+func tableOrder(name string) int {
+	for i, n := range table4Order {
+		if n == name {
+			return i
+		}
+	}
+	return len(table4Order)
+}
+
+var table4Order = []string{
+	"cg", "em3d", "fft", "gauss", "lu", "mg",
+	"ocean", "radix", "raytrace", "sor", "water", "wf",
+}
+
+// Describe returns the Table 4 description and paper input of the app.
+func Describe(name string) (desc, input string) {
+	d, ok := table4[name]
+	if !ok {
+		return "", ""
+	}
+	return d[0], d[1]
+}
+
+var table4 = map[string][2]string{
+	"cg":       {"Conjugate Gradient kernel", "1400x1400 doubles, 78148 non-zeros"},
+	"em3d":     {"Electromagnetic wave propagation", "8 K nodes, 5% remote, 10 iterations"},
+	"fft":      {"1D Fast Fourier Transform", "16 K points"},
+	"gauss":    {"Unblocked Gaussian Elimination", "256x256 floats"},
+	"lu":       {"Blocked LU factorization", "512x512 floats"},
+	"mg":       {"3D Poisson solver using multigrid techniques", "24x24x64 floats, 6 iterations"},
+	"ocean":    {"Large-scale ocean movement simulation", "66x66 grid"},
+	"radix":    {"Integer Radix sort", "512 K keys, radix 1024"},
+	"raytrace": {"Parallel ray tracer", "teapot"},
+	"sor":      {"Successive Over-Relaxation", "256x256 floats, 100 iterations"},
+	"water":    {"Simulation of water molecules, spatial alloc.", "512 molecules, 4 timesteps"},
+	"wf":       {"Warshall-Floyd shortest paths algorithm", "384 vertices, i,j connected w/ 50% chance"},
+}
+
+// Run executes the app body for machine.Run, wrapping the raw context.
+func Run(m *machine.Machine, a App) (machine.RunStats, error) {
+	return m.Run(func(mc *machine.Ctx) {
+		a.Run(&Ctx{Ctx: mc})
+	})
+}
+
+// share partitions n items into np contiguous chunks and returns the
+// half-open range of chunk id.
+func share(n, id, np int) (lo, hi int) {
+	q, r := n/np, n%np
+	lo = id*q + min(id, r)
+	hi = lo + q
+	if id < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// scaleDim scales a paper dimension by scale with a floor.
+func scaleDim(paper int, scale float64, floor int) int {
+	v := int(float64(paper) * scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// prng is a small deterministic generator for input construction.
+type prng uint64
+
+func newPrng(seed uint64) *prng {
+	p := prng(seed*2685821657736338717 + 1)
+	return &p
+}
+
+func (p *prng) next() uint64 {
+	x := uint64(*p)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*p = prng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (p *prng) float() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }

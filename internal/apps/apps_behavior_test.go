@@ -1,0 +1,405 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"netcache/internal/machine"
+)
+
+// runOn sets up and runs app on a fresh 16-node NetCache machine at scale.
+func runOn(t *testing.T, a App, scale float64) *machine.Machine {
+	t.Helper()
+	m := testMachine(t, 16)
+	a.Setup(m, scale)
+	if _, err := Run(m, a); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGaussFactorCorrect checks the elimination result against a host-side
+// Gaussian elimination of the same matrix.
+func TestGaussFactorCorrect(t *testing.T) {
+	g := &Gauss{}
+	runOn(t, g, 0.06) // n = 15
+	n := g.n
+	// Host elimination on the saved input.
+	ref := append([]float64(nil), g.ref...)
+	for k := 0; k < n-1; k++ {
+		piv := ref[k*n+k]
+		for j := k + 1; j < n; j++ {
+			ref[k*n+j] /= piv
+		}
+		for i := k + 1; i < n; i++ {
+			f := ref[i*n+k]
+			ref[i*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				ref[i*n+j] -= f * ref[k*n+j]
+			}
+		}
+	}
+	for i := 0; i < n*n; i++ {
+		if math.Abs(g.a.Data[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+			t.Fatalf("entry %d = %g, want %g", i, g.a.Data[i], ref[i])
+		}
+	}
+}
+
+// TestWFKnownGraph checks all-pairs distances on a tiny fixed graph.
+func TestWFKnownGraph(t *testing.T) {
+	w := &WF{}
+	m := testMachine(t, 16)
+	w.Setup(m, 0.06)
+	// Overwrite with a known 4-node path graph inside the allocated matrix.
+	n := w.n
+	for i := 0; i < n*n; i++ {
+		w.dist.Data[i] = wfInf
+	}
+	for i := 0; i < n; i++ {
+		w.dist.Data[i*n+i] = 0
+	}
+	set := func(i, j int, v float64) {
+		w.dist.Data[i*n+j] = v
+		w.dist.Data[j*n+i] = v
+	}
+	set(0, 1, 1)
+	set(1, 2, 1)
+	set(2, 3, 5)
+	set(0, 3, 10)
+	if _, err := Run(m, w); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.dist.Data[0*n+3]; got != 7 { // 0-1-2-3 = 1+1+5
+		t.Fatalf("d(0,3) = %g, want 7", got)
+	}
+	if got := w.dist.Data[3*n+0]; got != 7 {
+		t.Fatalf("d(3,0) = %g, want 7", got)
+	}
+}
+
+// TestFFTImpulse checks the transform of a delta function is flat.
+func TestFFTImpulse(t *testing.T) {
+	f := &FFT{}
+	m := testMachine(t, 16)
+	f.Setup(m, 0.06)
+	// Replace the signal with an impulse at 0 (re-permute accordingly).
+	for i := range f.ref {
+		f.ref[i] = 0
+	}
+	f.ref[0] = 1
+	for i := 0; i < f.n; i++ {
+		j := bitrev(i, f.logN)
+		f.data.Data[2*i] = real(f.ref[j])
+		f.data.Data[2*i+1] = imag(f.ref[j])
+	}
+	if _, err := Run(m, f); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < f.n; k++ {
+		if math.Abs(f.data.Data[2*k]-1) > 1e-9 || math.Abs(f.data.Data[2*k+1]) > 1e-9 {
+			t.Fatalf("bin %d = (%g,%g), want (1,0)", k, f.data.Data[2*k], f.data.Data[2*k+1])
+		}
+	}
+}
+
+// TestBitrev checks the permutation is an involution covering the range.
+func TestBitrev(t *testing.T) {
+	for bits := 1; bits <= 10; bits++ {
+		n := 1 << bits
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			r := bitrev(i, bits)
+			if bitrev(r, bits) != i {
+				t.Fatalf("bitrev not an involution at %d (bits %d)", i, bits)
+			}
+			if seen[r] {
+				t.Fatalf("bitrev collision at %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// TestRadixSortsTinyInput checks sorting end to end at the smallest scale.
+func TestRadixSortsTinyInput(t *testing.T) {
+	r := &Radix{}
+	runOn(t, r, 0.01)
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The histogram totals must equal the key count.
+	var tot int64
+	for _, v := range r.tot.Data {
+		tot += v
+	}
+	if tot != int64(r.nkeys) {
+		t.Fatalf("digit totals %d != keys %d", tot, r.nkeys)
+	}
+}
+
+// TestRadixVerifyCatchesCorruption checks the checker actually detects
+// tampering.
+func TestRadixVerifyCatchesCorruption(t *testing.T) {
+	r := &Radix{}
+	runOn(t, r, 0.01)
+	r.src.Data[0], r.src.Data[len(r.src.Data)-1] = r.src.Data[len(r.src.Data)-1]+1, r.src.Data[0]
+	if err := r.Verify(); err == nil {
+		t.Fatal("corrupted output passed verification")
+	}
+}
+
+// TestSORConvergesToBoundary checks long relaxation pulls the interior
+// toward the hot boundary average.
+func TestSORConvergesToBoundary(t *testing.T) {
+	s := &SOR{}
+	m := testMachine(t, 16)
+	s.Setup(m, 0.08)
+	s.iters = 300
+	if _, err := Run(m, s); err != nil {
+		t.Fatal(err)
+	}
+	// The row adjacent to the hot (=1) boundary must be warmer than the
+	// far side.
+	w := s.stride
+	near, far := 0.0, 0.0
+	for j := 1; j <= s.n; j++ {
+		near += s.grid.Data[1*w+j]
+		far += s.grid.Data[s.n*w+j]
+	}
+	if near <= far {
+		t.Fatalf("no gradient toward the hot boundary: near %g, far %g", near, far)
+	}
+}
+
+// TestCGSolvesSystem checks the CG result satisfies A z ~= x.
+func TestCGSolvesSystem(t *testing.T) {
+	g := &CG{}
+	runOn(t, g, 0.06)
+	n := g.n
+	// Compute A z - x on the host.
+	var worst float64
+	for i := 0; i < n; i++ {
+		var sum float64
+		for k := g.rowp[i]; k < g.rowp[i+1]; k++ {
+			sum += g.vals.Data[k] * g.z.Data[g.cols.Data[k]]
+		}
+		r := math.Abs(sum - g.x.Data[i])
+		if r > worst {
+			worst = r
+		}
+	}
+	if worst > 1e-4 {
+		t.Fatalf("CG residual inf-norm %g", worst)
+	}
+}
+
+// TestEm3dLocality checks the generated dependencies are mostly local
+// (paper: 5% remote).
+func TestEm3dLocality(t *testing.T) {
+	a := &Em3d{}
+	m := testMachine(t, 16)
+	a.Setup(m, 0.5)
+	np := 16
+	local := 0
+	for i := 0; i < a.nodes; i++ {
+		lo, hi := share(a.nodes, i*np/a.nodes, np)
+		for d := 0; d < a.deg; d++ {
+			dep := int(a.eDep.Data[i*a.deg+d])
+			if dep >= lo && dep < hi {
+				local++
+			}
+		}
+	}
+	frac := float64(local) / float64(a.nodes*a.deg)
+	if frac < 0.85 || frac > 0.99 {
+		t.Fatalf("local dependency fraction = %.3f, want ~0.95", frac)
+	}
+}
+
+// TestMgReducesResidual checks the V-cycles reduce the Poisson residual.
+func TestMgReducesResidual(t *testing.T) {
+	g := &Mg{}
+	m := testMachine(t, 16)
+	g.Setup(m, 0.2)
+	resid := func() float64 {
+		d := g.dims[0]
+		var sum float64
+		for z := 1; z < d[2]-1; z++ {
+			for y := 1; y < d[1]-1; y++ {
+				for x := 1; x < d[0]-1; x++ {
+					i := g.idx(0, x, y, z)
+					lap := g.u[0].Data[i-1] + g.u[0].Data[i+1] +
+						g.u[0].Data[i-d[0]] + g.u[0].Data[i+d[0]] +
+						g.u[0].Data[i-d[0]*d[1]] + g.u[0].Data[i+d[0]*d[1]] -
+						6*g.u[0].Data[i]
+					r := g.rhs[0].Data[i] + lap
+					sum += r * r
+				}
+			}
+		}
+		return sum
+	}
+	before := resid()
+	if _, err := Run(m, g); err != nil {
+		t.Fatal(err)
+	}
+	after := resid()
+	if after >= before {
+		t.Fatalf("V-cycles did not reduce residual: %g -> %g", before, after)
+	}
+}
+
+// TestOceanFieldsEvolve checks the solver moves both fields while keeping
+// them bounded.
+func TestOceanFieldsEvolve(t *testing.T) {
+	o := &Ocean{}
+	m := testMachine(t, 16)
+	o.Setup(m, 0.12)
+	before := append([]float64(nil), o.psi.Data...)
+	if _, err := Run(m, o); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range before {
+		if before[i] != o.psi.Data[i] {
+			changed++
+		}
+	}
+	if changed < len(before)/4 {
+		t.Fatalf("only %d of %d psi points changed", changed, len(before))
+	}
+	if err := o.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaytraceDeterministicImage checks two renders agree pixel for pixel
+// despite the dynamic tile queue.
+func TestRaytraceDeterministicImage(t *testing.T) {
+	render := func() []float64 {
+		r := &Raytrace{}
+		runOn(t, r, 0.12)
+		return append([]float64(nil), r.image.Data...)
+	}
+	a, b := render(), render()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRaytraceCenterHit checks the teapot body covers the image centre.
+func TestRaytraceCenterHit(t *testing.T) {
+	r := &Raytrace{}
+	runOn(t, r, 0.12)
+	c := r.image.Data[(r.height/2)*r.width+r.width/2]
+	if c <= 0.06 {
+		t.Fatalf("centre pixel %g is background", c)
+	}
+}
+
+// TestWaterStaysBounded checks integration keeps molecules in the box and
+// moving.
+func TestWaterStaysBounded(t *testing.T) {
+	w := &Water{}
+	m := testMachine(t, 16)
+	w.Setup(m, 0.2)
+	before := append([]float64(nil), w.pos.Data...)
+	if _, err := Run(m, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		if before[i] != w.pos.Data[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no molecule moved")
+	}
+}
+
+// TestWaterCells checks the cell index matches positions.
+func TestWaterCells(t *testing.T) {
+	w := &Water{}
+	m := testMachine(t, 16)
+	w.Setup(m, 0.2)
+	nc := w.cells
+	for i := 0; i < w.n; i++ {
+		cell := w.cellOf[i]
+		cx, cy, cz := cell%nc, (cell/nc)%nc, cell/(nc*nc)
+		px := int(w.pos.Data[3*i] / w.box * float64(nc))
+		if clamp(px, 0, nc-1) != cx {
+			t.Fatalf("molecule %d x-cell %d, want %d", i, cx, px)
+		}
+		_ = cy
+		_ = cz
+	}
+}
+
+// TestLUBlockOwnershipCovers checks the 2D scatter assigns every block to
+// exactly one processor.
+func TestLUBlockOwnershipCovers(t *testing.T) {
+	l := &LU{}
+	m := testMachine(t, 16)
+	l.Setup(m, 0.1)
+	if l.pr*l.pc != 16 {
+		t.Fatalf("grid %dx%d does not cover 16 procs", l.pr, l.pc)
+	}
+	counts := make([]int, 16)
+	for bi := 0; bi < l.nb; bi++ {
+		for bj := 0; bj < l.nb; bj++ {
+			o := l.owner(bi, bj)
+			if o < 0 || o >= 16 {
+				t.Fatalf("owner(%d,%d) = %d", bi, bj, o)
+			}
+			counts[o]++
+		}
+	}
+	for p, c := range counts {
+		if c == 0 && l.nb >= 4 {
+			t.Fatalf("proc %d owns no blocks", p)
+		}
+	}
+}
+
+// TestLUFactorCorrect checks L*U reconstructs the input matrix.
+func TestLUFactorCorrect(t *testing.T) {
+	l := &LU{}
+	m := testMachine(t, 16)
+	l.Setup(m, 0.07) // 32x32 (two 16x16 blocks per side)
+	orig := append([]float64(nil), l.a.Data...)
+	if _, err := Run(m, l); err != nil {
+		t.Fatal(err)
+	}
+	n := l.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k <= min(i, j); k++ {
+				var lik float64
+				if k == i {
+					lik = 1
+				} else {
+					lik = l.a.Data[i*n+k]
+				}
+				sum += lik * l.a.Data[k*n+j] * b2f(k <= j)
+			}
+			if math.Abs(sum-orig[i*n+j]) > 1e-6*(1+math.Abs(orig[i*n+j])) {
+				t.Fatalf("LU[%d][%d] = %g, want %g", i, j, sum, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+	"netcache/internal/proto/netcache"
+	"netcache/internal/ring"
+)
+
+func testMachine(t *testing.T, procs int) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Timing.Procs = procs
+	return machine.New(cfg, func(m *machine.Machine) machine.Protocol {
+		rc := ring.New(ring.Config{
+			Channels: 128, LineBytes: 64, LinesPerChannel: 4, Procs: procs,
+			Roundtrip: m.Model.RingRoundtrip, AccessOverhead: m.Model.RingAccessOverhead,
+		})
+		return netcache.New(m, rc)
+	})
+}
+
+// TestAllAppsRunAndVerify executes every Table 4 application at small scale
+// on a 16-node NetCache machine and checks its computed results.
+func TestAllAppsRunAndVerify(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := testMachine(t, 16)
+			a.Setup(m, 0.08)
+			rs, err := Run(m, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			tot := rs.Totals()
+			if tot.Reads == 0 {
+				t.Fatal("no simulated reads")
+			}
+			if rs.Cycles <= 0 {
+				t.Fatal("no simulated time")
+			}
+		})
+	}
+}
+
+// TestAllAppsSingleNode checks every application also runs on one processor
+// (the speedup baseline).
+func TestAllAppsSingleNode(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := testMachine(t, 1)
+			a.Setup(m, 0.05)
+			if _, err := Run(m, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTable4Registry checks the registry matches Table 4.
+func TestTable4Registry(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("registered %d apps, want 12: %v", len(names), names)
+	}
+	for i, want := range table4Order {
+		if names[i] != want {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want)
+		}
+		desc, input := Describe(want)
+		if desc == "" || input == "" {
+			t.Fatalf("missing Table 4 description for %q", want)
+		}
+	}
+}
+
+// TestShare checks the partition helper covers the range exactly once.
+func TestShare(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 16, 100, 101} {
+		for _, np := range []int{1, 2, 16} {
+			covered := 0
+			prevHi := 0
+			for id := 0; id < np; id++ {
+				lo, hi := share(n, id, np)
+				if lo != prevHi {
+					t.Fatalf("share(%d,%d,%d): lo=%d, want %d", n, id, np, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n {
+				t.Fatalf("share(%d,*,%d) covered %d", n, np, covered)
+			}
+		}
+	}
+}

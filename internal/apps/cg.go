@@ -1,0 +1,172 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("cg", func() App { return &CG{} }) }
+
+// CG is the NAS conjugate-gradient kernel (paper input: 1400x1400 with 78148
+// non-zeros): repeated sparse matrix-vector products, dot-product reductions
+// and vector updates on a random sparse matrix. The p vector is re-read by
+// every processor each SpMV, giving moderate shared-cache reuse.
+type CG struct {
+	n     int
+	iters int
+	vals  *machine.F64
+	cols  *machine.I64
+	rowp  []int // row pointers (loop bounds; private per construction)
+	x     *machine.F64
+	p     *machine.F64
+	q     *machine.F64
+	r     *machine.F64
+	z     *machine.F64
+	red   *machine.F64 // per-proc reduction slots (padded)
+	resid float64
+}
+
+// Name returns the Table 4 identifier.
+func (g *CG) Name() string { return "cg" }
+
+// Setup builds a symmetric positive-definite sparse matrix with a random
+// pattern (a deterministic stand-in for the NAS makea generator).
+func (g *CG) Setup(m *machine.Machine, scale float64) {
+	g.n = scaleDim(1400, scale, 64)
+	nnzTarget := scaleDim(78148, scale, 8*g.n)
+	perRow := max(2, nnzTarget/g.n)
+	g.iters = 15
+	rnd := newPrng(77)
+	type entry struct {
+		col int
+		v   float64
+	}
+	rows := make([][]entry, g.n)
+	for i := 0; i < g.n; i++ {
+		rows[i] = append(rows[i], entry{i, float64(perRow) + 2}) // dominant diagonal
+		for k := 1; k < perRow; k++ {
+			j := rnd.intn(g.n)
+			rows[i] = append(rows[i], entry{j, rnd.float() - 0.5})
+		}
+	}
+	nnz := 0
+	for i := range rows {
+		nnz += len(rows[i])
+	}
+	g.vals = m.NewSharedF64(nnz)
+	g.cols = m.NewSharedI64(nnz)
+	g.rowp = make([]int, g.n+1)
+	k := 0
+	for i := range rows {
+		g.rowp[i] = k
+		for _, e := range rows[i] {
+			g.vals.Data[k] = e.v
+			g.cols.Data[k] = int64(e.col)
+			k++
+		}
+	}
+	g.rowp[g.n] = k
+	g.x = m.NewSharedF64(g.n)
+	g.p = m.NewSharedF64(g.n)
+	g.q = m.NewSharedF64(g.n)
+	g.r = m.NewSharedF64(g.n)
+	g.z = m.NewSharedF64(g.n)
+	for i := 0; i < g.n; i++ {
+		g.x.Data[i] = 1
+	}
+	g.red = m.NewSharedF64(m.P() * 8) // one padded slot per processor
+}
+
+// reduce sums per-processor partial values via the shared slots.
+func (g *CG) reduce(c *Ctx, partial float64) float64 {
+	g.red.Store(c, c.ID()*8, partial)
+	c.Sync()
+	var sum float64
+	for p := 0; p < c.NP(); p++ {
+		sum += g.red.Load(c, p*8)
+		c.Compute(5)
+	}
+	c.Sync()
+	return sum
+}
+
+// Run solves A z = x with CG.
+func (g *CG) Run(c *Ctx) {
+	n := g.n
+	lo, hi := share(n, c.ID(), c.NP())
+	// z = 0, r = p = x.
+	for i := lo; i < hi; i++ {
+		g.z.Store(c, i, 0)
+		v := g.x.Load(c, i)
+		g.r.Store(c, i, v)
+		g.p.Store(c, i, v)
+	}
+	c.Sync()
+	var rho float64
+	{
+		var part float64
+		for i := lo; i < hi; i++ {
+			v := g.r.Load(c, i)
+			part += v * v
+			c.Compute(6)
+		}
+		rho = g.reduce(c, part)
+	}
+	for it := 0; it < g.iters; it++ {
+		// q = A p.
+		var pq float64
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for k := g.rowp[i]; k < g.rowp[i+1]; k++ {
+				col := g.cols.Load(c, k)
+				av := g.vals.Load(c, k)
+				sum += av * g.p.Load(c, int(col))
+				c.Compute(6)
+			}
+			g.q.Store(c, i, sum)
+			pv := g.p.Load(c, i)
+			pq += pv * sum
+			c.Compute(6)
+		}
+		alphaDen := g.reduce(c, pq)
+		alpha := rho / alphaDen
+		var rr float64
+		for i := lo; i < hi; i++ {
+			zv := g.z.Load(c, i)
+			pv := g.p.Load(c, i)
+			g.z.Store(c, i, zv+alpha*pv)
+			rv := g.r.Load(c, i)
+			qv := g.q.Load(c, i)
+			nr := rv - alpha*qv
+			g.r.Store(c, i, nr)
+			rr += nr * nr
+			c.Compute(10)
+		}
+		rho1 := g.reduce(c, rr)
+		beta := rho1 / rho
+		rho = rho1
+		for i := lo; i < hi; i++ {
+			rv := g.r.Load(c, i)
+			pv := g.p.Load(c, i)
+			g.p.Store(c, i, rv+beta*pv)
+			c.Compute(6)
+		}
+		c.Sync()
+	}
+	if c.ID() == 0 {
+		g.resid = rho
+	}
+}
+
+// Verify checks that CG reduced the residual by orders of magnitude.
+func (g *CG) Verify() error {
+	if math.IsNaN(g.resid) || math.IsInf(g.resid, 0) {
+		return fmt.Errorf("cg: non-finite residual")
+	}
+	if g.resid > float64(g.n)*1e-3 {
+		return fmt.Errorf("cg: residual %g did not converge (n=%d)", g.resid, g.n)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("fft", func() App { return &FFT{} }) }
+
+// FFT computes a 1D radix-2 complex FFT (paper input: 16 K points). Points
+// are stored as interleaved (re, im) word pairs in one shared array; each
+// butterfly stage partitions the butterflies across processors and ends with
+// a barrier. The large-stride stages stream the whole array with little
+// reuse, which is why FFT belongs to the paper's Low-reuse group.
+type FFT struct {
+	n    int
+	logN int
+	data *machine.F64 // 2n words: re/im interleaved, bit-reversed order input
+	ref  []complex128
+}
+
+// Name returns the Table 4 identifier.
+func (f *FFT) Name() string { return "fft" }
+
+// Setup builds a deterministic signal, pre-permuted into bit-reversed order
+// so Run performs the in-place butterfly stages.
+func (f *FFT) Setup(m *machine.Machine, scale float64) {
+	n := scaleDim(16*1024, scale, 64)
+	// Round down to a power of two.
+	logN := 0
+	for 1<<(logN+1) <= n {
+		logN++
+	}
+	f.n = 1 << logN
+	f.logN = logN
+	f.data = m.NewSharedF64(2 * f.n)
+	rnd := newPrng(1234)
+	f.ref = make([]complex128, f.n)
+	for i := 0; i < f.n; i++ {
+		v := complex(rnd.float()-0.5, rnd.float()-0.5)
+		f.ref[i] = v
+	}
+	for i := 0; i < f.n; i++ {
+		j := bitrev(i, logN)
+		f.data.Data[2*i] = real(f.ref[j])
+		f.data.Data[2*i+1] = imag(f.ref[j])
+	}
+}
+
+func bitrev(x, bits int) int {
+	r := 0
+	for b := 0; b < bits; b++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// Run is the per-processor body.
+func (f *FFT) Run(c *Ctx) {
+	n := f.n
+	d := f.data
+	half := n / 2
+	lo, hi := share(half, c.ID(), c.NP())
+	for s := 1; s <= f.logN; s++ {
+		m := 1 << s
+		mh := m >> 1
+		for b := lo; b < hi; b++ {
+			// Butterfly b: group g, offset j within the group.
+			g := b / mh
+			j := b % mh
+			i0 := g*m + j
+			i1 := i0 + mh
+			ang := -2 * math.Pi * float64(j) / float64(m)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			c.Compute(20) // twiddle generation
+			x0r := d.Load(c, 2*i0)
+			x0i := d.Load(c, 2*i0+1)
+			x1r := d.Load(c, 2*i1)
+			x1i := d.Load(c, 2*i1+1)
+			tr := x1r*wr - x1i*wi
+			ti := x1r*wi + x1i*wr
+			c.Compute(10)
+			d.Store(c, 2*i0, x0r+tr)
+			d.Store(c, 2*i0+1, x0i+ti)
+			d.Store(c, 2*i1, x0r-tr)
+			d.Store(c, 2*i1+1, x0i-ti)
+		}
+		c.Sync()
+	}
+}
+
+// Verify checks the transform against a direct DFT on sampled bins and
+// Parseval's identity.
+func (f *FFT) Verify() error {
+	n := f.n
+	// Parseval: sum |x|^2 * n == sum |X|^2.
+	var inSum, outSum float64
+	for i := 0; i < n; i++ {
+		re, im := real(f.ref[i]), imag(f.ref[i])
+		inSum += re*re + im*im
+		or, oi := f.data.Data[2*i], f.data.Data[2*i+1]
+		outSum += or*or + oi*oi
+	}
+	if math.Abs(outSum-inSum*float64(n)) > 1e-6*(1+outSum) {
+		return fmt.Errorf("fft: Parseval mismatch in=%g out=%g", inSum*float64(n), outSum)
+	}
+	// Direct DFT check on a few bins.
+	for _, k := range []int{0, 1, n / 3, n - 1} {
+		var sr, si float64
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			cr, ci := math.Cos(ang), math.Sin(ang)
+			xr, xi := real(f.ref[t]), imag(f.ref[t])
+			sr += xr*cr - xi*ci
+			si += xr*ci + xi*cr
+		}
+		gr, gi := f.data.Data[2*k], f.data.Data[2*k+1]
+		if math.Abs(gr-sr) > 1e-6*(1+math.Abs(sr))+1e-6 || math.Abs(gi-si) > 1e-6*(1+math.Abs(si))+1e-6 {
+			return fmt.Errorf("fft: bin %d = (%g,%g), want (%g,%g)", k, gr, gi, sr, si)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("lu", func() App { return &LU{} }) }
+
+// LU performs blocked dense LU factorization without pivoting in the
+// SPLASH-2 style (paper input: 512x512, 16x16 blocks, blocks 2D-scattered
+// over a 4x4 processor grid). The diagonal and perimeter blocks of each step
+// are read by many processors, giving the high shared-cache reuse the paper
+// reports for LU.
+type LU struct {
+	n, b   int
+	nb     int
+	pr, pc int
+	a      *machine.F64
+}
+
+// Name returns the Table 4 identifier.
+func (l *LU) Name() string { return "lu" }
+
+// Setup builds a diagonally-dominant matrix.
+func (l *LU) Setup(m *machine.Machine, scale float64) {
+	l.b = 16
+	l.n = scaleDim(512, scale, 2*l.b)
+	l.n = l.n / l.b * l.b
+	l.nb = l.n / l.b
+	// Processor grid as square as possible.
+	p := m.P()
+	l.pr = 1
+	for l.pr*l.pr <= p {
+		l.pr++
+	}
+	l.pr--
+	for p%l.pr != 0 {
+		l.pr--
+	}
+	l.pc = p / l.pr
+	l.a = m.NewSharedF64(l.n * l.n)
+	rnd := newPrng(5)
+	for i := 0; i < l.n; i++ {
+		for j := 0; j < l.n; j++ {
+			v := rnd.float()
+			if i == j {
+				v += float64(2 * l.n)
+			}
+			l.a.Data[i*l.n+j] = v
+		}
+	}
+}
+
+func (l *LU) owner(bi, bj int) int { return (bi%l.pr)*l.pc + bj%l.pc }
+
+// Run is the per-processor body.
+func (l *LU) Run(c *Ctx) {
+	n, b, nb := l.n, l.b, l.nb
+	id := c.ID()
+	a := l.a
+	at := func(i, j int) int { return i*n + j }
+	for k := 0; k < nb; k++ {
+		kb := k * b
+		// Factor the diagonal block.
+		if l.owner(k, k) == id {
+			for kk := 0; kk < b; kk++ {
+				piv := a.Load(c, at(kb+kk, kb+kk))
+				for i := kk + 1; i < b; i++ {
+					v := a.Load(c, at(kb+i, kb+kk))
+					c.Compute(5)
+					lik := v / piv
+					a.Store(c, at(kb+i, kb+kk), lik)
+					for j := kk + 1; j < b; j++ {
+						ak := a.Load(c, at(kb+kk, kb+j))
+						ai := a.Load(c, at(kb+i, kb+j))
+						c.Compute(6)
+						a.Store(c, at(kb+i, kb+j), ai-lik*ak)
+					}
+				}
+			}
+		}
+		c.Sync()
+		// Perimeter blocks: row k uses the diagonal L factor, column k the
+		// diagonal U factor.
+		for bj := k + 1; bj < nb; bj++ {
+			if l.owner(k, bj) != id {
+				continue
+			}
+			jb := bj * b
+			for kk := 0; kk < b; kk++ {
+				for i := kk + 1; i < b; i++ {
+					lik := a.Load(c, at(kb+i, kb+kk))
+					for j := 0; j < b; j++ {
+						up := a.Load(c, at(kb+kk, jb+j))
+						v := a.Load(c, at(kb+i, jb+j))
+						c.Compute(6)
+						a.Store(c, at(kb+i, jb+j), v-lik*up)
+					}
+				}
+			}
+		}
+		for bi := k + 1; bi < nb; bi++ {
+			if l.owner(bi, k) != id {
+				continue
+			}
+			ib := bi * b
+			for kk := 0; kk < b; kk++ {
+				piv := a.Load(c, at(kb+kk, kb+kk))
+				for i := 0; i < b; i++ {
+					v := a.Load(c, at(ib+i, kb+kk))
+					c.Compute(5)
+					lik := v / piv
+					a.Store(c, at(ib+i, kb+kk), lik)
+					for j := kk + 1; j < b; j++ {
+						up := a.Load(c, at(kb+kk, kb+j))
+						w := a.Load(c, at(ib+i, kb+j))
+						c.Compute(6)
+						a.Store(c, at(ib+i, kb+j), w-lik*up)
+					}
+				}
+			}
+		}
+		c.Sync()
+		// Interior update: A[i][j] -= L[i][k] * U[k][j].
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				if l.owner(bi, bj) != id {
+					continue
+				}
+				ib, jb := bi*b, bj*b
+				for i := 0; i < b; i++ {
+					for kk := 0; kk < b; kk++ {
+						lik := a.Load(c, at(ib+i, kb+kk))
+						for j := 0; j < b; j++ {
+							up := a.Load(c, at(kb+kk, jb+j))
+							v := a.Load(c, at(ib+i, jb+j))
+							c.Compute(6)
+							a.Store(c, at(ib+i, jb+j), v-lik*up)
+						}
+					}
+				}
+			}
+		}
+		c.Sync()
+	}
+}
+
+// Verify checks finiteness and nonzero pivots of the factorization.
+func (l *LU) Verify() error {
+	for i := 0; i < l.n; i++ {
+		piv := l.a.Data[i*l.n+i]
+		if math.IsNaN(piv) || math.IsInf(piv, 0) || math.Abs(piv) < 1e-12 {
+			return fmt.Errorf("lu: bad pivot %g at %d", piv, i)
+		}
+	}
+	for _, v := range l.a.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lu: non-finite entry")
+		}
+	}
+	return nil
+}

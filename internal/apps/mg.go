@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("mg", func() App { return &Mg{} }) }
+
+// Mg is a 3D Poisson solver using multigrid V-cycles (paper input: 24x24x64,
+// 6 iterations), after the NAS MG benchmark: 7-point Jacobi smoothing,
+// full-weighting restriction and trilinear-injection prolongation over a
+// grid hierarchy. The coarse grids fit in the shared cache and are re-read
+// by every processor, making Mg one of the paper's High-reuse applications.
+type Mg struct {
+	nx, ny, nz int
+	iters      int
+	levels     int
+	u, rhs     []*machine.F64 // one grid per level
+	res        []*machine.F64
+	dims       [][3]int
+}
+
+// Name returns the Table 4 identifier.
+func (g *Mg) Name() string { return "mg" }
+
+func (g *Mg) idx(l int, x, y, z int) int {
+	d := g.dims[l]
+	return (z*d[1]+y)*d[0] + x
+}
+
+// Setup builds the grid hierarchy and a deterministic right-hand side.
+func (g *Mg) Setup(m *machine.Machine, scale float64) {
+	g.nx = scaleDim(24, scale, 4)
+	g.ny = scaleDim(24, scale, 4)
+	g.nz = scaleDim(64, scale, 8)
+	// Round dimensions to even values for coarsening.
+	g.nx &^= 1
+	g.ny &^= 1
+	g.nz &^= 1
+	g.iters = 6
+	g.levels = 1
+	nx, ny, nz := g.nx, g.ny, g.nz
+	for nx >= 8 && ny >= 8 && nz >= 8 && g.levels < 4 {
+		nx, ny, nz = nx/2, ny/2, nz/2
+		g.levels++
+	}
+	nx, ny, nz = g.nx, g.ny, g.nz
+	rnd := newPrng(63)
+	for l := 0; l < g.levels; l++ {
+		g.dims = append(g.dims, [3]int{nx, ny, nz})
+		sz := nx * ny * nz
+		g.u = append(g.u, m.NewSharedF64(sz))
+		g.rhs = append(g.rhs, m.NewSharedF64(sz))
+		g.res = append(g.res, m.NewSharedF64(sz))
+		nx, ny, nz = nx/2, ny/2, nz/2
+	}
+	for i := range g.rhs[0].Data {
+		g.rhs[0].Data[i] = rnd.float() - 0.5
+	}
+}
+
+// smooth performs one damped-Jacobi sweep on level l over this processor's
+// z-planes (reads u, writes res as the new iterate, then the caller swaps
+// roles by copying back).
+func (g *Mg) smooth(c *Ctx, l int) {
+	d := g.dims[l]
+	u, rhs := g.u[l], g.rhs[l]
+	lo, hi := share(d[2], c.ID(), c.NP())
+	const w = 0.8
+	for z := lo; z < hi; z++ {
+		for y := 0; y < d[1]; y++ {
+			for x := 0; x < d[0]; x++ {
+				i := g.idx(l, x, y, z)
+				var nb float64
+				cnt := 0
+				if x > 0 {
+					nb += u.Load(c, i-1)
+					cnt++
+				}
+				if x < d[0]-1 {
+					nb += u.Load(c, i+1)
+					cnt++
+				}
+				if y > 0 {
+					nb += u.Load(c, i-d[0])
+					cnt++
+				}
+				if y < d[1]-1 {
+					nb += u.Load(c, i+d[0])
+					cnt++
+				}
+				if z > 0 {
+					nb += u.Load(c, i-d[0]*d[1])
+					cnt++
+				}
+				if z < d[2]-1 {
+					nb += u.Load(c, i+d[0]*d[1])
+					cnt++
+				}
+				f := rhs.Load(c, i)
+				old := u.Load(c, i)
+				v := (1-w)*old + w*(nb+f)/float64(cnt)
+				c.Compute(12)
+				g.res[l].Store(c, i, v)
+			}
+		}
+	}
+	c.Sync()
+	for z := lo; z < hi; z++ {
+		for y := 0; y < d[1]; y++ {
+			for x := 0; x < d[0]; x++ {
+				i := g.idx(l, x, y, z)
+				u.Store(c, i, g.res[l].Load(c, i))
+			}
+		}
+	}
+	c.Sync()
+}
+
+// restrictTo computes the coarse right-hand side by full weighting of the
+// fine residual.
+func (g *Mg) restrictTo(c *Ctx, l int) {
+	df := g.dims[l]
+	dc := g.dims[l+1]
+	lo, hi := share(dc[2], c.ID(), c.NP())
+	for z := lo; z < hi; z++ {
+		for y := 0; y < dc[1]; y++ {
+			for x := 0; x < dc[0]; x++ {
+				var sum float64
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							fx, fy, fz := 2*x+dx, 2*y+dy, 2*z+dz
+							if fx < df[0] && fy < df[1] && fz < df[2] {
+								sum += g.rhs[l].Load(c, g.idx(l, fx, fy, fz))
+								c.Compute(3)
+							}
+						}
+					}
+				}
+				ci := g.idx(l+1, x, y, z)
+				g.rhs[l+1].Store(c, ci, sum/8)
+				g.u[l+1].Store(c, ci, 0)
+			}
+		}
+	}
+	c.Sync()
+}
+
+// prolongAdd injects the coarse correction back into the fine grid.
+func (g *Mg) prolongAdd(c *Ctx, l int) {
+	df := g.dims[l]
+	lo, hi := share(df[2], c.ID(), c.NP())
+	for z := lo; z < hi; z++ {
+		for y := 0; y < df[1]; y++ {
+			for x := 0; x < df[0]; x++ {
+				ci := g.idx(l+1, x/2, y/2, z/2)
+				cv := g.u[l+1].Load(c, ci)
+				fi := g.idx(l, x, y, z)
+				fv := g.u[l].Load(c, fi)
+				c.Compute(6)
+				g.u[l].Store(c, fi, fv+cv)
+			}
+		}
+	}
+	c.Sync()
+}
+
+// Run performs the V-cycles.
+func (g *Mg) Run(c *Ctx) {
+	for it := 0; it < g.iters; it++ {
+		for l := 0; l < g.levels-1; l++ {
+			g.smooth(c, l)
+			g.restrictTo(c, l)
+		}
+		g.smooth(c, g.levels-1)
+		g.smooth(c, g.levels-1)
+		for l := g.levels - 2; l >= 0; l-- {
+			g.prolongAdd(c, l)
+			g.smooth(c, l)
+		}
+	}
+}
+
+// Verify checks the solution stayed finite and nonzero.
+func (g *Mg) Verify() error {
+	var norm float64
+	for _, v := range g.u[0].Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mg: non-finite solution")
+		}
+		norm += v * v
+	}
+	if norm == 0 {
+		return fmt.Errorf("mg: zero solution")
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("ocean", func() App { return &Ocean{} }) }
+
+// Ocean simulates large-scale ocean movement (paper input: 66x66 grid).
+// This is an access-pattern-faithful simplification of SPLASH-2 Ocean: per
+// timestep the vorticity field advances by diffusion plus wind forcing from
+// the stream-function gradient, and the stream function is then relaxed
+// against the evolved vorticity with red-black SOR sweeps. The several-grid
+// working set slightly exceeds the 32-KByte shared cache, which is what
+// places Ocean in the Moderate-reuse group.
+type Ocean struct {
+	n      int // interior dimension (paper: 64 interior + boundary = 66)
+	steps  int
+	relax  int
+	stride int
+	psi    *machine.F64 // stream function
+	vort   *machine.F64 // vorticity
+	tmp    *machine.F64
+}
+
+// Name returns the Table 4 identifier.
+func (o *Ocean) Name() string { return "ocean" }
+
+// Setup builds the grids with a deterministic eddy field.
+func (o *Ocean) Setup(m *machine.Machine, scale float64) {
+	o.n = scaleDim(64, scale, 8)
+	o.steps = scaleDim(12, scale, 2)
+	o.relax = 12
+	o.stride = o.n + 2
+	sz := o.stride * o.stride
+	o.psi = m.NewSharedF64(sz)
+	o.vort = m.NewSharedF64(sz)
+	o.tmp = m.NewSharedF64(sz)
+	rnd := newPrng(911)
+	for i := range o.psi.Data {
+		o.psi.Data[i] = rnd.float() - 0.5
+		o.vort.Data[i] = rnd.float() - 0.5
+	}
+}
+
+// Run is the per-processor body.
+func (o *Ocean) Run(c *Ctx) {
+	n, w := o.n, o.stride
+	lo, hi := share(n, c.ID(), c.NP())
+	lo++
+	hi++
+	for s := 0; s < o.steps; s++ {
+		// Advance the vorticity: diffusion plus coupling to the stream
+		// function gradient (wind forcing enters through the psi term).
+		for i := lo; i < hi; i++ {
+			for j := 1; j <= n; j++ {
+				idx := i*w + j
+				up := o.vort.Load(c, idx-w)
+				dn := o.vort.Load(c, idx+w)
+				lf := o.vort.Load(c, idx-1)
+				rt := o.vort.Load(c, idx+1)
+				ce := o.vort.Load(c, idx)
+				pu := o.psi.Load(c, idx-w)
+				pd := o.psi.Load(c, idx+w)
+				c.Compute(12)
+				diff := 0.05 * (up + dn + lf + rt - 4*ce)
+				force := 0.1 * (pu - pd)
+				o.tmp.Store(c, idx, 0.99*ce+diff+force)
+			}
+		}
+		c.Sync()
+		for i := lo; i < hi; i++ {
+			for j := 1; j <= n; j++ {
+				idx := i*w + j
+				o.vort.Store(c, idx, o.tmp.Load(c, idx))
+			}
+		}
+		c.Sync()
+		// Red-black SOR relaxation of psi against the vorticity.
+		const omega = 1.2
+		for r := 0; r < o.relax; r++ {
+			for color := 0; color < 2; color++ {
+				for i := lo; i < hi; i++ {
+					j0 := 1 + (i+color)%2
+					for j := j0; j <= n; j += 2 {
+						idx := i*w + j
+						up := o.psi.Load(c, idx-w)
+						dn := o.psi.Load(c, idx+w)
+						lf := o.psi.Load(c, idx-1)
+						rt := o.psi.Load(c, idx+1)
+						f := o.vort.Load(c, idx)
+						ce := o.psi.Load(c, idx)
+						v := ce + omega*((up+dn+lf+rt-f)/4-ce)
+						c.Compute(11)
+						o.psi.Store(c, idx, v)
+					}
+				}
+				c.Sync()
+			}
+		}
+	}
+}
+
+// Verify checks the fields stayed finite.
+func (o *Ocean) Verify() error {
+	for i, v := range o.psi.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ocean: non-finite psi at %d", i)
+		}
+	}
+	for i, v := range o.vort.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ocean: non-finite vorticity at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("raytrace", func() App { return &Raytrace{} }) }
+
+// Raytrace renders a procedural "teapot" built from sphere patches (the
+// paper uses the SPLASH-2 teapot scene). Image tiles are handed out through
+// a lock-protected task queue — the dynamic scheduling of the original — and
+// every ray intersects the shared scene description, whose compact size
+// gives moderate shared-cache reuse. Shadow rays toward a point light add a
+// second data-dependent traversal.
+type Raytrace struct {
+	width, height int
+	tile          int
+	spheres       *machine.F64 // 4 words each: x, y, z, r
+	nspheres      int
+	image         *machine.F64
+	next          *machine.I64 // shared tile counter (lock-protected)
+}
+
+// Name returns the Table 4 identifier.
+func (r *Raytrace) Name() string { return "raytrace" }
+
+// Setup builds the sphere-patch teapot: a body of overlapping spheres, a
+// spout, a handle and a lid knob.
+func (r *Raytrace) Setup(m *machine.Machine, scale float64) {
+	r.width = scaleDim(128, scale, 16)
+	r.height = scaleDim(128, scale, 16)
+	r.tile = 8
+	var sph []float64
+	add := func(x, y, z, rad float64) { sph = append(sph, x, y, z, rad) }
+	// Body: ring of spheres around the pot axis.
+	for i := 0; i < 12; i++ {
+		a := 2 * math.Pi * float64(i) / 12
+		add(0.35*math.Cos(a), 0, 0.35*math.Sin(a), 0.45)
+	}
+	add(0, 0, 0, 0.62) // core
+	// Spout.
+	for i := 0; i < 4; i++ {
+		t := float64(i) / 3
+		add(0.65+0.35*t, 0.05+0.25*t, 0, 0.16-0.02*t)
+	}
+	// Handle.
+	for i := 0; i < 5; i++ {
+		a := math.Pi * (0.25 + 0.5*float64(i)/4)
+		add(-0.65-0.25*math.Sin(a), 0.3*math.Cos(a), 0, 0.08)
+	}
+	// Lid.
+	add(0, 0.55, 0, 0.3)
+	add(0, 0.78, 0, 0.1)
+	r.nspheres = len(sph) / 4
+	r.spheres = m.NewSharedF64(len(sph))
+	copy(r.spheres.Data, sph)
+	r.image = m.NewSharedF64(r.width * r.height)
+	r.next = m.NewSharedI64(8)
+}
+
+// trace intersects a ray with every sphere through the simulated memory
+// system and returns the nearest hit.
+func (r *Raytrace) trace(c *Ctx, ox, oy, oz, dx, dy, dz float64) (hit int, tHit float64) {
+	hit = -1
+	tHit = math.Inf(1)
+	for s := 0; s < r.nspheres; s++ {
+		sx := r.spheres.Load(c, 4*s)
+		sy := r.spheres.Load(c, 4*s+1)
+		sz := r.spheres.Load(c, 4*s+2)
+		sr := r.spheres.Load(c, 4*s+3)
+		lx, ly, lz := sx-ox, sy-oy, sz-oz
+		b := lx*dx + ly*dy + lz*dz
+		c2 := lx*lx + ly*ly + lz*lz - sr*sr
+		disc := b*b - c2
+		c.Compute(12)
+		if disc < 0 {
+			continue
+		}
+		t := b - math.Sqrt(disc)
+		c.Compute(4)
+		if t > 1e-6 && t < tHit {
+			tHit = t
+			hit = s
+		}
+	}
+	return hit, tHit
+}
+
+// Run renders tiles pulled from the shared queue.
+func (r *Raytrace) Run(c *Ctx) {
+	tilesX := (r.width + r.tile - 1) / r.tile
+	tilesY := (r.height + r.tile - 1) / r.tile
+	total := tilesX * tilesY
+	lightX, lightY, lightZ := 3.0, 4.0, -2.0
+	for {
+		// Dynamic tile scheduling via a lock-protected counter.
+		c.Lock(0)
+		t := r.next.Load(c, 0)
+		r.next.Store(c, 0, t+1)
+		c.Unlock(0)
+		if int(t) >= total {
+			break
+		}
+		tx, ty := int(t)%tilesX, int(t)/tilesX
+		for py := ty * r.tile; py < min((ty+1)*r.tile, r.height); py++ {
+			for px := tx * r.tile; px < min((tx+1)*r.tile, r.width); px++ {
+				// Primary ray from an orthographic-ish camera.
+				u := (float64(px)/float64(r.width) - 0.5) * 3
+				v := (float64(py)/float64(r.height) - 0.5) * 3
+				ox, oy, oz := u, v, -3.0
+				dx, dy, dz := 0.0, 0.0, 1.0
+				hit, tHit := r.trace(c, ox, oy, oz, dx, dy, dz)
+				shade := 0.05 // background
+				if hit >= 0 {
+					hx, hy, hz := ox+tHit*dx, oy+tHit*dy, oz+tHit*dz
+					sx := r.spheres.Load(c, 4*hit)
+					sy := r.spheres.Load(c, 4*hit+1)
+					sz := r.spheres.Load(c, 4*hit+2)
+					nx, ny, nz := hx-sx, hy-sy, hz-sz
+					nl := math.Sqrt(nx*nx + ny*ny + nz*nz)
+					nx, ny, nz = nx/nl, ny/nl, nz/nl
+					lx, ly, lz := lightX-hx, lightY-hy, lightZ-hz
+					ll := math.Sqrt(lx*lx + ly*ly + lz*lz)
+					lx, ly, lz = lx/ll, ly/ll, lz/ll
+					c.Compute(24)
+					diff := nx*lx + ny*ly + nz*lz
+					if diff < 0 {
+						diff = 0
+					}
+					// Shadow ray.
+					sh, shT := r.trace(c, hx+1e-4*nx, hy+1e-4*ny, hz+1e-4*nz, lx, ly, lz)
+					if sh >= 0 && shT < ll {
+						diff *= 0.2
+					}
+					shade = 0.1 + 0.9*diff
+				}
+				r.image.Store(c, py*r.width+px, shade)
+			}
+		}
+	}
+	c.Sync()
+}
+
+// Verify checks the render produced a plausible image: in-range pixels and a
+// non-trivial number of object hits.
+func (r *Raytrace) Verify() error {
+	hits := 0
+	for _, v := range r.image.Data {
+		if math.IsNaN(v) || v < 0 || v > 1.0001 {
+			return fmt.Errorf("raytrace: pixel %g out of range", v)
+		}
+		if v > 0.06 {
+			hits++
+		}
+	}
+	if hits < len(r.image.Data)/20 {
+		return fmt.Errorf("raytrace: only %d of %d pixels hit the teapot", hits, len(r.image.Data))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package apps
+
+import "testing"
+
+// Traffic-shape tests: each application must drive the memory system the
+// way its role in the paper's evaluation requires.
+
+func trafficOf(t *testing.T, name string, scale float64) (reads, l1Hits, remote, shared uint64) {
+	t.Helper()
+	a, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(t, 16)
+	a.Setup(m, scale)
+	rs, err := Run(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := rs.Totals()
+	return tot.Reads, tot.L1Hits, tot.RemoteMiss, tot.SharedHits
+}
+
+// TestAllAppsTouchRemoteMemory checks every kernel actually exercises the
+// interconnect (no app degenerates into private-only computation).
+func TestAllAppsTouchRemoteMemory(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			_, _, remote, _ := trafficOf(t, name, 0.08)
+			if remote == 0 {
+				t.Fatalf("%s made no remote accesses", name)
+			}
+		})
+	}
+}
+
+// TestDenseKernelsHitL1 checks the dense-matrix kernels keep most accesses
+// in the first-level cache (sequential inner loops), as real codes do.
+func TestDenseKernelsHitL1(t *testing.T) {
+	for _, name := range []string{"gauss", "lu", "sor", "wf"} {
+		reads, l1, _, _ := trafficOf(t, name, 0.1)
+		frac := float64(l1) / float64(reads)
+		if frac < 0.6 {
+			t.Errorf("%s L1 hit fraction %.2f, want sequential-access locality", name, frac)
+		}
+	}
+}
+
+// TestEm3dPoorLocality checks Em3d's random dependencies defeat the private
+// caches relative to the dense kernels — the property behind its superlinear
+// speedup in Figure 5.
+func TestEm3dPoorLocality(t *testing.T) {
+	reads, l1, _, _ := trafficOf(t, "em3d", 0.25)
+	em3dFrac := float64(l1) / float64(reads)
+	reads, l1, _, _ = trafficOf(t, "sor", 0.25)
+	sorFrac := float64(l1) / float64(reads)
+	if em3dFrac >= sorFrac {
+		t.Fatalf("em3d L1 fraction %.2f not below sor's %.2f", em3dFrac, sorFrac)
+	}
+}
+
+// TestPivotReuseApps checks the High-reuse kernels produce shared-cache hits
+// even at reduced scale (the producer-consumer pivot/perimeter broadcasts).
+func TestPivotReuseApps(t *testing.T) {
+	for _, name := range []string{"gauss", "lu", "mg"} {
+		_, _, remote, shared := trafficOf(t, name, 0.15)
+		if shared == 0 {
+			t.Errorf("%s: no shared-cache hits (remote misses %d)", name, remote)
+		}
+	}
+}
+
+// TestRadixScatterDefeatsRing checks the permutation scatter produces a low
+// ring hit fraction — Radix anchors the Low-reuse group in every figure.
+func TestRadixScatterDefeatsRing(t *testing.T) {
+	_, _, remote, shared := trafficOf(t, "radix", 0.25)
+	if remote == 0 {
+		t.Fatal("radix made no remote accesses")
+	}
+	if frac := float64(shared) / float64(remote); frac > 0.35 {
+		t.Fatalf("radix ring hit fraction %.2f, want Low-reuse (< 0.35)", frac)
+	}
+}
+
+// TestRaytraceSceneReuse checks the compact scene yields a very high ring
+// hit fraction (every ray re-reads the sphere table).
+func TestRaytraceSceneReuse(t *testing.T) {
+	_, _, remote, shared := trafficOf(t, "raytrace", 0.15)
+	if frac := float64(shared) / float64(remote); frac < 0.5 {
+		t.Fatalf("raytrace ring hit fraction %.2f, want scene reuse (> 0.5)", frac)
+	}
+}

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("water", func() App { return &Water{} }) }
+
+// Water simulates water molecules with spatial (cell-list) decomposition
+// (paper input: 512 molecules, 4 timesteps), following the structure of
+// SPLASH-2 Water-Spatial: per step, each processor computes short-range
+// forces for its molecules by scanning the 27 neighbouring cells, then
+// integrates positions and rebuilds its cells. Forces are written only to
+// owned molecules (no Newton's-third-law sharing), so the only cross-
+// processor traffic is position reads — moderate shared-cache reuse.
+type Water struct {
+	n      int
+	steps  int
+	box    float64
+	cells  int          // cells per dimension
+	pos    *machine.F64 // 3 words per molecule
+	vel    *machine.F64
+	frc    *machine.F64
+	cellOf []int // molecule -> cell (rebuilt between steps, host-side)
+	occup  [][]int
+}
+
+// Name returns the Table 4 identifier.
+func (w *Water) Name() string { return "water" }
+
+// Setup places molecules on a jittered lattice.
+func (w *Water) Setup(m *machine.Machine, scale float64) {
+	w.n = scaleDim(512, scale, 64)
+	w.steps = 4
+	w.box = 10
+	w.cells = 4
+	w.pos = m.NewSharedF64(3 * w.n)
+	w.vel = m.NewSharedF64(3 * w.n)
+	w.frc = m.NewSharedF64(3 * w.n)
+	rnd := newPrng(55)
+	side := int(math.Cbrt(float64(w.n))) + 1
+	k := 0
+	for x := 0; x < side && k < w.n; x++ {
+		for y := 0; y < side && k < w.n; y++ {
+			for z := 0; z < side && k < w.n; z++ {
+				w.pos.Data[3*k] = (float64(x) + 0.3 + 0.4*rnd.float()) * w.box / float64(side)
+				w.pos.Data[3*k+1] = (float64(y) + 0.3 + 0.4*rnd.float()) * w.box / float64(side)
+				w.pos.Data[3*k+2] = (float64(z) + 0.3 + 0.4*rnd.float()) * w.box / float64(side)
+				w.vel.Data[3*k] = 0.1 * (rnd.float() - 0.5)
+				w.vel.Data[3*k+1] = 0.1 * (rnd.float() - 0.5)
+				w.vel.Data[3*k+2] = 0.1 * (rnd.float() - 0.5)
+				k++
+			}
+		}
+	}
+	w.buildCells()
+}
+
+// buildCells assigns molecules to cells from the native positions (this is
+// bookkeeping the simulated kernel re-reads through the memory system).
+func (w *Water) buildCells() {
+	nc := w.cells
+	w.occup = make([][]int, nc*nc*nc)
+	w.cellOf = make([]int, w.n)
+	for i := 0; i < w.n; i++ {
+		cx := int(w.pos.Data[3*i] / w.box * float64(nc))
+		cy := int(w.pos.Data[3*i+1] / w.box * float64(nc))
+		cz := int(w.pos.Data[3*i+2] / w.box * float64(nc))
+		cx = clamp(cx, 0, nc-1)
+		cy = clamp(cy, 0, nc-1)
+		cz = clamp(cz, 0, nc-1)
+		cell := (cz*nc+cy)*nc + cx
+		w.cellOf[i] = cell
+		w.occup[cell] = append(w.occup[cell], i)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Run is the per-processor body.
+func (w *Water) Run(c *Ctx) {
+	lo, hi := share(w.n, c.ID(), c.NP())
+	nc := w.cells
+	cutoff2 := (w.box / float64(nc)) * (w.box / float64(nc))
+	const dt = 0.002
+	for s := 0; s < w.steps; s++ {
+		// Force computation over neighbouring cells.
+		for i := lo; i < hi; i++ {
+			xi := w.pos.Load(c, 3*i)
+			yi := w.pos.Load(c, 3*i+1)
+			zi := w.pos.Load(c, 3*i+2)
+			var fx, fy, fz float64
+			cell := w.cellOf[i]
+			cx, cy, cz := cell%nc, (cell/nc)%nc, cell/(nc*nc)
+			for dz := -1; dz <= 1; dz++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny, nz := cx+dx, cy+dy, cz+dz
+						if nx < 0 || ny < 0 || nz < 0 || nx >= nc || ny >= nc || nz >= nc {
+							continue
+						}
+						for _, j := range w.occup[(nz*nc+ny)*nc+nx] {
+							if j == i {
+								continue
+							}
+							xj := w.pos.Load(c, 3*j)
+							yj := w.pos.Load(c, 3*j+1)
+							zj := w.pos.Load(c, 3*j+2)
+							ddx, ddy, ddz := xi-xj, yi-yj, zi-zj
+							r2 := ddx*ddx + ddy*ddy + ddz*ddz
+							c.Compute(12)
+							if r2 > cutoff2 || r2 == 0 {
+								continue
+							}
+							inv := 1 / (r2 + 0.1)
+							f := inv * inv
+							fx += f * ddx
+							fy += f * ddy
+							fz += f * ddz
+							c.Compute(14)
+						}
+					}
+				}
+			}
+			w.frc.Store(c, 3*i, fx)
+			w.frc.Store(c, 3*i+1, fy)
+			w.frc.Store(c, 3*i+2, fz)
+		}
+		c.Sync()
+		// Integrate owned molecules.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				v := w.vel.Load(c, 3*i+d)
+				f := w.frc.Load(c, 3*i+d)
+				nv := v + dt*f
+				p := w.pos.Load(c, 3*i+d)
+				np := p + dt*nv
+				// Reflecting walls.
+				if np < 0 {
+					np, nv = -np, -nv
+				}
+				if np > w.box {
+					np, nv = 2*w.box-np, -nv
+				}
+				c.Compute(10)
+				w.vel.Store(c, 3*i+d, nv)
+				w.pos.Store(c, 3*i+d, np)
+			}
+		}
+		c.Sync()
+		// Processor 0 rebuilds the cell lists (host-side index, simulated
+		// scan of positions).
+		if c.ID() == 0 {
+			for i := 0; i < w.n; i++ {
+				w.pos.Load(c, 3*i)
+				c.Compute(7)
+			}
+			w.buildCells()
+		}
+		c.Sync()
+	}
+}
+
+// Verify checks molecules stayed inside the box with finite state.
+func (w *Water) Verify() error {
+	for i := 0; i < 3*w.n; i++ {
+		p := w.pos.Data[i]
+		if math.IsNaN(p) || p < -1e-9 || p > w.box+1e-9 {
+			return fmt.Errorf("water: molecule coordinate %g outside box", p)
+		}
+		if math.IsNaN(w.vel.Data[i]) || math.IsInf(w.vel.Data[i], 0) {
+			return fmt.Errorf("water: non-finite velocity")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package apps
+
+import (
+	"fmt"
+
+	"netcache/internal/machine"
+)
+
+func init() { Register("wf", func() App { return &WF{} }) }
+
+const wfInf = 1e18
+
+// WF computes all-pairs shortest paths with the Warshall-Floyd algorithm
+// (paper input: 384 vertices, edges present with 50% probability). Rows are
+// block-partitioned; every k step re-reads row k from all processors (shared
+// reuse) and ends in a barrier, which exposes the load imbalance — rows
+// whose dist[i][k] is infinite skip their inner loops — that dominates WF's
+// running time in the paper.
+type WF struct {
+	n    int
+	dist *machine.F64
+}
+
+// Name returns the Table 4 identifier.
+func (w *WF) Name() string { return "wf" }
+
+// Setup builds the random adjacency matrix.
+func (w *WF) Setup(m *machine.Machine, scale float64) {
+	w.n = scaleDim(384, scale, 12)
+	w.dist = m.NewSharedF64(w.n * w.n)
+	rnd := newPrng(17)
+	for i := 0; i < w.n; i++ {
+		for j := 0; j < w.n; j++ {
+			switch {
+			case i == j:
+				w.dist.Data[i*w.n+j] = 0
+			case rnd.intn(2) == 0:
+				w.dist.Data[i*w.n+j] = 1 + rnd.float()
+			default:
+				w.dist.Data[i*w.n+j] = wfInf
+			}
+		}
+	}
+}
+
+// Run is the per-processor body.
+func (w *WF) Run(c *Ctx) {
+	n := w.n
+	lo, hi := share(n, c.ID(), c.NP())
+	d := w.dist
+	for k := 0; k < n; k++ {
+		for i := lo; i < hi; i++ {
+			dik := d.Load(c, i*n+k)
+			if dik >= wfInf {
+				continue // data-dependent skip: the source of load imbalance
+			}
+			for j := 0; j < n; j++ {
+				dkj := d.Load(c, k*n+j)
+				dij := d.Load(c, i*n+j)
+				c.Compute(6)
+				if dik+dkj < dij {
+					d.Store(c, i*n+j, dik+dkj)
+				}
+			}
+		}
+		c.Sync()
+	}
+}
+
+// Verify samples the triangle inequality over the final distance matrix.
+func (w *WF) Verify() error {
+	n := w.n
+	rnd := newPrng(99)
+	for s := 0; s < 200; s++ {
+		i, j, k := rnd.intn(n), rnd.intn(n), rnd.intn(n)
+		dij := w.dist.Data[i*n+j]
+		dik := w.dist.Data[i*n+k]
+		dkj := w.dist.Data[k*n+j]
+		if dik < wfInf && dkj < wfInf && dij > dik+dkj+1e-9 {
+			return fmt.Errorf("wf: triangle violation d[%d][%d]=%g > %g", i, j, dij, dik+dkj)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package diskcache extrapolates the NetCache to disk block caching, the
+// extension Section 3.5 of the paper motivates: "Our NetCache architecture
+// can be applied to disk caching with only a marginal cost increase: the
+// cost of a longer optical fiber."
+//
+// A longer fiber stores proportionally more data (storage = channels x rate
+// x roundtrip), so a few kilometres of ring hold megabytes of disk blocks
+// at a fraction of a disk access's latency: at 10 Gb/s a 10 km ring has a
+// ~95 microsecond roundtrip (about 19,000 pcycles at 200 MHz) against
+// milliseconds for the disk. The package reuses the ring-cache model with
+// disk-sized lines and simulates clients issuing a Zipf-distributed block
+// read workload against disks with seek/rotate/transfer latency.
+package diskcache
+
+import (
+	"fmt"
+	"math"
+
+	"netcache/internal/ring"
+	"netcache/internal/sim"
+)
+
+// Time aliases the simulator timestamp (5 ns pcycles at 200 MHz).
+type Time = sim.Time
+
+// Config describes the disk-caching NetCache.
+type Config struct {
+	Clients int // nodes issuing disk reads (16)
+
+	// Ring geometry.
+	FiberKm     float64 // ring length (10 km)
+	GbitsPerSec int     // channel rate (10)
+	Channels    int     // cache channels (128)
+	BlockBytes  int     // disk block size (4096)
+
+	// Disk model.
+	DiskLatency  Time // average seek+rotate in pcycles (1 ms = 200000)
+	DiskTransfer Time // block transfer from the platters (4 KB at 20 MB/s ~ 40000)
+	Disks        int  // independent disks (one per client's home by default)
+
+	// Workload.
+	Blocks    int     // distinct disk blocks accessed
+	Reads     int     // reads per client
+	ZipfTheta float64 // skew of the block popularity (0.8)
+	ThinkTime Time    // compute between reads (1000)
+	Seed      uint64
+}
+
+// DefaultConfig returns a laptop-scale configuration of the Section 3.5
+// thought experiment.
+func DefaultConfig() Config {
+	return Config{
+		Clients:      16,
+		FiberKm:      10,
+		GbitsPerSec:  10,
+		Channels:     128,
+		BlockBytes:   4096,
+		DiskLatency:  200000, // 1 ms
+		DiskTransfer: 40000,  // 0.2 ms
+		Disks:        16,
+		Blocks:       64 * 1024,
+		Reads:        400,
+		ZipfTheta:    0.8,
+		ThinkTime:    1000,
+		Seed:         1,
+	}
+}
+
+// RingRoundtrip returns the ring roundtrip latency in pcycles: light covers
+// the fiber at ~2.1e8 m/s; one pcycle is 5 ns.
+func (c Config) RingRoundtrip() Time {
+	seconds := c.FiberKm * 1000 / 2.1e8
+	return Time(math.Round(seconds / 5e-9))
+}
+
+// CapacityBytes returns the ring storage: channels x rate x roundtrip.
+func (c Config) CapacityBytes() int64 {
+	bitsPerChannel := float64(c.GbitsPerSec) * 1e9 * (float64(c.RingRoundtrip()) * 5e-9)
+	return int64(float64(c.Channels) * bitsPerChannel / 8)
+}
+
+// Result summarizes a disk-cache simulation.
+type Result struct {
+	Cycles       Time
+	Reads        uint64
+	RingHits     uint64
+	HitRate      float64
+	AvgLatency   float64 // pcycles per read
+	AvgDiskOnly  float64 // analytic latency without the ring cache
+	DiskAccesses uint64
+}
+
+// Run simulates the configured workload and returns hit/latency statistics.
+// The same workload with Channels=0 gives the uncached baseline.
+func Run(cfg Config) (Result, error) {
+	if cfg.Clients <= 0 {
+		cfg = DefaultConfig()
+	}
+	rt := cfg.RingRoundtrip()
+	var rc *ring.Cache
+	if cfg.Channels > 0 {
+		linesPerChannel := int(cfg.CapacityBytes()) / cfg.Channels / cfg.BlockBytes
+		if linesPerChannel <= 0 {
+			return Result{}, fmt.Errorf("diskcache: fiber too short to store one %d-byte block per channel", cfg.BlockBytes)
+		}
+		rc = ring.New(ring.Config{
+			Channels:        cfg.Channels,
+			LineBytes:       cfg.BlockBytes,
+			LinesPerChannel: linesPerChannel,
+			Procs:           cfg.Clients,
+			Roundtrip:       rt,
+			AccessOverhead:  5,
+			Policy:          ring.Random,
+			Seed:            cfg.Seed,
+		})
+	}
+
+	// Disk service timelines (one per disk).
+	disks := make([]diskTimeline, max(1, cfg.Disks))
+
+	zipf := newZipf(cfg.Blocks, cfg.ZipfTheta, cfg.Seed)
+	eng := sim.NewEngine(cfg.Clients)
+	var res Result
+
+	cycles, err := eng.Run(func(p *sim.Proc) {
+		rnd := splitmix(cfg.Seed + uint64(p.ID)*0x9E3779B97F4A7C15)
+		for i := 0; i < cfg.Reads; i++ {
+			p.Advance(cfg.ThinkTime)
+			block := int64(zipf.pick(&rnd)) * int64(cfg.BlockBytes)
+			p.Invoke(func() {
+				t := p.Clock()
+				res.Reads++
+				if rc != nil {
+					if hit, avail := rc.Lookup(block, p.ID, t); hit {
+						res.RingHits++
+						p.ResumeAt(avail)
+						return
+					}
+				}
+				// Disk access; the block is inserted into the ring when it
+				// comes off the platters.
+				d := &disks[int(block/int64(cfg.BlockBytes))%len(disks)]
+				start := d.acquire(t, cfg.DiskLatency+cfg.DiskTransfer)
+				ready := start + cfg.DiskLatency + cfg.DiskTransfer
+				res.DiskAccesses++
+				if rc != nil {
+					rc.Insert(block, p.ID%cfg.Clients, ready)
+				}
+				p.ResumeAt(ready)
+			})
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cycles = cycles
+	if res.Reads > 0 {
+		res.HitRate = float64(res.RingHits) / float64(res.Reads)
+		total := float64(cycles)*float64(cfg.Clients) - float64(cfg.ThinkTime)*float64(res.Reads)
+		res.AvgLatency = total / float64(res.Reads)
+	}
+	res.AvgDiskOnly = float64(cfg.DiskLatency + cfg.DiskTransfer)
+	return res, nil
+}
+
+type diskTimeline struct{ busyUntil Time }
+
+func (d *diskTimeline) acquire(t, dur Time) Time {
+	if t < d.busyUntil {
+		t = d.busyUntil
+	}
+	d.busyUntil = t + dur
+	return t
+}
+
+// zipf is a small deterministic Zipf sampler over [0, n).
+type zipf struct {
+	n     int
+	theta float64
+	zetan float64
+	alpha float64
+	eta   float64
+}
+
+func newZipf(n int, theta float64, seed uint64) *zipf {
+	z := &zipf{n: n, theta: theta}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	var zeta2 float64
+	for i := 1; i <= 2 && i <= n; i++ {
+		zeta2 += 1 / math.Pow(float64(i), theta)
+	}
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func (z *zipf) pick(state *uint64) int {
+	u := float64(next(state)>>11) / (1 << 53)
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+func splitmix(seed uint64) uint64 { return seed*0x9E3779B97F4A7C15 + 1 }
+
+func next(s *uint64) uint64 {
+	x := *s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package diskcache
+
+import "testing"
+
+// TestGeometry checks the fiber-length storage arithmetic of Section 3.5.
+func TestGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	rt := cfg.RingRoundtrip()
+	// 10 km at 2.1e8 m/s is ~47.6 us = ~9524 pcycles.
+	if rt < 9000 || rt > 10000 {
+		t.Fatalf("roundtrip = %d pc, want ~9500", rt)
+	}
+	cap := cfg.CapacityBytes()
+	// 128 channels x 10 Gb/s x ~47.6 us ~ 7.6 MB.
+	if cap < 6<<20 || cap > 9<<20 {
+		t.Fatalf("capacity = %d bytes, want ~7.6 MB", cap)
+	}
+}
+
+// TestPaperFootnoteExample checks the Section 2.1 example: at 10 Gb/s,
+// about 5 Kbits fit on one 100-metre channel.
+func TestPaperFootnoteExample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FiberKm = 0.1
+	cfg.Channels = 1
+	bits := float64(cfg.CapacityBytes()) * 8
+	if bits < 4000 || bits > 6000 {
+		t.Fatalf("100 m channel holds %.0f bits, want ~5000", bits)
+	}
+}
+
+// TestCachingHelps checks a skewed workload gets a substantial hit rate and
+// a much lower average latency than the uncached baseline.
+func TestCachingHelps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reads = 200
+	cfg.Blocks = 8192
+	with, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocache := cfg
+	nocache.Channels = 0
+	without, err := Run(nocache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.HitRate < 0.2 {
+		t.Fatalf("hit rate = %.2f, want skew to produce hits", with.HitRate)
+	}
+	if without.RingHits != 0 {
+		t.Fatalf("uncached run hit the ring %d times", without.RingHits)
+	}
+	if with.AvgLatency >= without.AvgLatency {
+		t.Fatalf("caching did not help: %.0f vs %.0f", with.AvgLatency, without.AvgLatency)
+	}
+	if with.Cycles >= without.Cycles {
+		t.Fatalf("caching did not shorten the run: %d vs %d", with.Cycles, without.Cycles)
+	}
+}
+
+// TestDeterministic checks replays are identical.
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Reads = 100
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.RingHits != b.RingHits {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestHitRateGrowsWithFiber checks a longer fiber (more capacity) raises
+// the hit rate, the paper's marginal-cost argument.
+func TestHitRateGrowsWithFiber(t *testing.T) {
+	short := DefaultConfig()
+	short.FiberKm = 2
+	short.Reads = 200
+	long := short
+	long.FiberKm = 40
+	a, err := Run(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HitRate <= a.HitRate {
+		t.Fatalf("longer fiber did not raise hit rate: %.3f vs %.3f", a.HitRate, b.HitRate)
+	}
+}
+
+// TestTooShortFiber checks the configuration guard.
+func TestTooShortFiber(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FiberKm = 0.001
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("fiber too short for one block accepted")
+	}
+}
+
+// TestZipfSkew checks the sampler is skewed and in range.
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(1000, 0.8, 1)
+	state := splitmix(7)
+	counts := make([]int, 1000)
+	for i := 0; i < 20000; i++ {
+		v := z.pick(&state)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	var head int
+	for _, c := range counts[:10] {
+		head += c
+	}
+	if head < 2000 { // top 1% of blocks should take >10% of accesses
+		t.Fatalf("zipf not skewed: top-10 share %d/20000", head)
+	}
+}

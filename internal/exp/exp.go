@@ -1,0 +1,80 @@
+// Package exp drives the paper's evaluation (Section 5): it contains one
+// function per table and figure, each returning structured rows that the
+// netbench command renders. Runs are memoized within a Runner so figures
+// sharing a configuration (e.g. the base NetCache run) simulate it once.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"netcache"
+)
+
+// AllApps is the Table 4 application list.
+func AllApps() []string { return netcache.Apps() }
+
+// Options configure a harness run.
+type Options struct {
+	Scale    float64  // input scale, 1.0 = paper inputs
+	Apps     []string // subset; nil = all twelve
+	Progress func(format string, args ...interface{})
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) > 0 {
+		return o.Apps
+	}
+	return AllApps()
+}
+
+func (o Options) log(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// Runner memoizes simulation results across experiments.
+type Runner struct {
+	opt   Options
+	cache map[string]netcache.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opt Options) *Runner {
+	if opt.Scale == 0 {
+		opt.Scale = 0.25
+	}
+	return &Runner{opt: opt, cache: make(map[string]netcache.Result)}
+}
+
+// Opt returns the runner options.
+func (r *Runner) Opt() Options { return r.opt }
+
+func cfgKey(c netcache.Config) string {
+	return fmt.Sprintf("p%d.l2_%d.r%d.m%d.s%d.ln%d.pol%d.dm%v.ss%v",
+		c.Procs, c.L2Bytes, c.GbitsPerSec, c.MemBlockRead,
+		c.SharedCacheKB, c.SharedLineBytes, c.SharedPolicy, c.SharedDirectMap,
+		c.SingleStartReads) + fmt.Sprintf(".pf%v", c.Prefetch)
+}
+
+// Run simulates (or returns the memoized result of) one spec.
+func (r *Runner) Run(app string, sys netcache.System, cfg netcache.Config) netcache.Result {
+	key := fmt.Sprintf("%s|%s|%s|%g", app, sys, cfgKey(cfg), r.opt.Scale)
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	start := time.Now()
+	res, err := netcache.Run(netcache.RunSpec{
+		App: app, System: sys, Config: cfg, Scale: r.opt.Scale,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s on %s: %v", app, sys, err))
+	}
+	r.opt.log("  %-9s %-10s %12d cycles  (%.1fs wall)", app, sys, res.Cycles, time.Since(start).Seconds())
+	r.cache[key] = res
+	return res
+}
+
+// Base returns the Section 4.1 configuration.
+func Base() netcache.Config { return netcache.DefaultConfig() }

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"testing"
+
+	"netcache"
+)
+
+func tinyRunner(apps ...string) *Runner {
+	return NewRunner(Options{Scale: 0.06, Apps: apps})
+}
+
+// TestRunnerMemoization checks identical specs simulate once.
+func TestRunnerMemoization(t *testing.T) {
+	r := tinyRunner("sor")
+	a := r.Run("sor", netcache.SystemNetCache, Base())
+	before := len(r.cache)
+	b := r.Run("sor", netcache.SystemNetCache, Base())
+	if len(r.cache) != before {
+		t.Fatal("second identical run was not memoized")
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("memoized result differs")
+	}
+	// A different config is a different run.
+	cfg := Base()
+	cfg.SharedCacheKB = 16
+	r.Run("sor", netcache.SystemNetCache, cfg)
+	if len(r.cache) == before {
+		t.Fatal("different config was wrongly memoized")
+	}
+}
+
+// TestFigure5Shape checks speedups are positive and single-node runs have
+// no remote misses.
+func TestFigure5Shape(t *testing.T) {
+	rows := Figure5(tinyRunner("sor", "gauss"))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Speedup <= 0 || row.T1 <= 0 || row.T16 <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+	}
+}
+
+// TestFigure6Normalization checks NetCache normalizes to 1.0.
+func TestFigure6Normalization(t *testing.T) {
+	rows := Figure6(tinyRunner("sor"))
+	if rows[0].Norm["netcache"] != 1.0 {
+		t.Fatalf("netcache norm = %f", rows[0].Norm["netcache"])
+	}
+	for _, sys := range []string{"lambdanet", "dmon-u", "dmon-i"} {
+		if rows[0].Norm[sys] <= 0 {
+			t.Fatalf("%s norm = %f", sys, rows[0].Norm[sys])
+		}
+	}
+}
+
+// TestFigure8Sizes checks hit rates are recorded for all three sizes and
+// are monotone non-decreasing for a reuse-bound kernel.
+func TestFigure8Sizes(t *testing.T) {
+	rows := Figure8(tinyRunner("gauss"))
+	h := rows[0].Hits
+	for _, kb := range []int{16, 32, 64} {
+		if h[kb] < 0 || h[kb] > 100 {
+			t.Fatalf("hit rate %f out of range", h[kb])
+		}
+	}
+	if h[64] < h[16]-5 {
+		t.Fatalf("hit rate degrades with size: %v", h)
+	}
+}
+
+// TestFigure9And10Baseline checks the no-cache column normalizes to 1.
+func TestFigure9And10Baseline(t *testing.T) {
+	rows := Figure9And10(tinyRunner("sor"))
+	if rows[0].RunTime[0] != 1 || rows[0].ReadLat[0] != 1 {
+		t.Fatalf("baseline not normalized: %+v", rows[0])
+	}
+}
+
+// TestFigure12AllPolicies checks all four policies are measured.
+func TestFigure12AllPolicies(t *testing.T) {
+	rows := Figure12(tinyRunner("gauss"))
+	for _, pol := range []string{"random", "lru", "lfu", "fifo"} {
+		if _, ok := rows[0].Hits[pol]; !ok {
+			t.Fatalf("policy %s missing", pol)
+		}
+	}
+}
+
+// TestSweeps checks the Figures 13-15 sweeps produce a full grid.
+func TestSweeps(t *testing.T) {
+	r := NewRunner(Options{Scale: 0.06, Apps: []string{"sor"}})
+	for name, fn := range map[string]func(*Runner) []SweepRow{
+		"fig13": Figure13, "fig14": Figure14, "fig15": Figure15,
+	} {
+		rows := fn(r)
+		if len(rows) != 1*4*3 {
+			t.Fatalf("%s: %d points, want 12", name, len(rows))
+		}
+		for _, row := range rows {
+			if row.Cycles <= 0 {
+				t.Fatalf("%s: degenerate point %+v", name, row)
+			}
+		}
+	}
+}
+
+// TestBlockSizeStudy checks the Section 5.3.2 study runs both line sizes.
+func TestBlockSizeStudy(t *testing.T) {
+	rows := BlockSize(tinyRunner("sor"))
+	if rows[0].Cycles64 <= 0 || rows[0].Cycles128 <= 0 {
+		t.Fatalf("degenerate %+v", rows[0])
+	}
+}
+
+// TestAblationDualStart checks the single-start ablation slows NetCache on
+// a miss-heavy kernel and never changes results for a different reason
+// (identical hit behaviour).
+func TestAblationDualStart(t *testing.T) {
+	rows := AblationDualStart(NewRunner(Options{Scale: 0.12, Apps: []string{"cg"}}))
+	if rows[0].SingleStart < rows[0].DualStart {
+		t.Fatalf("single-start faster than dual-start: %+v", rows[0])
+	}
+}
+
+// TestScaling checks the node-count sweep produces sane speedups.
+func TestScaling(t *testing.T) {
+	r := NewRunner(Options{Scale: 0.06, Apps: []string{"sor"}})
+	rows := Scaling(r)
+	if len(rows) != 2*len(ScalingProcs) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Procs == 1 && row.Speedup != 1 {
+			t.Fatalf("p=1 speedup %f", row.Speedup)
+		}
+		if row.Speedup <= 0 {
+			t.Fatalf("degenerate %+v", row)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package exp
+
+import "netcache"
+
+// The experiments in this file go beyond the paper's figures: they are the
+// design-choice ablations DESIGN.md calls out and a machine-size scaling
+// study (the paper fixes p=16).
+
+// AblationRow compares the Section 3.4 dual-start read against the
+// single-start alternative the paper argues against (ring first, star
+// coupler only after miss determination).
+type AblationRow struct {
+	App         string
+	DualStart   int64
+	SingleStart int64
+	PenaltyPc   float64 // run-time penalty of single-start reads
+}
+
+// AblationDualStart measures the cost of forgoing the dual-start read.
+func AblationDualStart(r *Runner) []AblationRow {
+	var out []AblationRow
+	for _, app := range r.opt.apps() {
+		dual := r.Run(app, netcache.SystemNetCache, Base())
+		cfg := Base()
+		cfg.SingleStartReads = true
+		single := r.Run(app, netcache.SystemNetCache, cfg)
+		out = append(out, AblationRow{
+			App:         app,
+			DualStart:   dual.Cycles,
+			SingleStart: single.Cycles,
+			PenaltyPc:   100 * (float64(single.Cycles)/float64(dual.Cycles) - 1),
+		})
+	}
+	return out
+}
+
+// ScalingRow is one point of the machine-size study.
+type ScalingRow struct {
+	App     string
+	System  string
+	Procs   int
+	Cycles  int64
+	Speedup float64 // vs the same system at p=1
+}
+
+// ScalingProcs are the simulated machine sizes (powers of two keep the
+// cache-channel interleaving consistent with the node count).
+var ScalingProcs = []int{1, 2, 4, 8, 16, 32}
+
+// Scaling sweeps the node count for NetCache and LambdaNet.
+func Scaling(r *Runner) []ScalingRow {
+	apps := r.opt.Apps
+	if len(apps) == 0 {
+		apps = []string{"sor", "gauss"}
+	}
+	var out []ScalingRow
+	for _, app := range apps {
+		for _, sys := range []netcache.System{netcache.SystemNetCache, netcache.SystemLambdaNet} {
+			base := int64(0)
+			for _, p := range ScalingProcs {
+				cfg := Base()
+				cfg.Procs = p
+				res := r.Run(app, sys, cfg)
+				if p == 1 {
+					base = res.Cycles
+				}
+				out = append(out, ScalingRow{
+					App: app, System: sys.String(), Procs: p, Cycles: res.Cycles,
+					Speedup: float64(base) / float64(res.Cycles),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// PrefetchRow compares the base NetCache against the Section 6 extension
+// with sequential next-block prefetching.
+type PrefetchRow struct {
+	App      string
+	Base     int64
+	Prefetch int64
+	GainPc   float64 // run-time improvement of prefetching
+}
+
+// PrefetchStudy measures the latency-tolerance extension.
+func PrefetchStudy(r *Runner) []PrefetchRow {
+	var out []PrefetchRow
+	for _, app := range r.opt.apps() {
+		base := r.Run(app, netcache.SystemNetCache, Base())
+		cfg := Base()
+		cfg.Prefetch = true
+		pf := r.Run(app, netcache.SystemNetCache, cfg)
+		out = append(out, PrefetchRow{
+			App:      app,
+			Base:     base.Cycles,
+			Prefetch: pf.Cycles,
+			GainPc:   100 * (1 - float64(pf.Cycles)/float64(base.Cycles)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package exp
+
+import "netcache"
+
+// Fig5Row is one bar of Figure 5 (speedup of the 16-node NetCache machine).
+type Fig5Row struct {
+	App     string
+	T1      int64 // single-node cycles
+	T16     int64 // 16-node cycles
+	Speedup float64
+}
+
+// Figure5 regenerates the speedup bars: a 1-node and a 16-node NetCache run
+// per application.
+func Figure5(r *Runner) []Fig5Row {
+	var out []Fig5Row
+	for _, app := range r.opt.apps() {
+		one := Base()
+		one.Procs = 1
+		t1 := r.Run(app, netcache.SystemNetCache, one)
+		t16 := r.Run(app, netcache.SystemNetCache, Base())
+		out = append(out, Fig5Row{
+			App: app, T1: t1.Cycles, T16: t16.Cycles,
+			Speedup: float64(t1.Cycles) / float64(t16.Cycles),
+		})
+	}
+	return out
+}
+
+// Fig6Row is one application group of Figure 6: run times of the four
+// systems normalized to NetCache.
+type Fig6Row struct {
+	App    string
+	Cycles map[string]int64
+	Norm   map[string]float64 // normalized to NetCache
+}
+
+// Fig6Systems is the bar order of Figure 6.
+var Fig6Systems = []netcache.System{
+	netcache.SystemNetCache, netcache.SystemLambdaNet,
+	netcache.SystemDMONU, netcache.SystemDMONI,
+}
+
+// Figure6 regenerates the run-time comparison of the four systems.
+func Figure6(r *Runner) []Fig6Row {
+	var out []Fig6Row
+	for _, app := range r.opt.apps() {
+		row := Fig6Row{App: app, Cycles: map[string]int64{}, Norm: map[string]float64{}}
+		base := int64(0)
+		for _, sys := range Fig6Systems {
+			res := r.Run(app, sys, Base())
+			row.Cycles[sys.String()] = res.Cycles
+			if sys == netcache.SystemNetCache {
+				base = res.Cycles
+			}
+		}
+		for k, v := range row.Cycles {
+			row.Norm[k] = float64(v) / float64(base)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Fig7Row is one application group of Figure 7: read latency as % of run
+// time without a shared cache, 32-KByte hit rate, and the NetCache's
+// reductions of L2 miss latency and total read latency.
+type Fig7Row struct {
+	App              string
+	ReadLatFraction  float64 // % of run time, OPTNET (no shared cache)
+	HitRate          float64 // 32-KByte shared cache
+	MissLatReduction float64 // % reduction of avg 2nd-level read miss latency
+	ReadLatReduction float64 // % reduction of total read latency
+}
+
+// Figure7 regenerates the data-caching effectiveness study.
+func Figure7(r *Runner) []Fig7Row {
+	var out []Fig7Row
+	for _, app := range r.opt.apps() {
+		noRing := r.Run(app, netcache.SystemOptNet, Base())
+		with := r.Run(app, netcache.SystemNetCache, Base())
+		row := Fig7Row{
+			App:             app,
+			ReadLatFraction: 100 * noRing.ReadLatencyFraction,
+			HitRate:         100 * with.SharedCacheHitRate,
+		}
+		if noRing.AvgL2MissLatency > 0 {
+			row.MissLatReduction = 100 * (1 - with.AvgL2MissLatency/noRing.AvgL2MissLatency)
+		}
+		if noRing.ReadStall > 0 {
+			row.ReadLatReduction = 100 * (1 - float64(with.ReadStall)/float64(noRing.ReadStall))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SharedSizesKB are the Figure 8-10 shared-cache sizes (0 = OPTNET).
+var SharedSizesKB = []int{0, 16, 32, 64}
+
+// Fig8Row is one application group of Figure 8: hit rates per size.
+type Fig8Row struct {
+	App  string
+	Hits map[int]float64 // size KB -> hit rate %
+}
+
+// Figure8 regenerates the hit-rate vs shared-cache-size study.
+func Figure8(r *Runner) []Fig8Row {
+	var out []Fig8Row
+	for _, app := range r.opt.apps() {
+		row := Fig8Row{App: app, Hits: map[int]float64{}}
+		for _, kb := range SharedSizesKB[1:] {
+			cfg := Base()
+			cfg.SharedCacheKB = kb
+			res := r.Run(app, netcache.SystemNetCache, cfg)
+			row.Hits[kb] = 100 * res.SharedCacheHitRate
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Fig910Row carries Figures 9 and 10: read latency and run time for shared
+// cache sizes 0/16/32/64 KB, normalized to the no-shared-cache machine.
+type Fig910Row struct {
+	App      string
+	ReadLat  map[int]float64 // size KB -> normalized total read latency
+	RunTime  map[int]float64 // size KB -> normalized run time
+	Absolute map[int]int64   // size KB -> cycles
+}
+
+// Figure9And10 regenerates the latency and run-time vs size studies.
+func Figure9And10(r *Runner) []Fig910Row {
+	var out []Fig910Row
+	for _, app := range r.opt.apps() {
+		row := Fig910Row{App: app,
+			ReadLat: map[int]float64{}, RunTime: map[int]float64{}, Absolute: map[int]int64{}}
+		base := r.Run(app, netcache.SystemOptNet, Base())
+		row.ReadLat[0], row.RunTime[0], row.Absolute[0] = 1, 1, base.Cycles
+		for _, kb := range SharedSizesKB[1:] {
+			cfg := Base()
+			cfg.SharedCacheKB = kb
+			res := r.Run(app, netcache.SystemNetCache, cfg)
+			if base.ReadStall > 0 {
+				row.ReadLat[kb] = float64(res.ReadStall) / float64(base.ReadStall)
+			}
+			row.RunTime[kb] = float64(res.Cycles) / float64(base.Cycles)
+			row.Absolute[kb] = res.Cycles
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// BlockSizeRow is the Section 5.3.2 shared-cache block-size study.
+type BlockSizeRow struct {
+	App       string
+	Cycles64  int64
+	Cycles128 int64
+	PenaltyPc float64 // % run-time penalty of 128-byte lines
+	Hit64     float64
+	Hit128    float64
+}
+
+// BlockSize regenerates the Section 5.3.2 experiment.
+func BlockSize(r *Runner) []BlockSizeRow {
+	var out []BlockSizeRow
+	for _, app := range r.opt.apps() {
+		b64 := r.Run(app, netcache.SystemNetCache, Base())
+		cfg := Base()
+		cfg.SharedLineBytes = 128
+		b128 := r.Run(app, netcache.SystemNetCache, cfg)
+		out = append(out, BlockSizeRow{
+			App:       app,
+			Cycles64:  b64.Cycles,
+			Cycles128: b128.Cycles,
+			PenaltyPc: 100 * (float64(b128.Cycles)/float64(b64.Cycles) - 1),
+			Hit64:     100 * b64.SharedCacheHitRate,
+			Hit128:    100 * b128.SharedCacheHitRate,
+		})
+	}
+	return out
+}
+
+// Fig11Row is the Section 5.3.3 associativity study: fully-associative vs
+// direct-mapped cache channels.
+type Fig11Row struct {
+	App       string
+	HitFully  float64
+	HitDirect float64
+}
+
+// Figure11 regenerates the associativity study.
+func Figure11(r *Runner) []Fig11Row {
+	var out []Fig11Row
+	for _, app := range r.opt.apps() {
+		full := r.Run(app, netcache.SystemNetCache, Base())
+		cfg := Base()
+		cfg.SharedDirectMap = true
+		dm := r.Run(app, netcache.SystemNetCache, cfg)
+		out = append(out, Fig11Row{
+			App:       app,
+			HitFully:  100 * full.SharedCacheHitRate,
+			HitDirect: 100 * dm.SharedCacheHitRate,
+		})
+	}
+	return out
+}
+
+// Policies is the Figure 12 bar order.
+var Policies = []netcache.Policy{
+	netcache.PolicyRandom, netcache.PolicyLFU, netcache.PolicyLRU, netcache.PolicyFIFO,
+}
+
+// Fig12Row is the Section 5.3.4 replacement-policy study.
+type Fig12Row struct {
+	App  string
+	Hits map[string]float64 // policy -> hit rate %
+}
+
+// Figure12 regenerates the replacement-policy study.
+func Figure12(r *Runner) []Fig12Row {
+	var out []Fig12Row
+	for _, app := range r.opt.apps() {
+		row := Fig12Row{App: app, Hits: map[string]float64{}}
+		for _, pol := range Policies {
+			cfg := Base()
+			cfg.SharedPolicy = pol
+			res := r.Run(app, netcache.SystemNetCache, cfg)
+			row.Hits[pol.String()] = 100 * res.SharedCacheHitRate
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SweepRow is one point of the Figures 13-15 parameter sweeps.
+type SweepRow struct {
+	App    string
+	System string
+	X      int // the swept parameter value
+	Cycles int64
+}
+
+// SweepApps are the representative High-reuse and Low-reuse applications
+// used in Section 5.4.
+var SweepApps = []string{"gauss", "radix"}
+
+func (r *Runner) sweep(xs []int, set func(*netcache.Config, int)) []SweepRow {
+	apps := r.opt.Apps
+	if len(apps) == 0 {
+		apps = SweepApps
+	}
+	var out []SweepRow
+	for _, app := range apps {
+		for _, sys := range Fig6Systems {
+			for _, x := range xs {
+				cfg := Base()
+				set(&cfg, x)
+				res := r.Run(app, sys, cfg)
+				out = append(out, SweepRow{App: app, System: sys.String(), X: x, Cycles: res.Cycles})
+			}
+		}
+	}
+	return out
+}
+
+// Figure13 sweeps the second-level cache size (16/32/64 KB).
+func Figure13(r *Runner) []SweepRow {
+	return r.sweep([]int{16, 32, 64}, func(c *netcache.Config, kb int) { c.L2Bytes = kb * 1024 })
+}
+
+// Figure14 sweeps the optical transmission rate (5/10/20 Gb/s).
+func Figure14(r *Runner) []SweepRow {
+	return r.sweep([]int{5, 10, 20}, func(c *netcache.Config, g int) { c.GbitsPerSec = g })
+}
+
+// Figure15 sweeps the memory block read latency (44/76/108 pcycles).
+func Figure15(r *Runner) []SweepRow {
+	return r.sweep([]int{44, 76, 108}, func(c *netcache.Config, pc int) { c.MemBlockRead = pc })
+}

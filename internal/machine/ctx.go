@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"netcache/internal/mem"
+	"netcache/internal/sim"
+)
+
+// Ctx is the per-processor application context: the execution-driven API the
+// workloads program against. Every method must be called from the
+// processor's own app code (inside the body passed to Machine.Run).
+type Ctx struct {
+	M *Machine
+	P *sim.Proc
+	N *Node
+}
+
+// ID returns the processor's node number.
+func (c *Ctx) ID() int { return c.P.ID }
+
+// NP returns the number of processors.
+func (c *Ctx) NP() int { return c.M.P() }
+
+// Now returns the processor's local clock.
+func (c *Ctx) Now() Time { return c.P.Clock() }
+
+// Compute advances the processor by n cycles of pure computation.
+func (c *Ctx) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	c.P.Advance(Time(n))
+	c.N.St.Busy += Time(n)
+}
+
+// Read issues a load of the 8-byte word at a and blocks until it completes.
+//
+// First-level hits take the fast path: they have a fixed one-pcycle cost and
+// touch only node-local state, so no engine handoff is needed. (Events with
+// timestamps inside the current run of L1 hits are applied when the
+// processor next yields — a bounded, deterministic skew.)
+func (c *Ctx) Read(a Addr) {
+	if _, ok := c.N.L1.Lookup(a); ok {
+		c.N.St.Reads++
+		c.N.St.L1Hits++
+		c.P.Advance(c.M.Model.L1TagCheck)
+		return
+	}
+	c.P.Invoke(func() { c.N.read(c.P, a) })
+}
+
+// Write issues a store to the 8-byte word at a (1 pcycle into the write
+// buffer unless it is full).
+//
+// Stores that coalesce into an already-buffered entry take the fast path:
+// they only widen the entry's dirty-word mask, and the drain pipeline
+// already has a pending step whenever the buffer is non-empty.
+func (c *Ctx) Write(a Addr) {
+	block := c.M.Space.Block(a)
+	if c.N.WB.Has(block) {
+		c.N.St.Writes++
+		c.N.WB.Add(block, c.M.Space.WordIndex(a), c.M.Space.IsShared(a), int64(c.P.Clock()))
+		c.P.Advance(1)
+		return
+	}
+	c.P.Invoke(func() { c.N.write(c.P, a) })
+}
+
+// Fence blocks until all of this processor's prior writes are globally
+// performed (release-consistency fence).
+func (c *Ctx) Fence() {
+	c.P.Invoke(func() { c.N.fence(c.P) })
+}
+
+// Barrier synchronizes all processors at the numbered barrier. The fence is
+// applied first, as the release-consistent machines require.
+func (c *Ctx) Barrier(id int) {
+	c.Fence()
+	c.P.Invoke(func() { c.M.barrierArrive(c.N, c.P, id) })
+}
+
+// Lock acquires the numbered queue lock (fenced first).
+func (c *Ctx) Lock(id int) {
+	c.Fence()
+	c.P.Invoke(func() { c.M.lockAcquire(c.N, c.P, id) })
+}
+
+// Unlock releases the numbered lock (fenced first).
+func (c *Ctx) Unlock(id int) {
+	c.Fence()
+	c.P.Invoke(func() { c.M.lockRelease(c.N, c.P, id) })
+}
+
+// MemCtx is the minimal access interface the typed arrays need; both
+// *machine.Ctx and wrappers that embed it satisfy it.
+type MemCtx interface {
+	Read(Addr)
+	Write(Addr)
+}
+
+// ---- Typed simulated arrays -------------------------------------------
+//
+// Applications compute on native Go slices while every element access issues
+// the corresponding simulated memory reference, keeping control flow
+// execution-driven. One element occupies one 8-byte simulated word.
+
+// F64 is a simulated array of float64.
+type F64 struct {
+	Base Addr
+	Data []float64
+}
+
+// NewSharedF64 allocates a shared float64 array of n elements.
+func (m *Machine) NewSharedF64(n int) *F64 {
+	return &F64{Base: m.Space.AllocShared(int64(n) * 8), Data: make([]float64, n)}
+}
+
+// NewPrivateF64 allocates a node-private float64 array.
+func (m *Machine) NewPrivateF64(node, n int) *F64 {
+	return &F64{Base: m.Space.AllocPrivate(node, int64(n)*8), Data: make([]float64, n)}
+}
+
+// Addr returns the simulated address of element i.
+func (a *F64) Addr(i int) Addr { return a.Base + Addr(i)*8 }
+
+// Load reads element i through the simulated memory system.
+func (a *F64) Load(c MemCtx, i int) float64 {
+	c.Read(a.Addr(i))
+	return a.Data[i]
+}
+
+// Store writes element i through the simulated memory system.
+func (a *F64) Store(c MemCtx, i int, v float64) {
+	a.Data[i] = v
+	c.Write(a.Addr(i))
+}
+
+// Len returns the element count.
+func (a *F64) Len() int { return len(a.Data) }
+
+// I64 is a simulated array of int64.
+type I64 struct {
+	Base Addr
+	Data []int64
+}
+
+// NewSharedI64 allocates a shared int64 array of n elements.
+func (m *Machine) NewSharedI64(n int) *I64 {
+	return &I64{Base: m.Space.AllocShared(int64(n) * 8), Data: make([]int64, n)}
+}
+
+// NewPrivateI64 allocates a node-private int64 array.
+func (m *Machine) NewPrivateI64(node, n int) *I64 {
+	return &I64{Base: m.Space.AllocPrivate(node, int64(n)*8), Data: make([]int64, n)}
+}
+
+// Addr returns the simulated address of element i.
+func (a *I64) Addr(i int) Addr { return a.Base + Addr(i)*8 }
+
+// Load reads element i through the simulated memory system.
+func (a *I64) Load(c MemCtx, i int) int64 {
+	c.Read(a.Addr(i))
+	return a.Data[i]
+}
+
+// Store writes element i through the simulated memory system.
+func (a *I64) Store(c MemCtx, i int, v int64) {
+	a.Data[i] = v
+	c.Write(a.Addr(i))
+}
+
+// Len returns the element count.
+func (a *I64) Len() int { return len(a.Data) }
+
+// Ensure unused-import hygiene for mem (Addr alias source).
+var _ = mem.WordBytes

@@ -1,0 +1,122 @@
+package machine_test
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+)
+
+// TestTypedArraysRoundTrip checks F64/I64 stores and loads move real data
+// while issuing simulated references.
+func TestTypedArraysRoundTrip(t *testing.T) {
+	m := netcacheMachine(32)
+	f := m.NewSharedF64(64)
+	n := m.NewSharedI64(64)
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 0 {
+			return
+		}
+		for i := 0; i < 64; i++ {
+			f.Store(c, i, float64(i)*1.5)
+			n.Store(c, i, int64(i)*7)
+		}
+		for i := 0; i < 64; i++ {
+			if got := f.Load(c, i); got != float64(i)*1.5 {
+				t.Errorf("f[%d] = %g", i, got)
+			}
+			if got := n.Load(c, i); got != int64(i)*7 {
+				t.Errorf("n[%d] = %d", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[0].St.Reads == 0 || m.Nodes[0].St.Writes != 128 {
+		t.Fatalf("reference counts reads=%d writes=%d", m.Nodes[0].St.Reads, m.Nodes[0].St.Writes)
+	}
+}
+
+// TestArrayAddressing checks elements are 8 bytes apart and block-aligned
+// bases interleave across homes.
+func TestArrayAddressing(t *testing.T) {
+	m := netcacheMachine(32)
+	a := m.NewSharedF64(32)
+	if a.Addr(1)-a.Addr(0) != 8 {
+		t.Fatalf("element stride %d", a.Addr(1)-a.Addr(0))
+	}
+	if a.Addr(0)%64 != 0 {
+		t.Fatalf("base not block aligned: %#x", a.Addr(0))
+	}
+	if m.Space.Home(a.Addr(0)) == m.Space.Home(a.Addr(8)) {
+		t.Fatal("consecutive blocks share a home")
+	}
+	if !m.Space.IsShared(a.Addr(0)) {
+		t.Fatal("shared array not in shared segment")
+	}
+	p := m.NewPrivateF64(3, 16)
+	if m.Space.IsShared(p.Addr(0)) {
+		t.Fatal("private array in shared segment")
+	}
+	if m.Space.Home(p.Addr(0)) != 3 {
+		t.Fatalf("private home %d", m.Space.Home(p.Addr(0)))
+	}
+}
+
+// TestPrivateArraysStayLocal checks private array access never crosses the
+// network.
+func TestPrivateArraysStayLocal(t *testing.T) {
+	m := netcacheMachine(32)
+	arrs := make([]*machine.F64, 16)
+	for i := range arrs {
+		arrs[i] = m.NewPrivateF64(i, 256)
+	}
+	_, err := m.Run(func(c *machine.Ctx) {
+		a := arrs[c.ID()]
+		for i := 0; i < 256; i++ {
+			a.Store(c, i, 1)
+		}
+		for i := 0; i < 256; i++ {
+			a.Load(c, i)
+		}
+		c.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range m.Nodes {
+		if n.St.RemoteMiss != 0 {
+			t.Fatalf("node %d made %d remote misses on private data", i, n.St.RemoteMiss)
+		}
+	}
+}
+
+// TestComputeAccountsBusy checks Compute advances time and busy equally.
+func TestComputeAccountsBusy(t *testing.T) {
+	m := netcacheMachine(32)
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 2 {
+			return
+		}
+		c.Compute(123)
+		c.Compute(0)  // no-op
+		c.Compute(-5) // clamped no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes[2].St.Busy != 123 {
+		t.Fatalf("busy = %d", m.Nodes[2].St.Busy)
+	}
+}
+
+// TestRunTwiceRejected checks single-use machines.
+func TestRunTwiceRejected(t *testing.T) {
+	m := netcacheMachine(32)
+	if _, err := m.Run(func(c *machine.Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(c *machine.Ctx) {}); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}

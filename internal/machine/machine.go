@@ -1,0 +1,159 @@
+// Package machine assembles one simulated multiprocessor: P nodes (each a
+// processor, L1, L2, coalescing write buffer and a memory module) connected
+// by a pluggable interconnect/coherence protocol (NetCache, LambdaNet, DMON-U
+// or DMON-I). It exposes the execution-driven application API (Ctx) used by
+// the workloads in internal/apps.
+package machine
+
+import (
+	"fmt"
+
+	"netcache/internal/mem"
+	"netcache/internal/optical"
+	"netcache/internal/ring"
+	"netcache/internal/sim"
+	"netcache/internal/timing"
+	"netcache/internal/trace"
+)
+
+// Time aliases the simulator timestamp.
+type Time = sim.Time
+
+// Addr aliases the simulated byte address.
+type Addr = mem.Addr
+
+// Config describes a machine.
+type Config struct {
+	Timing timing.Params
+
+	L1Bytes   int // 4 KB
+	L1Block   int // 32 B
+	L2Bytes   int // 16 KB
+	L2Block   int // 64 B
+	WBEntries int // 16
+
+	// Prefetch enables sequential next-block prefetching on second-level
+	// read misses. The paper notes the base NetCache cannot overlap a
+	// second outstanding access (a single tunable receiver per subnetwork)
+	// but could "if it were extended with a larger number of tunable
+	// receivers" (Section 6); this models that extension.
+	Prefetch bool
+}
+
+// DefaultConfig returns the base machine of Section 4.1.
+func DefaultConfig() Config {
+	return Config{
+		Timing:    timing.DefaultParams(),
+		L1Bytes:   4 * 1024,
+		L1Block:   32,
+		L2Bytes:   16 * 1024,
+		L2Block:   64,
+		WBEntries: 16,
+	}
+}
+
+// Protocol is the interconnect + coherence protocol plugged into a machine.
+// All methods run in exclusive engine context and are presented transactions
+// in nondecreasing time order.
+type Protocol interface {
+	// Name identifies the system ("netcache", "lambdanet", "dmon-u", "dmon-i").
+	Name() string
+	// ReadMiss services a second-level read miss on the block holding addr,
+	// issued by node n, with tag checks completed at time t. It returns the
+	// cycle at which the requested word reaches the processor and the state
+	// the block should be installed in.
+	ReadMiss(n *Node, addr Addr, t Time) (done Time, st mem.State)
+	// DrainEntry performs the coherence transaction for write-buffer entry e
+	// popped at time t. nextAt is when the node may start its next drain
+	// (acknowledgement received / ownership obtained); memAt is when the
+	// write is globally performed (for release fences).
+	DrainEntry(n *Node, e mem.WBEntry, t Time) (nextAt, memAt Time)
+	// SyncXmit broadcasts a small synchronization message from node n at
+	// time t and returns its delivery cycle.
+	SyncXmit(n *Node, t Time) Time
+	// Evict notifies the protocol that node n dropped block (previously in
+	// state st) at time t, so it can issue writebacks / directory updates.
+	Evict(n *Node, block Addr, st mem.State, t Time)
+	// Ring returns the shared cache, or nil when the system has none.
+	Ring() *ring.Cache
+	// Counters exposes protocol-level event counts for reporting.
+	Counters() map[string]uint64
+}
+
+// Machine is one simulated multiprocessor instance (single use: build,
+// set up application data, Run once, read stats).
+type Machine struct {
+	Cfg   Config
+	Model timing.Model
+	Eng   *sim.Engine
+	Space *mem.Space
+	Nodes []*Node
+	Mems  []*optical.Memory
+	Proto Protocol
+
+	barriers map[int]*barrier
+	locks    map[int]*lockState
+
+	// Trace, when attached, records recent transactions for debugging.
+	Trace *trace.Buffer
+
+	finished bool
+}
+
+// New builds a machine; proto constructs the protocol against it (the
+// machine is fully wired except for Proto when the factory runs).
+func New(cfg Config, proto func(*Machine) Protocol) *Machine {
+	if cfg.L1Bytes == 0 {
+		cfg = DefaultConfig()
+	}
+	model := timing.New(cfg.Timing)
+	p := model.Procs
+	m := &Machine{
+		Cfg:      cfg,
+		Model:    model,
+		Eng:      sim.NewEngine(p),
+		Space:    mem.NewSpace(p, cfg.L2Block),
+		barriers: make(map[int]*barrier),
+		locks:    make(map[int]*lockState),
+	}
+	m.Mems = make([]*optical.Memory, p)
+	for i := range m.Mems {
+		m.Mems[i] = optical.NewMemory(model.MemQueueHyst, model.MemUpdateService, model.MemBlockRead)
+	}
+	m.Nodes = make([]*Node, p)
+	for i := range m.Nodes {
+		m.Nodes[i] = &Node{
+			ID:           i,
+			M:            m,
+			L1:           mem.NewCache(cfg.L1Bytes, cfg.L1Block),
+			L2:           mem.NewCache(cfg.L2Bytes, cfg.L2Block),
+			WB:           mem.NewWriteBuffer(cfg.WBEntries),
+			pendingBlock: -1,
+		}
+	}
+	m.Proto = proto(m)
+	return m
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return len(m.Nodes) }
+
+// AttachTrace starts recording the last capacity transactions.
+func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
+	m.Trace = trace.New(capacity)
+	return m.Trace
+}
+
+// Run executes body on every processor and returns the collected run
+// statistics. A machine can only run once.
+func (m *Machine) Run(body func(*Ctx)) (RunStats, error) {
+	if m.finished {
+		return RunStats{}, fmt.Errorf("machine: Run called twice")
+	}
+	m.finished = true
+	cycles, err := m.Eng.Run(func(p *sim.Proc) {
+		body(&Ctx{M: m, P: p, N: m.Nodes[p.ID]})
+	})
+	rs := m.collect(cycles)
+	return rs, err
+}

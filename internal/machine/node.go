@@ -1,0 +1,332 @@
+package machine
+
+import (
+	"netcache/internal/mem"
+	"netcache/internal/sim"
+	"netcache/internal/stats"
+	"netcache/internal/trace"
+)
+
+// Node is one processing node: processor + caches + write buffer. The memory
+// module lives in Machine.Mems[ID] so protocols can queue against it.
+type Node struct {
+	ID int
+	M  *Machine
+	L1 *mem.Cache
+	L2 *mem.Cache
+	WB *mem.WriteBuffer
+
+	// Write-buffer drain pipeline: one outstanding coherence transaction.
+	// Entries age in the buffer before draining so consecutive writes to a
+	// block coalesce into one update; a fence or buffer pressure overrides
+	// the aging.
+	inFlight    bool
+	lastMemAt   Time // when the node's latest write was globally performed
+	fenceProc   *sim.Proc
+	fenceFrom   Time
+	stallProc   *sim.Proc // processor stalled on a full write buffer
+	stallBlock  Addr
+	stallWord   int
+	stallShared bool
+	stallFrom   Time
+
+	// Pending read bookkeeping for I-SPEED critical races: while a read
+	// miss is outstanding, an arriving invalidation poisons the fill.
+	pendingBlock Addr // -1 when no read outstanding
+	poisoned     bool
+
+	// In-flight prefetches: block -> completion cycle. A demand miss on an
+	// in-flight block merges with it (MSHR-style) instead of re-fetching.
+	pfInflight map[Addr]Time
+	// lastMiss detects sequential miss streams: prefetching fires only when
+	// a miss extends the previous one by one block.
+	lastMiss Addr
+
+	St NodeStats
+}
+
+// NodeStats accumulates per-node activity.
+type NodeStats struct {
+	Busy       Time // pure compute cycles
+	Reads      uint64
+	Writes     uint64
+	L1Hits     uint64
+	WBHits     uint64
+	L2Hits     uint64
+	LocalMiss  uint64 // L2 misses served by the local memory module
+	RemoteMiss uint64 // L2 misses served across the network
+	SharedHits uint64 // remote misses satisfied by the NetCache shared cache
+
+	ReadStall  Time // total read latency beyond 1 pcycle
+	L2MissLat  Time // total latency of L2 read misses
+	WriteStall Time // cycles stalled on a full write buffer
+	SyncStall  Time // cycles waiting at barriers/locks (incl. fences)
+
+	FenceStall    Time            // portion of SyncStall spent in release fences
+	MissHist      stats.Histogram // second-level read miss latencies
+	UpdatesIssued uint64
+	RaceDelays    uint64
+	InvalsSeen    uint64
+	UpdatesSeen   uint64
+	Prefetches    uint64 // background next-block fetches issued
+	PrefetchHits  uint64 // demand misses merged with an in-flight prefetch
+}
+
+// read services a processor load of the 8-byte word at a, blocking p until
+// the data is available. Runs in engine context.
+func (n *Node) read(p *sim.Proc, a Addr) {
+	m := n.M
+	t := p.Clock()
+	n.St.Reads++
+	if _, ok := n.L1.Lookup(a); ok {
+		n.St.L1Hits++
+		p.ResumeAt(t + m.Model.L1TagCheck)
+		return
+	}
+	block := n.L2.BlockBytes()
+	l2block := a &^ (block - 1)
+	word := m.Space.WordIndex(a)
+	if n.WB.Match(l2block, word) {
+		// Read forwarded from the coalescing write buffer.
+		n.St.WBHits++
+		p.ResumeAt(t + m.Model.L1TagCheck)
+		return
+	}
+	if _, ok := n.L2.Lookup(a); ok {
+		n.St.L2Hits++
+		n.FillL1(a)
+		done := t + m.Model.L2HitTotal
+		n.St.ReadStall += done - t - 1
+		p.ResumeAt(done)
+		return
+	}
+	// A demand miss on a block with an in-flight prefetch merges with it.
+	if pfDone, ok := n.pfInflight[l2block]; ok {
+		n.St.PrefetchHits++
+		done := pfDone + 1
+		if done < t+m.Model.L2HitTotal {
+			done = t + m.Model.L2HitTotal
+		}
+		n.St.ReadStall += done - t - 1
+		p.ResumeAt(done)
+		return
+	}
+	// Second-level miss.
+	tTag := t + m.Model.L1TagCheck + m.Model.L2TagCheck
+	n.pendingBlock = l2block
+	n.poisoned = false
+	done, st := m.Proto.ReadMiss(n, a, tTag)
+	if m.Space.IsShared(a) && m.Space.Home(a) != n.ID {
+		n.St.RemoteMiss++
+	} else {
+		n.St.LocalMiss++
+	}
+	n.FillL2(l2block, st, done)
+	if n.poisoned {
+		// I-SPEED critical race: the copy is invalidated right after the
+		// pending read completes; the read itself uses the received data.
+		n.L2.Invalidate(l2block)
+		n.L1.InvalidateRange(l2block, block)
+	} else {
+		n.FillL1(a)
+	}
+	n.pendingBlock = -1
+	n.poisoned = false
+	n.St.ReadStall += done - t - 1
+	n.St.L2MissLat += done - t
+	n.St.MissHist.Add(int64(done - t))
+	if m.Trace != nil {
+		m.Trace.Record(trace.Event{At: int64(t), Node: int16(n.ID), Kind: trace.L2Miss, Addr: a, Latency: int32(done - t)})
+	}
+	if m.Cfg.Prefetch && l2block == n.lastMiss+block {
+		// Detected a sequential miss stream: fetch the next block ahead.
+		n.prefetch(l2block+block, done)
+	}
+	n.lastMiss = l2block
+	p.ResumeAt(done)
+}
+
+// prefetch issues a background fetch of block at time t (the extended
+// machine with extra tunable receivers, Section 6). It does not block the
+// processor; the block lands in L2 when its transaction completes, and a
+// demand miss in the meantime merges with it.
+func (n *Node) prefetch(block Addr, t Time) {
+	if _, ok := n.L2.Lookup(block); ok {
+		return
+	}
+	if n.WB.Has(block) {
+		return
+	}
+	if n.pfInflight == nil {
+		n.pfInflight = make(map[Addr]Time)
+	}
+	if _, ok := n.pfInflight[block]; ok {
+		return
+	}
+	n.St.Prefetches++
+	done, st := n.M.Proto.ReadMiss(n, block, t)
+	if n.M.Trace != nil {
+		n.M.Trace.Record(trace.Event{At: int64(t), Node: int16(n.ID), Kind: trace.Prefetch, Addr: block, Latency: int32(done - t)})
+	}
+	n.pfInflight[block] = done
+	n.M.Eng.Schedule(done, func() {
+		delete(n.pfInflight, block)
+		if _, ok := n.L2.Lookup(block); !ok {
+			n.FillL2(block, st, done)
+		}
+	})
+}
+
+// FillL1 installs the L1 block containing a (silent eviction: the L1 is
+// write-through with respect to the write buffer).
+func (n *Node) FillL1(a Addr) {
+	n.L1.Fill(a, mem.Clean)
+}
+
+// FillL2 installs block in the L2 in state st at time t, invalidating the
+// overlapped L1 blocks of any victim and notifying the protocol of the
+// eviction (I-SPEED writes back owned blocks).
+func (n *Node) FillL2(block Addr, st mem.State, t Time) {
+	evicted, evState := n.L2.Fill(block, st)
+	if evicted >= 0 {
+		n.L1.InvalidateRange(evicted, n.L2.BlockBytes())
+		n.M.Proto.Evict(n, evicted, evState, t)
+	}
+}
+
+// write services a processor store to the 8-byte word at a. Stores cost one
+// pcycle unless the write buffer is full, in which case the processor stalls
+// until the drain pipeline pops an entry.
+func (n *Node) write(p *sim.Proc, a Addr) {
+	m := n.M
+	t := p.Clock()
+	n.St.Writes++
+	shared := m.Space.IsShared(a)
+	block := m.Space.Block(a)
+	word := m.Space.WordIndex(a)
+	if !n.WB.Full() || n.WB.Has(block) {
+		n.WB.Add(block, word, shared, int64(t))
+		n.kickDrain(t + 1)
+		p.ResumeAt(t + 1)
+		return
+	}
+	// Stall until the drain pipeline frees an entry.
+	n.stallProc = p
+	n.stallBlock = block
+	n.stallWord = word
+	n.stallShared = shared
+	n.stallFrom = t
+	p.Block()
+}
+
+// wbAge is how long an entry may sit in the write buffer waiting for more
+// writes to coalesce before it becomes eligible to drain. A pending fence or
+// buffer pressure makes entries eligible immediately.
+const wbAge Time = 50
+
+// wbPressure is the occupancy at which entries drain without aging.
+const wbPressure = 8
+
+// kickDrain nudges the drain pipeline (idempotent).
+func (n *Node) kickDrain(t Time) {
+	if n.inFlight {
+		return
+	}
+	if _, ok := n.WB.Front(); !ok {
+		return
+	}
+	n.M.Eng.Schedule(t, n.drainStep)
+}
+
+// eligible reports whether the head entry may drain at time now.
+func (n *Node) eligible(e mem.WBEntry, now Time) bool {
+	if n.fenceProc != nil || n.stallProc != nil {
+		return true
+	}
+	if n.WB.Len() >= wbPressure {
+		return true
+	}
+	return now >= Time(e.At)+wbAge
+}
+
+// drainStep issues the next eligible write-buffer entry and reschedules
+// itself for when the entry's acknowledgement arrives. Extra invocations
+// are harmless: the in-flight flag makes it idempotent.
+func (n *Node) drainStep() {
+	if n.inFlight {
+		return
+	}
+	now := n.M.Eng.Now()
+	e, ok := n.WB.Front()
+	if !ok {
+		n.drainIdle(now)
+		return
+	}
+	if !n.eligible(e, now) {
+		n.M.Eng.Schedule(Time(e.At)+wbAge, n.drainStep)
+		return
+	}
+	n.WB.PopFront()
+	// A processor stalled on a full buffer can now complete its store.
+	if n.stallProc != nil {
+		n.WB.Add(n.stallBlock, n.stallWord, n.stallShared, int64(now))
+		n.St.WriteStall += now - n.stallFrom
+		n.stallProc.ResumeAt(now + 1)
+		n.stallProc = nil
+	}
+	if e.Shared {
+		n.St.UpdatesIssued++
+		if n.M.Trace != nil {
+			n.M.Trace.Record(trace.Event{At: int64(now), Node: int16(n.ID), Kind: trace.Update, Addr: e.Block})
+		}
+	}
+	n.inFlight = true
+	// The acknowledgement (nextAt) certifies the update is in the home's
+	// memory FIFO; reads are served behind that FIFO, so the release fence
+	// only needs acks, not the memory write itself (memAt is kept for
+	// reporting).
+	nextAt, memAt := n.M.Proto.DrainEntry(n, e, now)
+	if memAt > n.lastMemAt {
+		n.lastMemAt = memAt
+	}
+	_ = memAt
+	n.M.Eng.Schedule(nextAt, func() {
+		n.inFlight = false
+		n.drainStep()
+	})
+}
+
+// drainIdle records pipeline completion and wakes a fence waiter.
+func (n *Node) drainIdle(now Time) {
+	if n.fenceProc != nil {
+		p := n.fenceProc
+		n.fenceProc = nil
+		n.St.SyncStall += now - n.fenceFrom
+		n.St.FenceStall += now - n.fenceFrom
+		p.ResumeAt(now)
+	}
+}
+
+// fence implements the release-consistency fence: the processor may proceed
+// only once its write buffer has drained and its last update has been
+// performed in home memory (Section 3.4: a node can only acquire a lock or
+// pass a barrier after emptying its memory FIFO queue).
+func (n *Node) fence(p *sim.Proc) {
+	t := p.Clock()
+	if !n.inFlight && n.WB.Len() == 0 {
+		p.ResumeAt(t)
+		return
+	}
+	n.fenceProc = p
+	n.fenceFrom = t
+	n.kickDrain(t)
+	p.Block()
+}
+
+// Poison marks the node's outstanding read (if any, on block) as racing with
+// an invalidation; the fill will be discarded right after the read completes.
+func (n *Node) Poison(block Addr) {
+	if n.pendingBlock == block {
+		n.poisoned = true
+	}
+}

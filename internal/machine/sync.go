@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"netcache/internal/sim"
+	"netcache/internal/trace"
+)
+
+// Synchronization is built on small coherence-channel broadcasts
+// (Protocol.SyncXmit) plus the release-consistency fence of Node.fence.
+// Barriers are centralized (arrival count, broadcast release) and locks are
+// FIFO queue locks, both matching the flat primitives the paper's
+// applications use.
+
+type barrier struct {
+	count      int
+	lastArrive Time
+	waiters    []*sim.Proc
+	waitFrom   []Time
+}
+
+type lockState struct {
+	held     bool
+	waiters  []*sim.Proc
+	waitFrom []Time
+}
+
+func (m *Machine) barrierFor(id int) *barrier {
+	b := m.barriers[id]
+	if b == nil {
+		b = &barrier{}
+		m.barriers[id] = b
+	}
+	return b
+}
+
+func (m *Machine) lockFor(id int) *lockState {
+	l := m.locks[id]
+	if l == nil {
+		l = &lockState{}
+		m.locks[id] = l
+	}
+	return l
+}
+
+// barrierArrive runs in engine context at the (fenced) arrival time of p.
+func (m *Machine) barrierArrive(n *Node, p *sim.Proc, id int) {
+	b := m.barrierFor(id)
+	t := p.Clock()
+	if m.Trace != nil {
+		m.Trace.Record(trace.Event{At: int64(t), Node: int16(n.ID), Kind: trace.Barrier, Addr: int64(id)})
+	}
+	arrive := m.Proto.SyncXmit(n, t)
+	if arrive > b.lastArrive {
+		b.lastArrive = arrive
+	}
+	b.count++
+	if b.count < m.P() {
+		b.waiters = append(b.waiters, p)
+		b.waitFrom = append(b.waitFrom, t)
+		p.Block()
+		return
+	}
+	// Last arrival releases everyone one flight later.
+	release := b.lastArrive + m.Model.Flight + 1
+	for i, w := range b.waiters {
+		m.Nodes[w.ID].St.SyncStall += release - b.waitFrom[i]
+		w.ResumeAt(release)
+	}
+	n.St.SyncStall += release - t
+	p.ResumeAt(release)
+	b.count = 0
+	b.lastArrive = 0
+	b.waiters = b.waiters[:0]
+	b.waitFrom = b.waitFrom[:0]
+}
+
+// lockAcquire runs in engine context at the (fenced) request time of p.
+func (m *Machine) lockAcquire(n *Node, p *sim.Proc, id int) {
+	l := m.lockFor(id)
+	t := p.Clock()
+	if m.Trace != nil {
+		m.Trace.Record(trace.Event{At: int64(t), Node: int16(n.ID), Kind: trace.Lock, Addr: int64(id)})
+	}
+	arrive := m.Proto.SyncXmit(n, t)
+	if !l.held {
+		l.held = true
+		n.St.SyncStall += arrive + 1 - t
+		p.ResumeAt(arrive + 1)
+		return
+	}
+	l.waiters = append(l.waiters, p)
+	l.waitFrom = append(l.waitFrom, t)
+	p.Block()
+}
+
+// lockRelease runs in engine context at the (fenced) release time of p.
+func (m *Machine) lockRelease(n *Node, p *sim.Proc, id int) {
+	l := m.lockFor(id)
+	t := p.Clock()
+	done := m.Proto.SyncXmit(n, t)
+	if len(l.waiters) > 0 {
+		w := l.waiters[0]
+		from := l.waitFrom[0]
+		l.waiters = l.waiters[1:]
+		l.waitFrom = l.waitFrom[1:]
+		grant := done + m.Model.Flight + 1
+		m.Nodes[w.ID].St.SyncStall += grant - from
+		w.ResumeAt(grant)
+	} else {
+		l.held = false
+	}
+	p.ResumeAt(done)
+}

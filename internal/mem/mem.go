@@ -1,0 +1,291 @@
+// Package mem provides the node-side memory system structures of the
+// simulated multiprocessors: the simulated address space (block-interleaved
+// shared segment plus per-node private segments), direct-mapped first- and
+// second-level caches (tag/state only: data values live in the application's
+// native Go slices), and the 16-entry coalescing write buffer.
+package mem
+
+import "fmt"
+
+// Addr is a simulated byte address.
+type Addr = int64
+
+// Address-space layout. Shared data live above SharedBase and are
+// interleaved across the memories at the block level (Section 4.1); each
+// node's private data live in its own segment.
+const (
+	SharedBase Addr = 1 << 40
+	privBase   Addr = 1 << 20
+	privStride Addr = 1 << 32
+	WordBytes       = 8 // coalescing granularity: 8-byte words
+)
+
+// Space is the simulated address space and allocator.
+type Space struct {
+	procs      int
+	blockBytes Addr
+	sharedNext Addr
+	privNext   []Addr
+}
+
+// NewSpace builds an address space for procs nodes with the given
+// interleaving block size (the L2 block size).
+func NewSpace(procs int, blockBytes int) *Space {
+	s := &Space{procs: procs, blockBytes: Addr(blockBytes), sharedNext: SharedBase}
+	s.privNext = make([]Addr, procs)
+	for i := range s.privNext {
+		s.privNext[i] = privBase + Addr(i)*privStride
+	}
+	return s
+}
+
+// BlockBytes returns the interleave/block unit.
+func (s *Space) BlockBytes() Addr { return s.blockBytes }
+
+// AllocShared reserves bytes of shared memory, block-aligned.
+func (s *Space) AllocShared(bytes int64) Addr {
+	a := s.sharedNext
+	s.sharedNext += roundUp(bytes, int64(s.blockBytes))
+	return a
+}
+
+// AllocPrivate reserves bytes of node-private memory, block-aligned.
+func (s *Space) AllocPrivate(node int, bytes int64) Addr {
+	if node < 0 || node >= s.procs {
+		panic(fmt.Sprintf("mem: AllocPrivate node %d of %d", node, s.procs))
+	}
+	a := s.privNext[node]
+	s.privNext[node] += roundUp(bytes, int64(s.blockBytes))
+	return a
+}
+
+func roundUp(v, to int64) int64 { return (v + to - 1) / to * to }
+
+// IsShared reports whether a lies in the shared segment.
+func (s *Space) IsShared(a Addr) bool { return a >= SharedBase }
+
+// Block returns the block-aligned address containing a.
+func (s *Space) Block(a Addr) Addr { return a &^ (s.blockBytes - 1) }
+
+// Home returns the node whose memory module holds a: block-interleaved for
+// shared addresses, the owning node for private ones.
+func (s *Space) Home(a Addr) int {
+	if s.IsShared(a) {
+		return int(((a - SharedBase) / s.blockBytes) % Addr(s.procs))
+	}
+	return int((a - privBase) / privStride)
+}
+
+// WordIndex returns the index of the 8-byte word holding a within its block.
+func (s *Space) WordIndex(a Addr) int { return int((a % s.blockBytes) / WordBytes) }
+
+// State is a cache block coherence state. Update-based protocols use only
+// Invalid/Clean; I-SPEED (Section 2.2) adds Shared and Exclusive, whose
+// holder is the block's owner.
+type State uint8
+
+const (
+	Invalid State = iota
+	Clean
+	Shared
+	Exclusive
+)
+
+// String names the state.
+func (st State) String() string {
+	switch st {
+	case Invalid:
+		return "invalid"
+	case Clean:
+		return "clean"
+	case Shared:
+		return "shared"
+	case Exclusive:
+		return "exclusive"
+	}
+	return "?"
+}
+
+// Cache is a direct-mapped tag/state cache.
+type Cache struct {
+	blockBytes Addr
+	sets       Addr
+	tags       []Addr
+	states     []State
+}
+
+// NewCache builds a direct-mapped cache of sizeBytes capacity and blockBytes
+// blocks.
+func NewCache(sizeBytes, blockBytes int) *Cache {
+	sets := sizeBytes / blockBytes
+	if sets <= 0 || sizeBytes%blockBytes != 0 {
+		panic(fmt.Sprintf("mem: bad cache geometry %d/%d", sizeBytes, blockBytes))
+	}
+	c := &Cache{blockBytes: Addr(blockBytes), sets: Addr(sets)}
+	c.tags = make([]Addr, sets)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.states = make([]State, sets)
+	return c
+}
+
+// BlockBytes returns the cache block size.
+func (c *Cache) BlockBytes() Addr { return c.blockBytes }
+
+func (c *Cache) set(a Addr) Addr { return (a / c.blockBytes) % c.sets }
+
+// Lookup reports whether a hits and, if so, its state.
+func (c *Cache) Lookup(a Addr) (State, bool) {
+	s := c.set(a)
+	if c.tags[s] == c.block(a) && c.states[s] != Invalid {
+		return c.states[s], true
+	}
+	return Invalid, false
+}
+
+func (c *Cache) block(a Addr) Addr { return a &^ (c.blockBytes - 1) }
+
+// Fill installs the block containing a in the given state and returns the
+// evicted block address and state (evicted == -1 when the frame was free).
+func (c *Cache) Fill(a Addr, st State) (evicted Addr, evState State) {
+	s := c.set(a)
+	evicted, evState = c.tags[s], c.states[s]
+	if evState == Invalid {
+		evicted = -1
+	}
+	c.tags[s] = c.block(a)
+	c.states[s] = st
+	return evicted, evState
+}
+
+// SetState changes the state of a resident block; it reports whether the
+// block was present.
+func (c *Cache) SetState(a Addr, st State) bool {
+	s := c.set(a)
+	if c.tags[s] != c.block(a) || c.states[s] == Invalid {
+		return false
+	}
+	c.states[s] = st
+	return true
+}
+
+// Invalidate drops the block containing a, reporting whether it was present
+// and its prior state.
+func (c *Cache) Invalidate(a Addr) (State, bool) {
+	s := c.set(a)
+	if c.tags[s] != c.block(a) || c.states[s] == Invalid {
+		return Invalid, false
+	}
+	st := c.states[s]
+	c.states[s] = Invalid
+	return st, true
+}
+
+// InvalidateRange drops every resident block overlapping [a, a+n) — used to
+// keep the L1 consistent when an L2 block is evicted or updated.
+func (c *Cache) InvalidateRange(a Addr, n Addr) int {
+	count := 0
+	for b := c.block(a); b < a+n; b += c.blockBytes {
+		if _, ok := c.Invalidate(b); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// WBEntry is one coalescing write-buffer entry: a block with a dirty-word
+// mask (an update carries only the words actually modified).
+type WBEntry struct {
+	Block  Addr
+	Mask   uint64
+	Shared bool
+	At     int64 // cycle of the first write (drain aging)
+}
+
+// Words returns the number of dirty 8-byte words in the entry.
+func (e WBEntry) Words() int {
+	n := 0
+	for m := e.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// WriteBuffer is the 16-entry coalescing write buffer. Writes to a block
+// already buffered coalesce into its entry; reads may bypass queued writes
+// and are forwarded from a matching entry.
+type WriteBuffer struct {
+	entries   []WBEntry
+	cap       int
+	Coalesced uint64
+	Enqueued  uint64
+}
+
+// NewWriteBuffer builds a write buffer with capacity entries.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	return &WriteBuffer{cap: capacity}
+}
+
+// Full reports whether a new (non-coalescing) write would stall.
+func (w *WriteBuffer) Full() bool { return len(w.entries) >= w.cap }
+
+// Len returns the number of buffered entries.
+func (w *WriteBuffer) Len() int { return len(w.entries) }
+
+// Add records a write of the word at index word within block. It reports
+// whether the write coalesced into an existing entry; when it did not, the
+// caller must have checked Full first.
+func (w *WriteBuffer) Add(block Addr, word int, shared bool, at int64) (coalesced bool) {
+	for i := range w.entries {
+		if w.entries[i].Block == block {
+			w.entries[i].Mask |= 1 << uint(word)
+			w.Coalesced++
+			return true
+		}
+	}
+	if w.Full() {
+		panic("mem: WriteBuffer.Add on full buffer")
+	}
+	w.entries = append(w.entries, WBEntry{Block: block, Mask: 1 << uint(word), Shared: shared, At: at})
+	w.Enqueued++
+	return false
+}
+
+// Has reports whether block has any buffered entry.
+func (w *WriteBuffer) Has(block Addr) bool {
+	for i := range w.entries {
+		if w.entries[i].Block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Match reports whether block has a buffered entry containing word (read
+// forwarding).
+func (w *WriteBuffer) Match(block Addr, word int) bool {
+	for i := range w.entries {
+		if w.entries[i].Block == block && w.entries[i].Mask&(1<<uint(word)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Front returns the oldest entry without removing it; ok is false when the
+// buffer is empty.
+func (w *WriteBuffer) Front() (WBEntry, bool) {
+	if len(w.entries) == 0 {
+		return WBEntry{}, false
+	}
+	return w.entries[0], true
+}
+
+// PopFront removes and returns the oldest entry.
+func (w *WriteBuffer) PopFront() WBEntry {
+	e := w.entries[0]
+	copy(w.entries, w.entries[1:])
+	w.entries = w.entries[:len(w.entries)-1]
+	return e
+}

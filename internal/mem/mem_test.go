@@ -1,0 +1,215 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSpaceClassification checks shared/private classification and homes.
+func TestSpaceClassification(t *testing.T) {
+	s := NewSpace(16, 64)
+	sh := s.AllocShared(1024)
+	if !s.IsShared(sh) {
+		t.Fatal("shared alloc not classified shared")
+	}
+	for n := 0; n < 16; n++ {
+		pv := s.AllocPrivate(n, 128)
+		if s.IsShared(pv) {
+			t.Fatal("private alloc classified shared")
+		}
+		if s.Home(pv) != n {
+			t.Fatalf("private home = %d, want %d", s.Home(pv), n)
+		}
+	}
+}
+
+// TestBlockInterleaving checks shared blocks interleave across homes at
+// block granularity.
+func TestBlockInterleaving(t *testing.T) {
+	s := NewSpace(16, 64)
+	base := s.AllocShared(64 * 64)
+	for b := int64(0); b < 64; b++ {
+		home := s.Home(base + b*64)
+		if home != int(((base-SharedBase)/64+b)%16) {
+			t.Fatalf("block %d home = %d", b, home)
+		}
+		// All words of a block share its home.
+		if s.Home(base+b*64+56) != home {
+			t.Fatal("words of one block map to different homes")
+		}
+	}
+	// Consecutive blocks hit different homes.
+	if s.Home(base) == s.Home(base+64) {
+		t.Fatal("consecutive blocks not interleaved")
+	}
+}
+
+// TestAllocationsDisjoint is a property test: allocations never overlap.
+func TestAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace(4, 64)
+		type iv struct{ lo, hi Addr }
+		var ivs []iv
+		for i, sz := range sizes {
+			n := int64(sz%4096) + 1
+			var a Addr
+			if i%2 == 0 {
+				a = s.AllocShared(n)
+			} else {
+				a = s.AllocPrivate(i%4, n)
+			}
+			ivs = append(ivs, iv{a, a + n})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].lo < ivs[j].hi && ivs[j].lo < ivs[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheDirectMapped checks fills, hits, conflicts and eviction.
+func TestCacheDirectMapped(t *testing.T) {
+	c := NewCache(4096, 32) // 128 sets
+	if _, ok := c.Lookup(100); ok {
+		t.Fatal("cold cache hit")
+	}
+	if ev, _ := c.Fill(100, Clean); ev != -1 {
+		t.Fatal("cold fill evicted")
+	}
+	if st, ok := c.Lookup(100); !ok || st != Clean {
+		t.Fatal("filled block missing")
+	}
+	if _, ok := c.Lookup(96); !ok {
+		t.Fatal("same-block address missed")
+	}
+	// A conflicting block (same set: +4096) evicts.
+	ev, st := c.Fill(100+4096, Exclusive)
+	if ev != 96 || st != Clean {
+		t.Fatalf("conflict evicted (%d,%v), want (96,clean)", ev, st)
+	}
+	if _, ok := c.Lookup(100); ok {
+		t.Fatal("evicted block still present")
+	}
+}
+
+// TestCacheStates checks state transitions.
+func TestCacheStates(t *testing.T) {
+	c := NewCache(4096, 32)
+	c.Fill(64, Exclusive)
+	if !c.SetState(64, Shared) {
+		t.Fatal("SetState on resident block failed")
+	}
+	if st, _ := c.Lookup(64); st != Shared {
+		t.Fatalf("state = %v, want shared", st)
+	}
+	if st, ok := c.Invalidate(64); !ok || st != Shared {
+		t.Fatal("invalidate lost state")
+	}
+	if c.SetState(64, Clean) {
+		t.Fatal("SetState on invalid block succeeded")
+	}
+}
+
+// TestInvalidateRange checks multi-block invalidation (L1 sweep on L2
+// eviction).
+func TestInvalidateRange(t *testing.T) {
+	c := NewCache(4096, 32)
+	c.Fill(0, Clean)
+	c.Fill(32, Clean)
+	if n := c.InvalidateRange(0, 64); n != 2 {
+		t.Fatalf("invalidated %d blocks, want 2", n)
+	}
+}
+
+// TestWriteBufferCoalescing checks word-mask coalescing.
+func TestWriteBufferCoalescing(t *testing.T) {
+	w := NewWriteBuffer(16)
+	if w.Add(0, 0, true, 1) {
+		t.Fatal("first write coalesced")
+	}
+	if !w.Add(0, 3, true, 2) {
+		t.Fatal("same-block write did not coalesce")
+	}
+	e, _ := w.Front()
+	if e.Words() != 2 {
+		t.Fatalf("entry words = %d, want 2", e.Words())
+	}
+	if e.Mask != 0b1001 {
+		t.Fatalf("mask = %b", e.Mask)
+	}
+	if e.At != 1 {
+		t.Fatalf("entry time = %d, want first-write time 1", e.At)
+	}
+}
+
+// TestWriteBufferForwarding checks read forwarding (Match) honours words.
+func TestWriteBufferForwarding(t *testing.T) {
+	w := NewWriteBuffer(16)
+	w.Add(64, 2, true, 0)
+	if !w.Match(64, 2) {
+		t.Fatal("written word not forwarded")
+	}
+	if w.Match(64, 3) {
+		t.Fatal("unwritten word forwarded")
+	}
+	if w.Match(128, 2) {
+		t.Fatal("other block forwarded")
+	}
+}
+
+// TestWriteBufferFIFO checks pop order and capacity.
+func TestWriteBufferFIFO(t *testing.T) {
+	w := NewWriteBuffer(2)
+	w.Add(0, 0, true, 0)
+	w.Add(64, 0, true, 1)
+	if !w.Full() {
+		t.Fatal("buffer not full at capacity")
+	}
+	if e := w.PopFront(); e.Block != 0 {
+		t.Fatalf("pop order wrong: %d", e.Block)
+	}
+	if w.Full() {
+		t.Fatal("buffer full after pop")
+	}
+	if e := w.PopFront(); e.Block != 64 {
+		t.Fatalf("pop order wrong: %d", e.Block)
+	}
+	if _, ok := w.Front(); ok {
+		t.Fatal("empty buffer has front")
+	}
+}
+
+// TestWBEntryWords is a property test for the popcount helper.
+func TestWBEntryWords(t *testing.T) {
+	f := func(mask uint64) bool {
+		e := WBEntry{Mask: mask}
+		n := 0
+		for i := 0; i < 64; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				n++
+			}
+		}
+		return e.Words() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWordIndex checks word indexing within a block.
+func TestWordIndex(t *testing.T) {
+	s := NewSpace(16, 64)
+	base := s.AllocShared(64)
+	for w := 0; w < 8; w++ {
+		if got := s.WordIndex(base + Addr(w*8)); got != w {
+			t.Fatalf("word index of offset %d = %d", w*8, got)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package optical models medium access on the WDM channels of the simulated
+// machines: slotted TDMA channels (request/control/coherence channels),
+// single-transmitter point-to-point channels (home channels, LambdaNet node
+// channels) and memory-module service queues.
+//
+// All models are "resource timeline" based: transactions are presented in
+// global time order (the engine guarantees this), so a busy-until timestamp
+// plus real slot geometry yields exact arbitration and queueing delays.
+package optical
+
+import "netcache/internal/sim"
+
+// Time aliases the simulator timestamp.
+type Time = sim.Time
+
+// Token is a broadcast channel time-shared by a fixed set of transmitters
+// under variable-slot TDMA, modeled as a rotating token: when idle the token
+// hops from member to member (one slot per hop), and a transmission of any
+// length begins when the token reaches the transmitter and holds it for the
+// duration. At low load the expected wait is Members*Slot/2 (the paper's
+// "Avg. TDMA delay"); at saturation members transmit back to back in
+// rotation order with one hop between them, so long transmissions do not
+// collapse throughput.
+type Token struct {
+	Slot    Time // token hop time (the minimum slot)
+	Members int  // number of transmitters sharing the channel
+
+	busyUntil Time
+	lastOwner int
+	// Waited accumulates arbitration wait for utilization stats.
+	Waited Time
+	Grants uint64
+	Busy   Time
+}
+
+// NewToken returns a variable-slot TDMA channel with the given geometry.
+func NewToken(slot Time, members int) *Token {
+	if slot <= 0 {
+		slot = 1
+	}
+	if members <= 0 {
+		members = 1
+	}
+	return &Token{Slot: slot, Members: members}
+}
+
+// Acquire returns the cycle at which member may begin a transmission of
+// length dur requested at time t, and holds the token through its end.
+// member indexes the channel's transmitter set (0..Members-1).
+func (c *Token) Acquire(member int, t, dur Time) Time {
+	member %= c.Members
+	free := c.busyUntil
+	if t < free {
+		t = free
+	}
+	// Token position at time t: it resumes from the last owner when the
+	// channel frees and hops one member per slot while idle.
+	idleHops := Time(0)
+	if t > free {
+		idleHops = (t - free) / c.Slot
+	}
+	pos := (Time(c.lastOwner) + idleHops) % Time(c.Members)
+	hops := (Time(member) - pos + Time(c.Members)) % Time(c.Members)
+	if hops == 0 && c.lastOwner == member && idleHops == 0 {
+		// The token leaves a transmitter after its slot; back-to-back
+		// transmissions by the same member wait a full rotation.
+		hops = Time(c.Members)
+	}
+	start := t + hops*c.Slot
+	if dur <= 0 {
+		dur = c.Slot
+	}
+	c.busyUntil = start + dur
+	c.lastOwner = member
+	c.Waited += start - t
+	c.Busy += dur
+	c.Grants++
+	return start
+}
+
+// TDMA is a slotted broadcast channel whose messages fit in a single slot
+// (the DMON control channel and the NetCache request channel). Because each
+// member owns its slots outright, transmissions from different members never
+// collide; only a member's own messages serialize (on its own slot sequence).
+// This keeps the model exact even when transactions are presented slightly
+// out of simulated-time order by cascaded protocol computations.
+type TDMA struct {
+	Slot    Time
+	Members int
+
+	nextFree []Time // per-member earliest next transmission
+	Waited   Time
+	Grants   uint64
+}
+
+// NewTDMA returns a pure TDMA channel.
+func NewTDMA(slot Time, members int) *TDMA {
+	if slot <= 0 {
+		slot = 1
+	}
+	if members <= 0 {
+		members = 1
+	}
+	return &TDMA{Slot: slot, Members: members, nextFree: make([]Time, members)}
+}
+
+// Acquire returns the start of member's first owned slot at or after t.
+func (c *TDMA) Acquire(member int, t Time) Time {
+	member %= c.Members
+	if t < c.nextFree[member] {
+		t = c.nextFree[member]
+	}
+	idx := (t + c.Slot - 1) / c.Slot
+	m := Time(member)
+	wait := (m - idx%Time(c.Members) + Time(c.Members)) % Time(c.Members)
+	start := (idx + wait) * c.Slot
+	c.nextFree[member] = start + c.Slot
+	c.Waited += start - t
+	c.Grants++
+	return start
+}
+
+// Timeline is a single-transmitter resource (a home channel, a LambdaNet node
+// channel, or any other serially-occupied unit).
+type Timeline struct {
+	busyUntil Time
+	Busy      Time // total occupied cycles, for utilization stats
+	Waited    Time // total queueing delay imposed on acquirers
+	Grants    uint64
+}
+
+// Acquire returns the start of a dur-cycle occupancy requested at t.
+func (r *Timeline) Acquire(t, dur Time) Time {
+	start := t
+	if start < r.busyUntil {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + dur
+	r.Busy += dur
+	r.Waited += start - t
+	r.Grants++
+	return start
+}
+
+// FreeAt returns the cycle at which the resource next becomes free.
+func (r *Timeline) FreeAt() Time { return r.busyUntil }
+
+// Memory models one node's memory module: a FIFO input queue served one
+// operation at a time, with a hysteresis point past which the home delays
+// update acknowledgements (Section 3.4's flow control).
+type Memory struct {
+	line Timeline
+
+	// Hysteresis configuration.
+	HystDepth   int  // queue depth past which acks are delayed
+	UpdService  Time // service time of one update write
+	ReadService func(bytes Time) Time
+
+	Reads, Updates uint64
+	StallCycles    Time
+}
+
+// NewMemory builds a memory module.
+func NewMemory(hyst int, updService Time, read func(Time) Time) *Memory {
+	return &Memory{HystDepth: hyst, UpdService: updService, ReadService: read}
+}
+
+// ReadBlock starts a block read of the given size at time t and returns the
+// cycle at which the data is available at the module's pins.
+func (m *Memory) ReadBlock(t, bytes Time) Time {
+	dur := m.ReadService(bytes)
+	start := m.line.Acquire(t, dur)
+	m.Reads++
+	m.StallCycles += start - t
+	return start + dur
+}
+
+// Occupy reserves the module for dur cycles starting no earlier than t
+// (directory lookups, directory updates, block writebacks) and returns the
+// completion cycle.
+func (m *Memory) Occupy(t, dur Time) Time {
+	start := m.line.Acquire(t, dur)
+	m.StallCycles += start - t
+	return start + dur
+}
+
+// Update enqueues an update write arriving at t. It returns the cycle at
+// which the update is in memory (done) and the cycle at which the home may
+// send the acknowledgement (ackAt): immediately unless the queue is past the
+// hysteresis point, in which case the ack waits until it drains below it.
+func (m *Memory) Update(t Time) (done, ackAt Time) {
+	start := m.line.Acquire(t, m.UpdService)
+	m.Updates++
+	m.StallCycles += start - t
+	done = start + m.UpdService
+	ackAt = t
+	if backlog := start - t; backlog > Time(m.HystDepth)*m.UpdService {
+		ackAt = start - Time(m.HystDepth)*m.UpdService
+	}
+	return done, ackAt
+}
+
+// FreeAt reports when the module's queue fully drains.
+func (m *Memory) FreeAt() Time { return m.line.FreeAt() }
+
+// Stats snapshot.
+func (m *Memory) Stats() (reads, updates uint64, stall Time) {
+	return m.Reads, m.Updates, m.StallCycles
+}

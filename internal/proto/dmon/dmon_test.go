@@ -1,0 +1,208 @@
+package dmon_test
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+	"netcache/internal/mem"
+	protodmon "netcache/internal/proto/dmon"
+)
+
+func build(v protodmon.Variant) *machine.Machine {
+	return machine.New(machine.DefaultConfig(), func(m *machine.Machine) machine.Protocol {
+		return protodmon.New(m, v)
+	})
+}
+
+func remoteOf(m *machine.Machine) machine.Addr {
+	base := m.Space.AllocShared(64 * 64)
+	for a := base; ; a += 64 {
+		if m.Space.Home(a) > 4 {
+			return a
+		}
+	}
+}
+
+// TestNames checks variant naming.
+func TestNames(t *testing.T) {
+	if got := build(protodmon.Update).Proto.Name(); got != "dmon-u" {
+		t.Fatalf("update name = %q", got)
+	}
+	if got := build(protodmon.Invalidate).Proto.Name(); got != "dmon-i" {
+		t.Fatalf("invalidate name = %q", got)
+	}
+}
+
+// TestUpdateKeepsSharersValid checks DMON-U updates refresh, not invalidate,
+// remote L2 copies.
+func TestUpdateKeepsSharersValid(t *testing.T) {
+	m := build(protodmon.Update)
+	addr := remoteOf(m)
+	_, err := m.Run(func(c *machine.Ctx) {
+		switch c.ID() {
+		case 0:
+			c.Read(addr)
+			c.Barrier(0)
+			c.Barrier(1)
+			if _, ok := m.Nodes[0].L2.Lookup(addr); !ok {
+				t.Error("dmon-u invalidated a sharer")
+			}
+		case 1:
+			c.Barrier(0)
+			c.Write(addr)
+			c.Fence()
+			c.Barrier(1)
+		default:
+			c.Barrier(0)
+			c.Barrier(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Proto.Counters()["updates"] == 0 {
+		t.Fatal("no updates recorded")
+	}
+}
+
+// TestInvalidateRemovesSharers checks DMON-I invalidations drop remote
+// copies and the writer takes exclusive ownership.
+func TestInvalidateRemovesSharers(t *testing.T) {
+	m := build(protodmon.Invalidate)
+	addr := remoteOf(m)
+	_, err := m.Run(func(c *machine.Ctx) {
+		switch c.ID() {
+		case 0:
+			c.Read(addr)
+			c.Barrier(0)
+			c.Barrier(1)
+			if _, ok := m.Nodes[0].L2.Lookup(addr); ok {
+				t.Error("dmon-i left a sharer valid")
+			}
+		case 1:
+			c.Barrier(0)
+			c.Write(addr)
+			c.Fence()
+			c.Barrier(1)
+		default:
+			c.Barrier(0)
+			c.Barrier(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := m.Nodes[1].L2.Lookup(addr); !ok || st != mem.Exclusive {
+		t.Fatalf("writer not exclusive owner: %v %v", st, ok)
+	}
+}
+
+// TestOwnerWritesAreSilent checks repeated writes by the owner issue only
+// one invalidation.
+func TestOwnerWritesAreSilent(t *testing.T) {
+	m := build(protodmon.Invalidate)
+	addr := remoteOf(m)
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 1 {
+			return
+		}
+		for k := 0; k < 4; k++ {
+			c.Write(addr)
+			c.Fence()
+			c.Compute(500)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := m.Proto.Counters()
+	if cnt["invalidations"] != 1 {
+		t.Fatalf("invalidations = %d, want 1 (owner writes silent)", cnt["invalidations"])
+	}
+	if cnt["owner_writes"] < 3 {
+		t.Fatalf("owner writes = %d, want >= 3", cnt["owner_writes"])
+	}
+}
+
+// TestEvictionWritesBack checks evicting an owned block writes it back and
+// clears the directory (the next reader goes to memory, not forwarding).
+func TestEvictionWritesBack(t *testing.T) {
+	m := build(protodmon.Invalidate)
+	addr := remoteOf(m)
+	alias := addr + 16*1024 // same L2 set
+	_, err := m.Run(func(c *machine.Ctx) {
+		switch c.ID() {
+		case 1:
+			c.Write(addr) // exclusive owner
+			c.Fence()
+			c.Read(alias) // evicts the owned block -> writeback
+			c.Barrier(0)
+		case 2:
+			c.Barrier(0)
+			c.Read(addr) // served from memory, not forwarded
+		default:
+			c.Barrier(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := m.Proto.Counters()
+	if cnt["writebacks"] != 1 {
+		t.Fatalf("writebacks = %d, want 1", cnt["writebacks"])
+	}
+	if cnt["forwards"] != 0 {
+		t.Fatalf("forwards = %d, want 0 after writeback", cnt["forwards"])
+	}
+}
+
+// TestCriticalRacePoisonsPendingRead checks an invalidation racing a pending
+// read invalidates the filled copy right after the read completes.
+func TestCriticalRacePoisonsPendingRead(t *testing.T) {
+	m := build(protodmon.Invalidate)
+	addr := remoteOf(m)
+	_, err := m.Run(func(c *machine.Ctx) {
+		switch c.ID() {
+		case 1:
+			c.Read(addr) // in flight while node 2's invalidation lands
+		case 2:
+			c.Write(addr)
+			c.Fence()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either the read completed before the invalidation was broadcast (then
+	// the copy was invalidated normally) or it raced and was poisoned; in
+	// both cases node 1 must not hold a stale valid copy once node 2 owns
+	// the block exclusively.
+	if st, ok := m.Nodes[2].L2.Lookup(addr); ok && st == mem.Exclusive {
+		if _, ok := m.Nodes[1].L2.Lookup(addr); ok {
+			t.Fatal("node 1 holds a stale copy of an exclusively-owned block")
+		}
+	}
+}
+
+// TestWriteMissFetches checks DMON-I write misses fetch the block before
+// taking ownership.
+func TestWriteMissFetches(t *testing.T) {
+	m := build(protodmon.Invalidate)
+	addr := remoteOf(m)
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 3 {
+			return
+		}
+		c.Write(addr) // miss: the block was never read
+		c.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Proto.Counters()["write_misses"] != 1 {
+		t.Fatalf("write misses = %d, want 1", m.Proto.Counters()["write_misses"])
+	}
+	if st, ok := m.Nodes[3].L2.Lookup(addr); !ok || st != mem.Exclusive {
+		t.Fatalf("write-miss block not owned: %v %v", st, ok)
+	}
+}

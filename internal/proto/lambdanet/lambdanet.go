@@ -1,0 +1,128 @@
+// Package lambdanet implements the LambdaNet-based multiprocessor of Section
+// 2.3: one WDM channel per node (the node transmits on it, every other node
+// has a fixed receiver), no medium-access arbitration, and the write-update
+// coherence protocol the paper pairs with it (memory always current,
+// coalescing write buffers, broadcast updates, point-to-point reads).
+//
+// Reads and writes of a node share its single transmit channel (they are not
+// decoupled), and updates from different nodes have no serialization point —
+// the two contention characteristics the paper identifies for this system.
+package lambdanet
+
+import (
+	"netcache/internal/machine"
+	"netcache/internal/mem"
+	"netcache/internal/optical"
+	"netcache/internal/ring"
+	"netcache/internal/sim"
+)
+
+// Time aliases the simulator timestamp.
+type Time = sim.Time
+
+// Proto is the LambdaNet protocol instance.
+type Proto struct {
+	m        *machine.Machine
+	nodeCh   []*optical.Timeline // per-node transmit channel
+	counters map[string]uint64
+}
+
+// New builds a LambdaNet protocol over m.
+func New(m *machine.Machine) *Proto {
+	p := &Proto{m: m, counters: make(map[string]uint64)}
+	p.nodeCh = make([]*optical.Timeline, m.P())
+	for i := range p.nodeCh {
+		p.nodeCh[i] = &optical.Timeline{}
+	}
+	return p
+}
+
+// Name identifies the system.
+func (p *Proto) Name() string { return "lambdanet" }
+
+// Ring returns nil: the LambdaNet has no shared cache.
+func (p *Proto) Ring() *ring.Cache { return nil }
+
+var _ machine.Protocol = (*Proto)(nil)
+
+// Counters returns protocol event counts plus channel utilization.
+func (p *Proto) Counters() map[string]uint64 {
+	var busy, wait uint64
+	for _, ch := range p.nodeCh {
+		busy += uint64(ch.Busy)
+		wait += uint64(ch.Waited)
+	}
+	p.counters["nodech_busy_cycles"] = busy
+	p.counters["nodech_wait_cycles"] = wait
+	return p.counters
+}
+
+// ReadMiss: request on the requester's channel, reply on the home's channel
+// (Table 2, 111 pcycles contention-free).
+func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	home := sp.Home(addr)
+	if !sp.IsShared(addr) || home == n.ID {
+		ready := p.m.Mems[n.ID].ReadBlock(t, Time(p.m.Cfg.L2Block))
+		p.counters["local_reads"]++
+		return ready, mem.Clean
+	}
+	reqStart := p.nodeCh[n.ID].Acquire(t, md.MemRequest)
+	atHome := reqStart + md.MemRequest + md.Flight
+	ready := p.m.Mems[home].ReadBlock(atHome, Time(p.m.Cfg.L2Block))
+	start := p.nodeCh[home].Acquire(ready, md.BlockTransfer)
+	p.counters["remote_reads"]++
+	return start + md.BlockTransfer + md.Flight + md.NIToL2, mem.Clean
+}
+
+// DrainEntry: the update is broadcast on the writer's own channel with no
+// arbitration (Table 3, 24 pcycles contention-free).
+func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memAt Time) {
+	md := p.m.Model
+	if !e.Shared {
+		done, _ := p.m.Mems[n.ID].Update(t + md.L2TagCheck)
+		p.counters["private_writes"]++
+		return t + md.L2TagCheck + 1, done
+	}
+	home := p.m.Space.Home(e.Block)
+	tNI := t + md.L2TagCheck + md.WriteToNI
+	xmit := md.UpdateXmitLambda(e.Words())
+	start := p.nodeCh[n.ID].Acquire(tNI, xmit)
+	delivery := start + xmit + md.Flight
+	p.counters["updates"]++
+
+	block := e.Block
+	writer := n.ID
+	p.m.Eng.Schedule(delivery, func() { p.deliverUpdate(writer, block) })
+
+	memDone, ackAt := p.m.Mems[home].Update(delivery)
+	if ackAt < delivery {
+		ackAt = delivery
+	}
+	ackStart := p.nodeCh[home].Acquire(ackAt, md.AckXmit)
+	return ackStart + md.AckXmit + md.Flight, memDone
+}
+
+func (p *Proto) deliverUpdate(writer int, block mem.Addr) {
+	l2b := p.m.Nodes[0].L2.BlockBytes()
+	for _, node := range p.m.Nodes {
+		if node.ID == writer {
+			continue
+		}
+		if _, ok := node.L2.Lookup(block); ok {
+			node.L1.InvalidateRange(block, l2b)
+			node.St.UpdatesSeen++
+		}
+	}
+}
+
+// SyncXmit broadcasts a synchronization message on the node's own channel.
+func (p *Proto) SyncXmit(n *machine.Node, t Time) Time {
+	md := p.m.Model
+	start := p.nodeCh[n.ID].Acquire(t, 2)
+	return start + 2 + md.Flight
+}
+
+// Evict is a no-op: memory is always current under update coherence.
+func (p *Proto) Evict(n *machine.Node, block mem.Addr, st mem.State, t Time) {}

@@ -1,0 +1,168 @@
+package netcache_test
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+	protonet "netcache/internal/proto/netcache"
+	"netcache/internal/ring"
+)
+
+func build(kb int) *machine.Machine {
+	return machine.New(machine.DefaultConfig(), func(m *machine.Machine) machine.Protocol {
+		var rc *ring.Cache
+		if kb > 0 {
+			rc = ring.New(ring.Config{
+				Channels: kb * 1024 / 64 / 4, LineBytes: 64, LinesPerChannel: 4,
+				Procs: 16, Roundtrip: m.Model.RingRoundtrip,
+				AccessOverhead: m.Model.RingAccessOverhead,
+			})
+		}
+		return protonet.New(m, rc)
+	})
+}
+
+// TestNames checks the protocol reports netcache/optnet by ring presence.
+func TestNames(t *testing.T) {
+	if got := build(32).Proto.Name(); got != "netcache" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := build(0).Proto.Name(); got != "optnet" {
+		t.Fatalf("ring-less name = %q", got)
+	}
+}
+
+// TestHomeDisregardsCachedRequests checks that once a block is in the ring,
+// subsequent misses are served by the ring, not home memory.
+func TestHomeDisregardsCachedRequests(t *testing.T) {
+	m := build(32)
+	base := m.Space.AllocShared(64 * 16)
+	var addr machine.Addr = -1
+	for a := base; a < base+64*16; a += 64 {
+		if m.Space.Home(a) == 15 {
+			addr = a
+			break
+		}
+	}
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() >= 4 {
+			return
+		}
+		c.Compute(1000 * (c.ID() + 1)) // well-separated accesses
+		c.Read(addr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := m.Proto.Counters()
+	if counters["home_fetches"] != 1 {
+		t.Fatalf("home fetches = %d, want 1 (later readers ride the ring)", counters["home_fetches"])
+	}
+	if counters["shared_hits"] != 3 {
+		t.Fatalf("shared hits = %d, want 3", counters["shared_hits"])
+	}
+}
+
+// TestUpdateRefreshesRingCopy checks updates to ring-resident blocks are
+// propagated to the shared cache and counted.
+func TestUpdateRefreshesRingCopy(t *testing.T) {
+	m := build(32)
+	addr := m.Space.AllocShared(64)
+	for m.Space.Home(addr) == 0 || m.Space.Home(addr) == 1 {
+		addr = m.Space.AllocShared(64)
+	}
+	_, err := m.Run(func(c *machine.Ctx) {
+		switch c.ID() {
+		case 0:
+			c.Read(addr)
+			c.Barrier(0)
+			c.Barrier(1)
+		case 1:
+			c.Barrier(0)
+			c.Write(addr)
+			c.Fence()
+			c.Barrier(1)
+		default:
+			c.Barrier(0)
+			c.Barrier(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Proto.Counters()["ring_updates"] != 1 {
+		t.Fatalf("ring updates = %d, want 1", m.Proto.Counters()["ring_updates"])
+	}
+}
+
+// TestPrivateTrafficStaysLocal checks private reads and writes never touch
+// the star coupler.
+func TestPrivateTrafficStaysLocal(t *testing.T) {
+	m := build(32)
+	priv := make([]machine.Addr, 16)
+	for i := range priv {
+		priv[i] = m.Space.AllocPrivate(i, 4096)
+	}
+	_, err := m.Run(func(c *machine.Ctx) {
+		base := priv[c.ID()]
+		for b := 0; b < 8; b++ {
+			c.Read(base + machine.Addr(b*64))
+			c.Write(base + machine.Addr(b*64))
+		}
+		c.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := m.Proto.Counters()
+	if counters["home_fetches"] != 0 || counters["updates"] != 0 {
+		t.Fatalf("private traffic crossed the network: %v", counters)
+	}
+	if counters["local_reads"] == 0 || counters["private_writes"] == 0 {
+		t.Fatalf("no local activity recorded: %v", counters)
+	}
+}
+
+// TestDualStartReadNotSlower checks a shared-cache miss completes in about
+// the direct-remote-access time (the reason reads start on both
+// subnetworks, Section 3.4).
+func TestDualStartReadNotSlower(t *testing.T) {
+	withRing := build(32)
+	addrA := remoteOf(withRing)
+	latA := singleReadLatency(t, withRing, addrA)
+
+	noRing := build(0)
+	addrB := remoteOf(noRing)
+	latB := singleReadLatency(t, noRing, addrB)
+
+	if latA > latB+2 {
+		t.Fatalf("ring miss (%d) slower than direct access (%d)", latA, latB)
+	}
+}
+
+func remoteOf(m *machine.Machine) machine.Addr {
+	base := m.Space.AllocShared(64 * 64)
+	for a := base; ; a += 64 {
+		if m.Space.Home(a) > 2 {
+			return a
+		}
+	}
+}
+
+func singleReadLatency(t *testing.T, m *machine.Machine, addr machine.Addr) machine.Time {
+	t.Helper()
+	var lat machine.Time
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 0 {
+			return
+		}
+		c.Compute(128)
+		start := c.Now()
+		c.Read(addr)
+		lat = c.Now() - start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}

@@ -1,0 +1,274 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseCfg() Config {
+	return Config{
+		Channels: 128, LineBytes: 64, LinesPerChannel: 4,
+		Procs: 16, Roundtrip: 40, AccessOverhead: 5,
+	}
+}
+
+// TestCapacity checks the 128-channel configuration is the paper's 32 KB.
+func TestCapacity(t *testing.T) {
+	if got := baseCfg().CapacityBytes(); got != 32*1024 {
+		t.Fatalf("capacity = %d, want 32768", got)
+	}
+}
+
+// TestNilCache checks the OPTNET (no-ring) configuration is inert.
+func TestNilCache(t *testing.T) {
+	c := New(Config{Channels: 0})
+	if c != nil {
+		t.Fatal("zero channels should yield a nil cache")
+	}
+	if c.Contains(0) {
+		t.Fatal("nil cache Contains")
+	}
+	if hit, _ := c.Lookup(0, 0, 0); hit {
+		t.Fatal("nil cache hit")
+	}
+	if ev := c.Insert(0, 0, 0); ev != -1 {
+		t.Fatal("nil cache insert")
+	}
+}
+
+// TestInsertLookup checks basic residency.
+func TestInsertLookup(t *testing.T) {
+	c := New(baseCfg())
+	addr := int64(1 << 41)
+	if c.Contains(addr) {
+		t.Fatal("empty cache contains block")
+	}
+	c.Insert(addr, 0, 100)
+	if !c.Contains(addr) {
+		t.Fatal("inserted block missing")
+	}
+	hit, avail := c.Lookup(addr, 3, 200)
+	if !hit {
+		t.Fatal("lookup missed inserted block")
+	}
+	if avail < 200 || avail > 200+40+5 {
+		t.Fatalf("availability %d out of [200, 245]", avail)
+	}
+}
+
+// TestHomeChannelAssociation checks a block's channel belongs to its home
+// node when channels are a multiple of the node count (channel mod p ==
+// block mod p).
+func TestHomeChannelAssociation(t *testing.T) {
+	c := New(baseCfg())
+	for i := int64(0); i < 1000; i++ {
+		addr := i * 64
+		ch := c.channelOf(c.LineIndex(addr))
+		if ch%16 != int(i%16) {
+			t.Fatalf("block %d on channel %d (mod 16 = %d, want %d)", i, ch, ch%16, i%16)
+		}
+	}
+}
+
+// TestRingWaitAverage checks the mechanistic ring delay averages ~half a
+// roundtrip plus the access overhead (Table 1's 25 pcycles).
+func TestRingWaitAverage(t *testing.T) {
+	c := New(baseCfg())
+	addr := int64(0)
+	c.Insert(addr, 0, 17)
+	var total Time
+	n := 0
+	for at := Time(1000); at < 1000+40*50; at += 7 {
+		_, avail := c.Lookup(addr, 5, at)
+		total += avail - at
+		n++
+	}
+	avg := float64(total) / float64(n)
+	if avg < 20 || avg > 30 {
+		t.Fatalf("average ring delay = %.1f, want ~25", avg)
+	}
+}
+
+// TestRingWaitPeriodicity checks a block passes a node exactly once per
+// roundtrip.
+func TestRingWaitPeriodicity(t *testing.T) {
+	c := New(baseCfg())
+	addr := int64(64 * 3)
+	c.Insert(addr, 3, 123)
+	_, a1 := c.Lookup(addr, 7, 1000)
+	_, a2 := c.Lookup(addr, 7, a1+1-5) // just after the previous pass
+	if (a2-a1)%40 != 0 && a2-a1 != 40 {
+		t.Fatalf("passes %d apart, want a multiple of the 40-cycle roundtrip", a2-a1)
+	}
+}
+
+// TestChannelCapacityEviction checks a channel holds exactly
+// LinesPerChannel lines before evicting.
+func TestChannelCapacityEviction(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Policy = FIFO
+	c := New(cfg)
+	// Lines mapping to channel 0: line indices 0, 128, 256, ...
+	lineBytes := int64(64)
+	addrs := []int64{0, 128 * lineBytes, 256 * lineBytes, 384 * lineBytes, 512 * lineBytes}
+	for i, a := range addrs[:4] {
+		if ev := c.Insert(a, 0, Time(i)); ev != -1 {
+			t.Fatalf("premature eviction inserting %d", a)
+		}
+	}
+	ev := c.Insert(addrs[4], 0, 10)
+	if ev != 0 { // FIFO evicts the first-inserted line (index 0)
+		t.Fatalf("evicted line %d, want 0", ev)
+	}
+	if c.Contains(addrs[0]) {
+		t.Fatal("evicted line still present")
+	}
+	if !c.Contains(addrs[4]) {
+		t.Fatal("new line missing")
+	}
+}
+
+// TestLRUPolicy checks LRU evicts the least recently used line.
+func TestLRUPolicy(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Policy = LRU
+	c := New(cfg)
+	lb := int64(64)
+	for i := int64(0); i < 4; i++ {
+		c.Insert(i*128*lb, 0, Time(i))
+	}
+	// Touch all but line 2*128.
+	c.Lookup(0, 0, 100)
+	c.Lookup(1*128*lb, 0, 101)
+	c.Lookup(3*128*lb, 0, 102)
+	ev := c.Insert(4*128*lb, 0, 200)
+	if ev != 2*128 {
+		t.Fatalf("LRU evicted line %d, want %d", ev, 2*128)
+	}
+}
+
+// TestLFUPolicy checks LFU evicts the least frequently used line.
+func TestLFUPolicy(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Policy = LFU
+	c := New(cfg)
+	lb := int64(64)
+	for i := int64(0); i < 4; i++ {
+		c.Insert(i*128*lb, 0, Time(i))
+	}
+	for i := 0; i < 5; i++ {
+		c.Lookup(0, 0, Time(100+i))
+		c.Lookup(1*128*lb, 0, Time(200+i))
+		c.Lookup(2*128*lb, 0, Time(300+i))
+	}
+	ev := c.Insert(4*128*lb, 0, 400)
+	if ev != 3*128 {
+		t.Fatalf("LFU evicted line %d, want %d", ev, 3*128)
+	}
+}
+
+// TestDirectMappedConflicts checks direct-mapped channels evict on frame
+// conflicts even when other frames are free.
+func TestDirectMappedConflicts(t *testing.T) {
+	cfg := baseCfg()
+	cfg.DirectMapped = true
+	c := New(cfg)
+	lb := int64(64)
+	// Lines 0 and 4*128 share channel 0 frame 0 (lineIdx/channels mod 4).
+	c.Insert(0, 0, 1)
+	ev := c.Insert(4*128*lb, 0, 2)
+	if ev != 0 {
+		t.Fatalf("direct-mapped conflict did not evict: %d", ev)
+	}
+	// Frame 1 line coexists.
+	if evt := c.Insert(1*128*lb, 0, 3); evt != -1 {
+		t.Fatalf("distinct frame evicted %d", evt)
+	}
+}
+
+// TestUpdateTracksResidency checks Update only touches resident lines.
+func TestUpdateTracksResidency(t *testing.T) {
+	c := New(baseCfg())
+	if c.Update(0, 1) {
+		t.Fatal("update hit on empty cache")
+	}
+	c.Insert(0, 0, 1)
+	if !c.Update(0, 2) {
+		t.Fatal("update missed resident line")
+	}
+	if c.Stats.Updates != 1 {
+		t.Fatalf("updates = %d", c.Stats.Updates)
+	}
+}
+
+// TestDeterministicRandom checks the random policy replays identically for
+// the same seed and diverges across seeds (statistically).
+func TestDeterministicRandom(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		cfg := baseCfg()
+		cfg.Seed = seed
+		c := New(cfg)
+		var evs []int64
+		for i := int64(0); i < 64; i++ {
+			evs = append(evs, c.Insert(i*128*64, 0, Time(i)))
+		}
+		return evs
+	}
+	a, b := run(1), run(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := run(2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical eviction sequences")
+	}
+}
+
+// TestInvariantResidency is a property test: after any insert sequence, a
+// line reported by Contains is always found by Lookup and vice versa, and a
+// channel never exceeds its capacity.
+func TestInvariantResidency(t *testing.T) {
+	f := func(lines []uint16, policyPick uint8) bool {
+		cfg := baseCfg()
+		cfg.Channels = 8
+		cfg.Policy = Policy(policyPick % 4)
+		c := New(cfg)
+		present := map[int64]bool{}
+		for i, l := range lines {
+			addr := int64(l) * 64
+			if ev := c.Insert(addr, 0, Time(i)); ev != -1 {
+				delete(present, ev)
+			}
+			present[c.LineIndex(addr)] = true
+			// Contains/Lookup agreement on this address.
+			hit, _ := c.Lookup(addr, 0, Time(i))
+			if !hit || !c.Contains(addr) {
+				return false
+			}
+		}
+		// Capacity per channel.
+		counts := map[int]int{}
+		for idx := range present {
+			if c.Contains(idx * 64) {
+				counts[c.channelOf(idx)]++
+			}
+		}
+		for _, n := range counts {
+			if n > cfg.LinesPerChannel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

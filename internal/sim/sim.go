@@ -1,0 +1,255 @@
+// Package sim implements a deterministic execution-driven simulation engine.
+//
+// The engine advances a single global clock over two kinds of actors:
+//
+//   - Events: closures scheduled at an absolute cycle, kept in a binary heap.
+//     Protocol machinery (update deliveries, acks, write-buffer drains) runs
+//     as events.
+//   - Processors: goroutines executing real application code. Each processor
+//     has a local clock that advances as the application "computes"; whenever
+//     the application touches the simulated memory system or synchronizes, the
+//     processor yields to the engine and a service closure runs on its behalf
+//     in exclusive engine context.
+//
+// At any instant exactly one goroutine is runnable (either the engine or one
+// processor), and all handoffs go through unbuffered channels, so runs are
+// race-free and bit-deterministic: the engine always picks the action with
+// the smallest timestamp, breaking ties by (events first, then lowest
+// processor ID).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in processor cycles (pcycles).
+type Time int64
+
+// Forever is a timestamp larger than any reachable simulation time.
+const Forever Time = 1<<62 - 1
+
+// event is a scheduled closure.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// procState tracks where a processor is in the engine handoff protocol.
+type procState int
+
+const (
+	procIdle    procState = iota // not yet started
+	procRunning                  // executing app code; engine is waiting on its yield
+	procService                  // yielded with a pending service closure
+	procResume                   // service finished; waiting to be resumed at clock
+	procBlocked                  // waiting for an external WakeAt
+	procDone                     // app function returned
+)
+
+// Proc is one simulated processor context.
+type Proc struct {
+	ID    int
+	eng   *Engine
+	clock Time
+	state procState
+
+	svc    func() // pending service, run in engine context at clock
+	resume chan struct{}
+	yield  chan yieldKind
+}
+
+type yieldKind int
+
+const (
+	yieldService yieldKind = iota
+	yieldDone
+)
+
+// Engine drives the simulation.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+	live   int
+	failed error
+}
+
+// NewEngine creates an engine with n processor contexts.
+func NewEngine(n int) *Engine {
+	e := &Engine{}
+	e.procs = make([]*Proc, n)
+	for i := range e.procs {
+		e.procs[i] = &Proc{
+			ID:     i,
+			eng:    e,
+			resume: make(chan struct{}),
+			yield:  make(chan yieldKind),
+		}
+	}
+	return e
+}
+
+// Now returns the current global simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Procs returns the engine's processor contexts.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Schedule registers fn to run in engine context at time at. Scheduling in
+// the past is an error that aborts the run.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		e.fail(fmt.Errorf("sim: schedule at %d before now %d", at, e.now))
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+func (e *Engine) fail(err error) {
+	if e.failed == nil {
+		e.failed = err
+	}
+}
+
+// Run starts all processors at cycle 0, each executing fn, and drives the
+// simulation until every processor's app function has returned. It returns
+// the final time (the maximum completion cycle over all processors).
+func (e *Engine) Run(fn func(*Proc)) (Time, error) {
+	for _, p := range e.procs {
+		p.state = procResume
+		p.clock = 0
+		go p.run(fn)
+	}
+	e.live = len(e.procs)
+
+	var finish Time
+	for e.live > 0 && e.failed == nil {
+		// Find the earliest pending action.
+		evAt := Forever
+		if len(e.events) > 0 {
+			evAt = e.events[0].at
+		}
+		var next *Proc
+		procAt := Forever
+		for _, p := range e.procs {
+			if (p.state == procService || p.state == procResume) && p.clock < procAt {
+				procAt = p.clock
+				next = p
+			}
+		}
+		if evAt <= procAt {
+			if evAt == Forever {
+				return e.now, fmt.Errorf("sim: deadlock at cycle %d: %d processors blocked with no pending events", e.now, e.live)
+			}
+			ev := heap.Pop(&e.events).(*event)
+			e.now = ev.at
+			ev.fn()
+			continue
+		}
+		e.now = procAt
+		switch next.state {
+		case procService:
+			next.state = procBlocked // service decides the next state
+			next.runService()
+		case procResume:
+			next.state = procRunning
+			next.resume <- struct{}{}
+			switch <-next.yield {
+			case yieldService:
+				next.state = procService
+			case yieldDone:
+				next.state = procDone
+				e.live--
+				if next.clock > finish {
+					finish = next.clock
+				}
+			}
+		}
+	}
+	if e.failed != nil {
+		return e.now, e.failed
+	}
+	if finish < e.now {
+		finish = e.now
+	}
+	e.now = finish
+	return finish, nil
+}
+
+func (p *Proc) runService() {
+	svc := p.svc
+	p.svc = nil
+	svc()
+}
+
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.resume
+	fn(p)
+	p.yield <- yieldDone
+}
+
+// Clock returns the processor's local clock. Valid from both app code and
+// engine context.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Advance adds n cycles of pure computation to the processor's local clock.
+// It must only be called from the processor's own app code.
+func (p *Proc) Advance(n Time) {
+	if n < 0 {
+		panic("sim: negative Advance")
+	}
+	p.clock += n
+}
+
+// Invoke yields to the engine and runs svc in exclusive engine context once
+// global time reaches the processor's clock (all earlier events fire first).
+// The service must finish the processor's transition by calling ResumeAt or
+// Block; app code resumes once the engine next selects this processor.
+// It must only be called from the processor's own app code.
+func (p *Proc) Invoke(svc func()) {
+	p.svc = svc
+	p.yield <- yieldService
+	<-p.resume
+}
+
+// ResumeAt marks the processor runnable again at time t. Must be called from
+// engine context (inside a service or event) for a processor that is in a
+// service or blocked.
+func (p *Proc) ResumeAt(t Time) {
+	if t < p.clock {
+		p.eng.fail(fmt.Errorf("sim: proc %d resume at %d before clock %d", p.ID, t, p.clock))
+		t = p.clock
+	}
+	p.clock = t
+	p.state = procResume
+}
+
+// Block leaves the processor waiting; some future event must call ResumeAt.
+func (p *Proc) Block() { p.state = procBlocked }
+
+// Blocked reports whether the processor is waiting on an external wakeup.
+func (p *Proc) Blocked() bool { return p.state == procBlocked }

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSingleProcAdvance checks that pure computation advances the clock.
+func TestSingleProcAdvance(t *testing.T) {
+	e := NewEngine(1)
+	final, err := e.Run(func(p *Proc) {
+		p.Advance(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 100 {
+		t.Fatalf("final = %d, want 100", final)
+	}
+}
+
+// TestServiceResume checks the Invoke/ResumeAt handoff.
+func TestServiceResume(t *testing.T) {
+	e := NewEngine(1)
+	final, err := e.Run(func(p *Proc) {
+		p.Advance(10)
+		p.Invoke(func() { p.ResumeAt(p.Clock() + 25) })
+		if p.Clock() != 35 {
+			t.Errorf("clock after service = %d, want 35", p.Clock())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 35 {
+		t.Fatalf("final = %d, want 35", final)
+	}
+}
+
+// TestMinTimeOrder checks that services from different processors are
+// executed in global time order.
+func TestMinTimeOrder(t *testing.T) {
+	e := NewEngine(3)
+	var order []int
+	delays := []Time{30, 10, 20}
+	_, err := e.Run(func(p *Proc) {
+		p.Advance(delays[p.ID])
+		p.Invoke(func() {
+			order = append(order, p.ID)
+			p.ResumeAt(p.Clock())
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventsBeforeProcs checks that an event at time <= a processor's
+// service time fires first.
+func TestEventsBeforeProcs(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	_, err := e.Run(func(p *Proc) {
+		p.Invoke(func() {
+			e.Schedule(50, func() { log = append(log, "event") })
+			p.ResumeAt(50)
+		})
+		p.Invoke(func() {
+			log = append(log, "service")
+			p.ResumeAt(p.Clock())
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 || log[0] != "event" || log[1] != "service" {
+		t.Fatalf("log = %v, want [event service]", log)
+	}
+}
+
+// TestBlockAndWake checks external wakeups via events.
+func TestBlockAndWake(t *testing.T) {
+	e := NewEngine(2)
+	var blocked *Proc
+	final, err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			p.Invoke(func() {
+				blocked = p
+				p.Block()
+			})
+			if p.Clock() != 500 {
+				t.Errorf("woken at %d, want 500", p.Clock())
+			}
+		} else {
+			p.Advance(100)
+			p.Invoke(func() {
+				e.Schedule(500, func() { blocked.ResumeAt(500) })
+				p.ResumeAt(p.Clock())
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 500 {
+		t.Fatalf("final = %d, want 500", final)
+	}
+}
+
+// TestDeadlockDetection checks that a stuck simulation errors out instead of
+// hanging.
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	_, err := e.Run(func(p *Proc) {
+		p.Invoke(func() { p.Block() })
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestDeterminism checks bit-identical replay.
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(4)
+		var order []int
+		_, err := e.Run(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Advance(Time((p.ID*7+i*13)%29 + 1))
+				p.Invoke(func() {
+					order = append(order, p.ID)
+					p.ResumeAt(p.Clock() + 3)
+				})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestScheduleInPast checks that scheduling in the past aborts the run.
+func TestScheduleInPast(t *testing.T) {
+	e := NewEngine(1)
+	_, err := e.Run(func(p *Proc) {
+		p.Advance(100)
+		p.Invoke(func() {
+			e.Schedule(10, func() {})
+			p.ResumeAt(p.Clock())
+		})
+	})
+	if err == nil {
+		t.Fatal("expected error for scheduling in the past")
+	}
+}
+
+// TestRandomSchedulesProperty is a property test: for arbitrary interleaved
+// compute/service patterns, the simulation terminates, time is monotone per
+// processor, and the final time equals the largest completion clock.
+func TestRandomSchedulesProperty(t *testing.T) {
+	run := func(seed int64) {
+		e := NewEngine(6)
+		finals := make([]Time, 6)
+		_, err := e.Run(func(p *Proc) {
+			x := uint64(seed) + uint64(p.ID)*0x9E3779B97F4A7C15
+			prev := Time(0)
+			for i := 0; i < 40; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				p.Advance(Time(x % 50))
+				if p.Clock() < prev {
+					t.Errorf("clock regressed")
+				}
+				prev = p.Clock()
+				delay := Time(x % 97)
+				p.Invoke(func() { p.ResumeAt(p.Clock() + delay) })
+				if p.Clock() != prev+delay {
+					t.Errorf("service resume mismatch")
+				}
+				prev = p.Clock()
+			}
+			finals[p.ID] = p.Clock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max Time
+		for _, f := range finals {
+			if f > max {
+				max = f
+			}
+		}
+		if e.Now() != max {
+			t.Fatalf("final time %d != max completion %d", e.Now(), max)
+		}
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		run(seed)
+	}
+}
+
+// TestEventOrderingWithinCycle checks events at the same cycle fire in
+// scheduling order.
+func TestEventOrderingWithinCycle(t *testing.T) {
+	e := NewEngine(1)
+	var log []int
+	_, err := e.Run(func(p *Proc) {
+		p.Invoke(func() {
+			for i := 0; i < 5; i++ {
+				i := i
+				e.Schedule(100, func() { log = append(log, i) })
+			}
+			p.ResumeAt(200)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("same-cycle events out of order: %v", log)
+		}
+	}
+}
+
+// TestEventsCascade checks an event may schedule another event at the same
+// cycle and it still fires before later work.
+func TestEventsCascade(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	_, err := e.Run(func(p *Proc) {
+		p.Invoke(func() {
+			e.Schedule(50, func() {
+				log = append(log, "a")
+				e.Schedule(50, func() { log = append(log, "b") })
+			})
+			p.ResumeAt(60)
+		})
+		p.Invoke(func() {
+			log = append(log, "proc")
+			p.ResumeAt(p.Clock())
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "proc"}
+	if len(log) != 3 || log[0] != want[0] || log[1] != want[1] || log[2] != want[2] {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+}

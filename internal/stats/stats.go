@@ -1,0 +1,199 @@
+// Package stats provides the measurement plumbing shared by the simulator:
+// log-scaled latency histograms, running means, and small formatting
+// helpers used by the reporting commands.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a log2-bucketed latency histogram: bucket i counts samples
+// in [2^i, 2^(i+1)), with bucket 0 holding samples <= 1. It is cheap enough
+// to sit on the simulator's read path.
+type Histogram struct {
+	Buckets [40]uint64
+	N       uint64
+	Sum     uint64
+	MaxV    uint64
+}
+
+// Add records one sample (negative samples count as zero).
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.N++
+	h.Sum += u
+	if u > h.MaxV {
+		h.MaxV = u
+	}
+	h.Buckets[bucketOf(u)]++
+}
+
+func bucketOf(u uint64) int {
+	b := 0
+	for u > 1 && b < len([40]uint64{})-1 {
+		u >>= 1
+		b++
+	}
+	return b
+}
+
+// Merge adds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) using the
+// geometric midpoint of the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.N)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			lo := float64(uint64(1) << uint(i))
+			if i == 0 {
+				return 1
+			}
+			return lo * math.Sqrt2
+		}
+	}
+	return float64(h.MaxV)
+}
+
+// String renders a compact sparkline-style summary.
+func (h *Histogram) String() string {
+	if h.N == 0 {
+		return "(empty)"
+	}
+	hi := 0
+	for i, c := range h.Buckets {
+		if c > 0 {
+			hi = i
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50=%.0f p95=%.0f max=%d [", h.N, h.Mean(),
+		h.Quantile(0.5), h.Quantile(0.95), h.MaxV)
+	for i := 0; i <= hi; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", h.Buckets[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Mean is an online mean/extrema accumulator.
+type Mean struct {
+	N        uint64
+	Sum      float64
+	Min, Max float64
+}
+
+// Add records a sample.
+func (m *Mean) Add(v float64) {
+	if m.N == 0 || v < m.Min {
+		m.Min = v
+	}
+	if m.N == 0 || v > m.Max {
+		m.Max = v
+	}
+	m.N++
+	m.Sum += v
+}
+
+// Value returns the mean.
+func (m *Mean) Value() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}
+
+// Series is a named sequence of (x, y) points used by the experiment
+// drivers when exporting sweep data.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sweep sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Sorted returns the points ordered by X.
+func (s *Series) Sorted() []Point {
+	out := append([]Point(nil), s.Points...)
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// CSV renders series as a comma-separated table with a shared X column
+// (series must share X values; missing cells are blank).
+func CSV(series []Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xlist []float64
+	for x := range xs {
+		xlist = append(xlist, x)
+	}
+	sort.Float64s(xlist)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xlist {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteByte(',')
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&b, "%g", p.Y)
+					break
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

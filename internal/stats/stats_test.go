@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramBasics checks counting, mean and max.
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.N != 5 {
+		t.Fatalf("n = %d", h.N)
+	}
+	if h.Sum != 115 {
+		t.Fatalf("sum = %d", h.Sum)
+	}
+	if h.MaxV != 100 {
+		t.Fatalf("max = %d", h.MaxV)
+	}
+	if got := h.Mean(); got != 23 {
+		t.Fatalf("mean = %f", got)
+	}
+}
+
+// TestHistogramBuckets checks log2 bucketing.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(4)
+	h.Add(7)
+	h.Add(8)
+	if h.Buckets[0] != 2 { // 0, 1
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 2 { // 2, 3
+		t.Fatalf("bucket1 = %d", h.Buckets[1])
+	}
+	if h.Buckets[2] != 2 { // 4, 7
+		t.Fatalf("bucket2 = %d", h.Buckets[2])
+	}
+	if h.Buckets[3] != 1 { // 8
+		t.Fatalf("bucket3 = %d", h.Buckets[3])
+	}
+}
+
+// TestHistogramQuantileOrder is a property test: quantiles are monotone and
+// bounded by the max.
+func TestHistogramQuantileOrder(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		if h.N == 0 {
+			return true
+		}
+		p50, p95 := h.Quantile(0.5), h.Quantile(0.95)
+		return p50 <= p95*1.0000001 && p95 <= float64(h.MaxV)*math.Sqrt2+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMerge checks merge preserves totals.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 50; i++ {
+		a.Add(i)
+		b.Add(i * 3)
+	}
+	n, sum := a.N+b.N, a.Sum+b.Sum
+	a.Merge(&b)
+	if a.N != n || a.Sum != sum {
+		t.Fatalf("merge lost samples: %d/%d", a.N, a.Sum)
+	}
+}
+
+// TestHistogramString smoke-checks formatting.
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Fatal("empty histogram rendering")
+	}
+	h.Add(12)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("rendering %q", h.String())
+	}
+}
+
+// TestMean checks the online mean.
+func TestMean(t *testing.T) {
+	var m Mean
+	for _, v := range []float64{1, 2, 3, 10} {
+		m.Add(v)
+	}
+	if m.Value() != 4 {
+		t.Fatalf("mean = %f", m.Value())
+	}
+	if m.Min != 1 || m.Max != 10 {
+		t.Fatalf("extrema %f %f", m.Min, m.Max)
+	}
+}
+
+// TestSeriesCSV checks CSV export.
+func TestSeriesCSV(t *testing.T) {
+	a := Series{Name: "netcache"}
+	a.Add(16, 100)
+	a.Add(32, 90)
+	b := Series{Name: "dmon"}
+	b.Add(16, 140)
+	b.Add(32, 130)
+	got := CSV([]Series{a, b})
+	want := "x,netcache,dmon\n16,100,140\n32,90,130\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+// TestSeriesSorted checks ordering.
+func TestSeriesSorted(t *testing.T) {
+	s := Series{Name: "s"}
+	s.Add(3, 1)
+	s.Add(1, 2)
+	s.Add(2, 3)
+	pts := s.Sorted()
+	if pts[0].X != 1 || pts[1].X != 2 || pts[2].X != 3 {
+		t.Fatalf("unsorted %+v", pts)
+	}
+}

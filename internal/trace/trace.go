@@ -1,0 +1,123 @@
+// Package trace provides a bounded transaction trace for debugging
+// simulations: a fixed-capacity ring of the most recent memory-system and
+// synchronization events, cheap enough to leave attached during full runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds.
+const (
+	L2Miss Kind = iota
+	SharedHit
+	Update
+	Writeback
+	Barrier
+	Lock
+	Prefetch
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case L2Miss:
+		return "l2miss"
+	case SharedHit:
+		return "sharedhit"
+	case Update:
+		return "update"
+	case Writeback:
+		return "writeback"
+	case Barrier:
+		return "barrier"
+	case Lock:
+		return "lock"
+	case Prefetch:
+		return "prefetch"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced transaction.
+type Event struct {
+	At      int64 // issue cycle
+	Node    int16
+	Kind    Kind
+	Addr    int64
+	Latency int32 // pcycles, when meaningful
+}
+
+// String renders one event.
+func (e Event) String() string {
+	return fmt.Sprintf("%12d n%02d %-9s %#x lat=%d", e.At, e.Node, e.Kind, e.Addr, e.Latency)
+}
+
+// Buffer is a fixed-capacity ring of events.
+type Buffer struct {
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// New builds a buffer keeping the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (b *Buffer) Record(e Event) {
+	if b == nil {
+		return
+	}
+	b.total++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+		return
+	}
+	b.ring[b.next] = e
+	b.next = (b.next + 1) % cap(b.ring)
+}
+
+// Total reports how many events were recorded over the run (including those
+// evicted from the ring).
+func (b *Buffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) == cap(b.ring) {
+		out = append(out, b.ring[b.next:]...)
+		out = append(out, b.ring[:b.next]...)
+	} else {
+		out = append(out, b.ring...)
+	}
+	return out
+}
+
+// Dump renders the retained events, one per line.
+func (b *Buffer) Dump() string {
+	evs := b.Events()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d events retained of %d recorded\n", len(evs), b.Total())
+	for _, e := range evs {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRingEviction checks only the newest events are retained.
+func TestRingEviction(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Record(Event{At: int64(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != int64(6+i) {
+			t.Fatalf("chronology broken: %+v", evs)
+		}
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+// TestPartialFill checks behaviour below capacity.
+func TestPartialFill(t *testing.T) {
+	b := New(8)
+	b.Record(Event{At: 1, Kind: L2Miss})
+	b.Record(Event{At: 2, Kind: Update})
+	evs := b.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+// TestNilBufferSafe checks a nil buffer is inert.
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Record(Event{})
+	if b.Total() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer not inert")
+	}
+}
+
+// TestKindNames checks every kind renders.
+func TestKindNames(t *testing.T) {
+	for k := L2Miss; k <= Prefetch; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+// TestDump smoke-checks rendering.
+func TestDump(t *testing.T) {
+	b := New(2)
+	b.Record(Event{At: 5, Node: 3, Kind: SharedHit, Addr: 0x1000, Latency: 46})
+	s := b.Dump()
+	if !strings.Contains(s, "sharedhit") || !strings.Contains(s, "n03") {
+		t.Fatalf("dump %q", s)
+	}
+}

@@ -1,0 +1,131 @@
+package netcache
+
+import "testing"
+
+// TestSmokeAllSystems runs a small SOR on every system with verification.
+func TestSmokeAllSystems(t *testing.T) {
+	for _, sys := range []System{SystemNetCache, SystemOptNet, SystemLambdaNet, SystemDMONU, SystemDMONI} {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			res, err := Run(RunSpec{App: "sor", System: sys, Scale: 0.06, Verify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles <= 0 {
+				t.Fatalf("cycles = %d", res.Cycles)
+			}
+			if res.Reads == 0 || res.Writes == 0 {
+				t.Fatalf("no memory activity: %+v", res)
+			}
+		})
+	}
+}
+
+// TestDeterministicRuns checks that identical specs produce identical cycle
+// counts.
+func TestDeterministicRuns(t *testing.T) {
+	spec := RunSpec{App: "gauss", System: SystemNetCache, Scale: 0.08}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.SharedCacheHits != b.SharedCacheHits {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.SharedCacheHits, b.Cycles, b.SharedCacheHits)
+	}
+}
+
+// TestSingleNodeRun checks the p=1 configuration used for speedups.
+func TestSingleNodeRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 1
+	res, err := Run(RunSpec{App: "sor", System: SystemNetCache, Config: cfg, Scale: 0.06, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 1 {
+		t.Fatalf("procs = %d", res.Procs)
+	}
+	if res.RemoteMisses != 0 {
+		t.Fatalf("single node should have no remote misses, got %d", res.RemoteMisses)
+	}
+}
+
+// TestSharedCacheEffect checks that the ring produces shared-cache hits on a
+// reuse-heavy kernel and that OPTNET (no ring) produces none.
+func TestSharedCacheEffect(t *testing.T) {
+	with, err := Run(RunSpec{App: "gauss", System: SystemNetCache, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(RunSpec{App: "gauss", System: SystemOptNet, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.SharedCacheHits == 0 {
+		t.Fatal("netcache: no shared-cache hits on gauss")
+	}
+	if without.SharedCacheHits != 0 {
+		t.Fatalf("optnet: unexpected shared-cache hits %d", without.SharedCacheHits)
+	}
+	if with.Cycles >= without.Cycles {
+		t.Fatalf("shared cache should speed up gauss: with=%d without=%d", with.Cycles, without.Cycles)
+	}
+}
+
+// TestVerificationOnAllSystems checks every application computes correct
+// results on every coherence protocol (data correctness must be independent
+// of the interconnect).
+func TestVerificationOnAllSystems(t *testing.T) {
+	for _, app := range []string{"gauss", "fft", "radix", "sor"} {
+		for _, sys := range []System{SystemNetCache, SystemOptNet, SystemLambdaNet, SystemDMONU, SystemDMONI} {
+			app, sys := app, sys
+			t.Run(app+"/"+sys.String(), func(t *testing.T) {
+				if _, err := Run(RunSpec{App: app, System: sys, Scale: 0.06, Verify: true}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrossSystemReadCounts checks the reference stream is identical across
+// systems (execution-driven determinism: the same program issues the same
+// accesses regardless of timing).
+func TestCrossSystemReadCounts(t *testing.T) {
+	var reads, writes uint64
+	for i, sys := range Systems {
+		res, err := Run(RunSpec{App: "gauss", System: sys, Scale: 0.08})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			reads, writes = res.Reads, res.Writes
+			continue
+		}
+		if res.Reads != reads || res.Writes != writes {
+			t.Fatalf("%s reference stream differs: %d/%d vs %d/%d",
+				sys, res.Reads, res.Writes, reads, writes)
+		}
+	}
+}
+
+// TestSingleStartAblationSlower checks the public ablation knob.
+func TestSingleStartAblationSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SingleStartReads = true
+	single, err := Run(RunSpec{App: "cg", System: SystemNetCache, Config: cfg, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Run(RunSpec{App: "cg", System: SystemNetCache, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Cycles < dual.Cycles {
+		t.Fatalf("single-start (%d) faster than dual-start (%d)", single.Cycles, dual.Cycles)
+	}
+}

@@ -1,0 +1,117 @@
+package netcache
+
+import "testing"
+
+// Shape tests: the qualitative results the paper's evaluation hinges on.
+// They run at moderate scale (a few seconds each) and are skipped in -short
+// mode.
+
+func shapeRun(t *testing.T, app string, sys System, cfg Config, scale float64) Result {
+	t.Helper()
+	res, err := Run(RunSpec{App: app, System: sys, Config: cfg, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReuseGroups checks the Figure 7 grouping at a scale where the L2
+// working sets behave like the paper's: High-reuse applications (Gauss, LU)
+// get strong shared-cache hit rates, Low-reuse ones (Radix) do not.
+func TestReuseGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	high := []string{"gauss", "lu"}
+	low := []string{"radix"}
+	for _, app := range high {
+		res := shapeRun(t, app, SystemNetCache, Config{}, 0.5)
+		if res.SharedCacheHitRate < 0.35 {
+			t.Errorf("%s: hit rate %.2f, want High-reuse (>= 0.35)", app, res.SharedCacheHitRate)
+		}
+	}
+	for _, app := range low {
+		res := shapeRun(t, app, SystemNetCache, Config{}, 0.5)
+		if res.SharedCacheHitRate > 0.32 {
+			t.Errorf("%s: hit rate %.2f, want Low-reuse (< 0.32)", app, res.SharedCacheHitRate)
+		}
+	}
+}
+
+// TestSystemOrdering checks the Figure 6 ordering on a High-reuse kernel:
+// NetCache < LambdaNet <= DMON-U <= DMON-I.
+func TestSystemOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	var cyc [4]int64
+	for i, sys := range Systems {
+		cyc[i] = shapeRun(t, "gauss", sys, Config{}, 0.35).Cycles
+	}
+	if !(cyc[0] < cyc[1] && cyc[1] <= cyc[2] && cyc[2] <= cyc[3]) {
+		t.Fatalf("ordering violated: netcache=%d lambdanet=%d dmon-u=%d dmon-i=%d",
+			cyc[0], cyc[1], cyc[2], cyc[3])
+	}
+}
+
+// TestMemoryWallShape checks the Figure 15 conclusion: raising the memory
+// latency hurts the NetCache the least.
+func TestMemoryWallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	growth := func(sys System) float64 {
+		fast := DefaultConfig()
+		fast.MemBlockRead = 44
+		slow := DefaultConfig()
+		slow.MemBlockRead = 108
+		a := shapeRun(t, "gauss", sys, fast, 0.25).Cycles
+		b := shapeRun(t, "gauss", sys, slow, 0.25).Cycles
+		return float64(b) / float64(a)
+	}
+	nc := growth(SystemNetCache)
+	ln := growth(SystemLambdaNet)
+	if nc >= ln {
+		t.Fatalf("netcache growth %.2f not flatter than lambdanet %.2f", nc, ln)
+	}
+}
+
+// TestRateSweepShape checks the Figure 14 conclusion: every system slows at
+// 5 Gb/s, and the NetCache gains most from 20 Gb/s.
+func TestRateSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	run := func(sys System, g int) int64 {
+		cfg := DefaultConfig()
+		cfg.GbitsPerSec = g
+		return shapeRun(t, "gauss", sys, cfg, 0.25).Cycles
+	}
+	for _, sys := range []System{SystemNetCache, SystemLambdaNet} {
+		if run(sys, 5) <= run(sys, 10) {
+			t.Errorf("%s not slower at 5 Gb/s", sys)
+		}
+	}
+	ncGain := float64(run(SystemNetCache, 10)) / float64(run(SystemNetCache, 20))
+	lnGain := float64(run(SystemLambdaNet, 10)) / float64(run(SystemLambdaNet, 20))
+	if ncGain <= lnGain {
+		t.Errorf("netcache 20 Gb/s gain %.3f not above lambdanet %.3f", ncGain, lnGain)
+	}
+}
+
+// TestSharedCacheSizeShape checks the Figure 8 trend: a Moderate-reuse app's
+// hit rate improves with the shared-cache size.
+func TestSharedCacheSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale shape test")
+	}
+	hit := func(kb int) float64 {
+		cfg := DefaultConfig()
+		cfg.SharedCacheKB = kb
+		return shapeRun(t, "cg", SystemNetCache, cfg, 0.35).SharedCacheHitRate
+	}
+	h16, h64 := hit(16), hit(64)
+	if h64 <= h16 {
+		t.Fatalf("cg hit rate not growing with size: 16KB %.3f vs 64KB %.3f", h16, h64)
+	}
+}

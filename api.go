@@ -1,10 +1,13 @@
 package netcache
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"netcache/internal/apps"
 	"netcache/internal/machine"
+	"netcache/internal/runner"
 	"netcache/internal/trace"
 )
 
@@ -61,8 +64,17 @@ type Result struct {
 }
 
 // Run builds the machine, sets up and executes the application, and returns
-// the result.
+// the result. It is RunContext with a background context.
 func Run(spec RunSpec) (Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or times out,
+// the simulation engine aborts promptly (joining all processor goroutines)
+// and the error wraps ctx.Err(). Cancellation is polled between engine
+// steps only, so a context that never fires cannot perturb the run —
+// results stay bit-identical to Run.
+func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 	if spec.Scale == 0 {
 		spec.Scale = 0.25
 	}
@@ -76,7 +88,7 @@ func Run(spec RunSpec) (Result, error) {
 		tb = m.AttachTrace(spec.TraceCap)
 	}
 	app.Setup(m, spec.Scale)
-	rs, err := apps.Run(m, app)
+	rs, err := apps.RunContext(ctx, m, app)
 	if err != nil {
 		return Result{}, fmt.Errorf("netcache: %s on %s: %w", spec.App, spec.System, err)
 	}
@@ -150,13 +162,66 @@ type (
 //	        }
 //	    })
 func RunCustom(name string, sys System, cfg Config, setup func(*Machine) func(*Ctx)) (Result, error) {
+	return RunCustomContext(context.Background(), name, sys, cfg, setup)
+}
+
+// RunCustomContext is RunCustom with cancellation, mirroring RunContext.
+func RunCustomContext(ctx context.Context, name string, sys System, cfg Config, setup func(*Machine) func(*Ctx)) (Result, error) {
 	m := NewMachine(sys, cfg)
 	body := setup(m)
-	rs, err := m.Run(body)
+	rs, err := m.RunContext(ctx, body)
 	if err != nil {
 		return Result{}, fmt.Errorf("netcache: custom %s on %s: %w", name, sys, err)
 	}
 	return summarize(name, rs), nil
+}
+
+// BatchOptions configure a RunBatch call.
+type BatchOptions struct {
+	// Workers bounds the number of concurrently executing simulations.
+	// Non-positive means GOMAXPROCS.
+	Workers int
+
+	// Timeout, when positive, bounds each simulation's wall-clock time.
+	Timeout time.Duration
+
+	// OnDone, when non-nil, is called after each simulation finishes. It
+	// runs on worker goroutines and must be safe for concurrent use.
+	OnDone func(index int, spec RunSpec, res Result, err error, wall time.Duration)
+}
+
+// BatchResult pairs one RunBatch spec with its outcome.
+type BatchResult struct {
+	Spec   RunSpec
+	Result Result
+	Err    error
+}
+
+// RunBatch simulates every spec concurrently on a worker pool and returns
+// one BatchResult per spec, in spec order regardless of completion order.
+// Each simulation is bit-deterministic and independent, so the results are
+// identical to running the specs sequentially. When ctx is cancelled,
+// not-yet-started specs fail with ctx.Err() and running ones abort promptly;
+// completed entries keep their results (partial results, not a panic).
+func RunBatch(ctx context.Context, opt BatchOptions, specs []RunSpec) []BatchResult {
+	jobs := make([]runner.Job[Result], len(specs))
+	for i, spec := range specs {
+		jobs[i] = runner.Job[Result]{
+			Run: func(ctx context.Context) (Result, error) { return RunContext(ctx, spec) },
+		}
+	}
+	ropt := runner.Options[Result]{Workers: opt.Workers, Timeout: opt.Timeout}
+	if opt.OnDone != nil {
+		ropt.OnDone = func(d runner.Done[Result]) {
+			opt.OnDone(d.Index, specs[d.Index], d.Value, d.Err, d.Wall)
+		}
+	}
+	rs := runner.Map(ctx, ropt, jobs)
+	out := make([]BatchResult, len(specs))
+	for i, r := range rs {
+		out[i] = BatchResult{Spec: specs[i], Result: r.Value, Err: r.Err}
+	}
+	return out
 }
 
 // Apps lists the Table 4 application names.

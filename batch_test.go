@@ -1,0 +1,111 @@
+package netcache_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"netcache"
+)
+
+// TestRunBatchMatchesSequential checks the public batch entry point returns
+// results bit-identical to sequential Run calls, in spec order, at any
+// worker count.
+func TestRunBatchMatchesSequential(t *testing.T) {
+	specs := []netcache.RunSpec{
+		{App: "sor", System: netcache.SystemNetCache, Scale: 0.06},
+		{App: "sor", System: netcache.SystemLambdaNet, Scale: 0.06},
+		{App: "gauss", System: netcache.SystemDMONU, Scale: 0.06},
+		{App: "gauss", System: netcache.SystemDMONI, Scale: 0.06},
+	}
+	want := make([]netcache.Result, len(specs))
+	for i, spec := range specs {
+		var err error
+		want[i], err = netcache.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got := netcache.RunBatch(context.Background(), netcache.BatchOptions{Workers: workers}, specs)
+		for i := range specs {
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d spec %d: %v", workers, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, want[i]) {
+				t.Fatalf("workers=%d: batch result %d differs from sequential run", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchPartialFailure checks one bad spec doesn't poison its
+// neighbours.
+func TestRunBatchPartialFailure(t *testing.T) {
+	specs := []netcache.RunSpec{
+		{App: "sor", System: netcache.SystemNetCache, Scale: 0.06},
+		{App: "no-such-app", System: netcache.SystemNetCache, Scale: 0.06},
+	}
+	got := netcache.RunBatch(context.Background(), netcache.BatchOptions{Workers: 2}, specs)
+	if got[0].Err != nil {
+		t.Fatalf("healthy spec failed: %v", got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Fatal("unknown app did not error")
+	}
+}
+
+// TestRunContextCancellation checks an already-cancelled context aborts a
+// run promptly with an error wrapping context.Canceled.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := netcache.RunContext(ctx, netcache.RunSpec{
+		App: "gauss", System: netcache.SystemNetCache, Scale: 0.25,
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("cancelled run took %v, not prompt", wall)
+	}
+}
+
+// TestRunContextTimeout checks a deadline aborts a run with
+// context.DeadlineExceeded.
+func TestRunContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := netcache.RunContext(ctx, netcache.RunSpec{
+		App: "gauss", System: netcache.SystemNetCache, Scale: 1.0,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap DeadlineExceeded: %v", err)
+	}
+}
+
+// TestRunContextBackgroundIdentical checks the context plumbing itself
+// cannot perturb a run: RunContext with a cancellable-but-never-cancelled
+// context matches plain Run bit for bit.
+func TestRunContextBackgroundIdentical(t *testing.T) {
+	spec := netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.06}
+	plain, err := netcache.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := netcache.RunContext(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Fatal("RunContext with live context differs from Run")
+	}
+}

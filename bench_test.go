@@ -7,6 +7,7 @@ package netcache_test
 // table/figure as a custom metric.
 
 import (
+	"context"
 	"testing"
 
 	"netcache"
@@ -15,6 +16,8 @@ import (
 )
 
 const benchScale = 0.12
+
+var bctx = context.Background()
 
 func benchRunner() *exp.Runner {
 	return exp.NewRunner(exp.Options{Scale: benchScale})
@@ -76,7 +79,10 @@ func BenchmarkFig5Speedup(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		r2 := exp.Figure5(r)
+		r2, err := exp.Figure5(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		sp = r2[0].Speedup
 		_ = r2
 	}
@@ -89,7 +95,10 @@ func BenchmarkFig6Systems(b *testing.B) {
 	var adv float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure6(r)
+		rows, err := exp.Figure6(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		adv = rows[0].Norm["dmon-i"]
 	}
 	b.ReportMetric(adv, "gauss-dmoni-vs-netcache")
@@ -100,7 +109,10 @@ func BenchmarkFig7Effectiveness(b *testing.B) {
 	var hit float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure7(r)
+		rows, err := exp.Figure7(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		hit = rows[0].HitRate
 	}
 	b.ReportMetric(hit, "gauss-hit-%")
@@ -111,7 +123,10 @@ func BenchmarkFig8SharedCacheSizes(b *testing.B) {
 	var h16, h64 float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure8(r)
+		rows, err := exp.Figure8(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		h16, h64 = rows[0].Hits[16], rows[0].Hits[64]
 	}
 	b.ReportMetric(h16, "gauss-hit16-%")
@@ -124,7 +139,10 @@ func BenchmarkFig9And10SizeEffects(b *testing.B) {
 	var rt float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure9And10(r)
+		rows, err := exp.Figure9And10(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		rt = rows[0].RunTime[32]
 	}
 	b.ReportMetric(rt, "gauss-runtime-32KB-vs-none")
@@ -135,7 +153,10 @@ func BenchmarkBlockSize(b *testing.B) {
 	var pen float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.BlockSize(r)
+		rows, err := exp.BlockSize(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		pen = rows[0].PenaltyPc
 	}
 	b.ReportMetric(pen, "gauss-128B-penalty-%")
@@ -146,7 +167,10 @@ func BenchmarkFig11Associativity(b *testing.B) {
 	var dm float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure11(r)
+		rows, err := exp.Figure11(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		dm = rows[0].HitDirect
 	}
 	b.ReportMetric(dm, "gauss-directmapped-hit-%")
@@ -157,7 +181,10 @@ func BenchmarkFig12Policies(b *testing.B) {
 	var rnd, lru float64
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale, Apps: benchApps})
-		rows := exp.Figure12(r)
+		rows, err := exp.Figure12(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 		rnd, lru = rows[0].Hits["random"], rows[0].Hits["lru"]
 	}
 	b.ReportMetric(rnd, "gauss-random-hit-%")
@@ -169,7 +196,11 @@ func BenchmarkFig13L2Sizes(b *testing.B) {
 	var rows []exp.SweepRow
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale})
-		rows = exp.Figure13(r)
+		var err error
+		rows, err = exp.Figure13(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(rows)), "points")
 }
@@ -179,7 +210,11 @@ func BenchmarkFig14Rates(b *testing.B) {
 	var rows []exp.SweepRow
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale})
-		rows = exp.Figure14(r)
+		var err error
+		rows, err = exp.Figure14(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(rows)), "points")
 }
@@ -190,7 +225,11 @@ func BenchmarkFig15MemoryLatencies(b *testing.B) {
 	var rows []exp.SweepRow
 	for i := 0; i < b.N; i++ {
 		r := exp.NewRunner(exp.Options{Scale: benchScale})
-		rows = exp.Figure15(r)
+		var err error
+		rows, err = exp.Figure15(bctx, r)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(rows)), "points")
 }
@@ -217,7 +256,10 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkAblationDualStart(b *testing.B) {
 	var pen float64
 	for i := 0; i < b.N; i++ {
-		rows := exp.AblationDualStart(exp.NewRunner(exp.Options{Scale: benchScale, Apps: []string{"cg"}}))
+		rows, err := exp.AblationDualStart(bctx, exp.NewRunner(exp.Options{Scale: benchScale, Apps: []string{"cg"}}))
+		if err != nil {
+			b.Fatal(err)
+		}
 		pen = rows[0].PenaltyPc
 	}
 	b.ReportMetric(pen, "single-start-penalty-%")
@@ -227,7 +269,10 @@ func BenchmarkAblationDualStart(b *testing.B) {
 func BenchmarkScaling(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
-		rows := exp.Scaling(exp.NewRunner(exp.Options{Scale: 0.06, Apps: []string{"sor"}}))
+		rows, err := exp.Scaling(bctx, exp.NewRunner(exp.Options{Scale: 0.06, Apps: []string{"sor"}}))
+		if err != nil {
+			b.Fatal(err)
+		}
 		sp = rows[len(rows)-1].Speedup
 	}
 	b.ReportMetric(sp, "p32-speedup")

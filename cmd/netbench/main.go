@@ -5,18 +5,27 @@
 //
 //	netbench -exp all -scale 0.5            # everything
 //	netbench -exp fig6,fig8 -scale 1.0      # selected experiments
+//	netbench -exp all -j 8                  # eight concurrent simulations
 //	netbench -exp tables                    # Tables 1-3 (latency models)
 //	netbench -list                          # list experiment ids
 //
 // Experiments: tables, table4, fig5, fig6, fig7, fig8, fig9, fig10,
 // blocksize, fig11, fig12, fig13, fig14, fig15, plus the extension studies
 // ablation (dual-start reads), scaling (machine sizes) and prefetch.
+//
+// Simulations are farmed out to a worker pool (-j, default GOMAXPROCS).
+// Every simulation is bit-deterministic and parallelism lives only between
+// simulations, so tables are byte-identical at any -j. A failing or timed
+// out run (-timeout) fails its experiment; the remaining experiments still
+// execute and render, and ^C cancels promptly with partial results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -32,12 +41,14 @@ var out = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
-		apps  = flag.String("apps", "", "comma-separated app subset (default all twelve)")
-		quiet = flag.Bool("q", false, "suppress per-run progress")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		csv   = flag.String("csv", "", "directory to also write sweep CSVs (fig13-15, scaling)")
+		which   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
+		apps    = flag.String("apps", "", "comma-separated app subset (default all twelve)")
+		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csv     = flag.String("csv", "", "directory to also write sweep CSVs (fig13-15, scaling)")
 	)
 	flag.Parse()
 
@@ -48,7 +59,10 @@ func main() {
 		return
 	}
 
-	opt := exp.Options{Scale: *scale}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := exp.Options{Scale: *scale, Workers: *jobs, Timeout: *timeout}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
@@ -70,15 +84,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Reject typos before any simulation time is spent.
 	for _, id := range ids {
-		fn, ok := experiments[strings.TrimSpace(id)]
-		if !ok {
+		if _, ok := experiments[strings.TrimSpace(id)]; !ok {
 			fmt.Fprintf(os.Stderr, "netbench: unknown experiment %q\n", id)
 			os.Exit(1)
 		}
-		fn(runner)
+	}
+	failed := 0
+	for _, id := range ids {
+		fn := experiments[strings.TrimSpace(id)]
+		if err := fn(ctx, runner); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "netbench: %s: %v\n", strings.TrimSpace(id), err)
+		}
 		out.Flush()
 		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "netbench: %d of %d experiments failed\n", failed, len(ids))
+		os.Exit(1)
 	}
 }
 
@@ -115,7 +140,7 @@ var allIDs = []string{
 	"ablation", "scaling", "prefetch",
 }
 
-var experiments = map[string]func(*exp.Runner){
+var experiments = map[string]func(context.Context, *exp.Runner) error{
 	"tables":    tables,
 	"table4":    table4,
 	"fig5":      fig5,
@@ -127,10 +152,14 @@ var experiments = map[string]func(*exp.Runner){
 	"blocksize": blocksize,
 	"fig11":     fig11,
 	"fig12":     fig12,
-	"fig13":     func(r *exp.Runner) { sweepTable(r, "Figure 13: run time vs 2nd-level cache size (KB)", exp.Figure13) },
-	"fig14":     func(r *exp.Runner) { sweepTable(r, "Figure 14: run time vs transmission rate (Gb/s)", exp.Figure14) },
-	"fig15": func(r *exp.Runner) {
-		sweepTable(r, "Figure 15: run time vs memory block read latency (pc)", exp.Figure15)
+	"fig13": func(ctx context.Context, r *exp.Runner) error {
+		return sweepTable(ctx, r, "Figure 13: run time vs 2nd-level cache size (KB)", exp.Figure13)
+	},
+	"fig14": func(ctx context.Context, r *exp.Runner) error {
+		return sweepTable(ctx, r, "Figure 14: run time vs transmission rate (Gb/s)", exp.Figure14)
+	},
+	"fig15": func(ctx context.Context, r *exp.Runner) error {
+		return sweepTable(ctx, r, "Figure 15: run time vs memory block read latency (pc)", exp.Figure15)
 	},
 	"ablation": ablation,
 	"scaling":  scaling,
@@ -141,7 +170,7 @@ func header(title string) {
 	fmt.Fprintf(out, "%s\n%s\n", title, strings.Repeat("-", len(title)))
 }
 
-func tables(*exp.Runner) {
+func tables(context.Context, *exp.Runner) error {
 	m := timing.New(timing.DefaultParams())
 	header("Tables 1-3: contention-free latency model (base parameters, pcycles)")
 	fmt.Fprintf(out, "Table 1\tshared cache read hit\t%d\t(paper: 46)\n", m.SharedCacheHit())
@@ -152,111 +181,172 @@ func tables(*exp.Runner) {
 	fmt.Fprintf(out, "Table 3\tLambdaNet coherence\t%d\t(paper: 24)\n", m.CoherenceLambda(8))
 	fmt.Fprintf(out, "Table 3\tDMON-U coherence\t%d\t(paper: 43)\n", m.CoherenceDMONU(8))
 	fmt.Fprintf(out, "Table 3\tDMON-I coherence\t%d\t(paper: 37)\n", m.CoherenceDMONI())
+	return nil
 }
 
-func table4(*exp.Runner) {
+func table4(context.Context, *exp.Runner) error {
 	header("Table 4: application workload")
 	for _, name := range netcache.Apps() {
 		desc, input := netcache.DescribeApp(name)
 		fmt.Fprintf(out, "%s\t%s\t%s\n", name, desc, input)
 	}
+	return nil
 }
 
-func fig5(r *exp.Runner) {
+func fig5(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure5(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 5: speedups of the 16-node NetCache multiprocessor")
 	fmt.Fprintf(out, "app\tT(1)\tT(16)\tspeedup\n")
-	for _, row := range exp.Figure5(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%d\t%d\t%.2f\n", row.App, row.T1, row.T16, row.Speedup)
 	}
+	return nil
 }
 
-func fig6(r *exp.Runner) {
+func fig6(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure6(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 6: run times normalized to NetCache")
 	fmt.Fprintf(out, "app\tnetcache\tlambdanet\tdmon-u\tdmon-i\n")
-	for _, row := range exp.Figure6(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
 			row.Norm["netcache"], row.Norm["lambdanet"], row.Norm["dmon-u"], row.Norm["dmon-i"])
 	}
+	return nil
 }
 
-func fig7(r *exp.Runner) {
+func fig7(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure7(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 7: effectiveness of data caching (32-KByte shared cache)")
 	fmt.Fprintf(out, "app\tread-lat %% of runtime (no $)\thit rate %%\tmiss-lat reduction %%\tread-lat reduction %%\n")
-	for _, row := range exp.Figure7(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n",
 			row.App, row.ReadLatFraction, row.HitRate, row.MissLatReduction, row.ReadLatReduction)
 	}
+	return nil
 }
 
-func fig8(r *exp.Runner) {
+func fig8(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure8(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 8: shared cache hit rates by size (%)")
 	fmt.Fprintf(out, "app\t16 KB\t32 KB\t64 KB\n")
-	for _, row := range exp.Figure8(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\n", row.App, row.Hits[16], row.Hits[32], row.Hits[64])
 	}
+	return nil
 }
 
-func fig9(r *exp.Runner) {
+func fig9(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure9And10(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 9: read latencies normalized to no shared cache")
 	fmt.Fprintf(out, "app\t0 KB\t16 KB\t32 KB\t64 KB\n")
-	for _, row := range exp.Figure9And10(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
 			row.ReadLat[0], row.ReadLat[16], row.ReadLat[32], row.ReadLat[64])
 	}
+	return nil
 }
 
-func fig10(r *exp.Runner) {
+func fig10(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure9And10(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 10: run times normalized to no shared cache")
 	fmt.Fprintf(out, "app\t0 KB\t16 KB\t32 KB\t64 KB\n")
-	for _, row := range exp.Figure9And10(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", row.App,
 			row.RunTime[0], row.RunTime[16], row.RunTime[32], row.RunTime[64])
 	}
+	return nil
 }
 
-func blocksize(r *exp.Runner) {
+func blocksize(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.BlockSize(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Section 5.3.2: 128-byte shared cache lines vs 64-byte")
 	fmt.Fprintf(out, "app\tcycles 64B\tcycles 128B\tpenalty %%\thit%% 64B\thit%% 128B\n")
-	for _, row := range exp.BlockSize(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\t%.1f\t%.1f\n",
 			row.App, row.Cycles64, row.Cycles128, row.PenaltyPc, row.Hit64, row.Hit128)
 	}
+	return nil
 }
 
-func fig11(r *exp.Runner) {
+func fig11(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure11(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 11: hit rates, fully-associative vs direct-mapped channels (%)")
 	fmt.Fprintf(out, "app\tfully\tdirect\n")
-	for _, row := range exp.Figure11(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.1f\t%.1f\n", row.App, row.HitFully, row.HitDirect)
 	}
+	return nil
 }
 
-func fig12(r *exp.Runner) {
+func fig12(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Figure12(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Figure 12: hit rates by replacement policy (%)")
 	fmt.Fprintf(out, "app\trandom\tlfu\tlru\tfifo\n")
-	for _, row := range exp.Figure12(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%.1f\t%.1f\t%.1f\t%.1f\n", row.App,
 			row.Hits["random"], row.Hits["lfu"], row.Hits["lru"], row.Hits["fifo"])
 	}
+	return nil
 }
 
-func ablation(r *exp.Runner) {
+func ablation(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.AblationDualStart(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Ablation: dual-start reads (Section 3.4) vs single-start")
 	fmt.Fprintf(out, "app\tdual-start\tsingle-start\tpenalty %%\n")
-	for _, row := range exp.AblationDualStart(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\n", row.App, row.DualStart, row.SingleStart, row.PenaltyPc)
 	}
+	return nil
 }
 
-func prefetchStudy(r *exp.Runner) {
+func prefetchStudy(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.PrefetchStudy(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Extension: sequential prefetch (Section 6 latency tolerance)")
 	fmt.Fprintf(out, "app\tbase\tprefetch\tgain %%\n")
-	for _, row := range exp.PrefetchStudy(r) {
+	for _, row := range rows {
 		fmt.Fprintf(out, "%s\t%d\t%d\t%+.1f\n", row.App, row.Base, row.Prefetch, row.GainPc)
 	}
+	return nil
 }
 
-func scaling(r *exp.Runner) {
+func scaling(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.Scaling(ctx, r)
+	if err != nil {
+		return err
+	}
 	header("Extension: machine-size scaling (p = 1..32)")
 	fmt.Fprintf(out, "app-system")
 	for _, p := range exp.ScalingProcs {
@@ -266,7 +356,7 @@ func scaling(r *exp.Runner) {
 	type key struct{ app, sys string }
 	vals := map[key]map[int]float64{}
 	var order []key
-	for _, row := range exp.Scaling(r) {
+	for _, row := range rows {
 		k := key{row.App, row.System}
 		if vals[k] == nil {
 			vals[k] = map[int]float64{}
@@ -281,11 +371,15 @@ func scaling(r *exp.Runner) {
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
 }
 
-func sweepTable(r *exp.Runner, title string, fn func(*exp.Runner) []exp.SweepRow) {
+func sweepTable(ctx context.Context, r *exp.Runner, title string, fn func(context.Context, *exp.Runner) ([]exp.SweepRow, error)) error {
+	rows, err := fn(ctx, r)
+	if err != nil {
+		return err
+	}
 	header(title)
-	rows := fn(r)
 	f := strings.Fields(title)
 	writeCSV(strings.ToLower(f[0])+"-"+strings.TrimSuffix(f[1], ":"), rows)
 	// Group by app/system; columns are the swept values.
@@ -319,4 +413,5 @@ func sweepTable(r *exp.Runner, title string, fn func(*exp.Runner) []exp.SweepRow
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
 }

@@ -6,14 +6,20 @@
 //	netsim -app sor -system netcache -scale 0.5 [-procs 16] [-shared 32]
 //	       [-l2 16384] [-rate 10] [-memlat 76] [-policy random] [-direct]
 //	       [-line 64] [-verify] [-prefetch] [-singlestart] [-dump N] [-v]
+//	       [-j 4] [-timeout 30s]
 //
-// Systems: netcache, optnet, lambdanet, dmon-u, dmon-i, or "all".
+// Systems: netcache, optnet, lambdanet, dmon-u, dmon-i, or "all". With
+// -system all the runs execute concurrently on a worker pool (-j, default
+// GOMAXPROCS) and the reports print in system order; a failing or timed out
+// run (-timeout) is reported and the remaining reports still print.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"text/tabwriter"
 
@@ -39,6 +45,8 @@ func main() {
 		dump     = flag.Int("dump", 0, "print the last N traced transactions")
 		prefetch = flag.Bool("prefetch", false, "enable sequential next-block prefetching (Section 6 extension)")
 		single   = flag.Bool("singlestart", false, "ablation: single-start reads (ring first)")
+		jobs     = flag.Int("j", 0, "concurrent simulations for -system all (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
 	)
 	flag.Parse()
 
@@ -77,18 +85,34 @@ func main() {
 		systems = append(systems, s)
 	}
 
-	for _, sys := range systems {
-		res, err := netcache.Run(netcache.RunSpec{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	specs := make([]netcache.RunSpec, len(systems))
+	for i, sys := range systems {
+		specs[i] = netcache.RunSpec{
 			App: *app, System: sys, Config: cfg, Scale: *scale, Verify: *verify,
 			TraceCap: *dump,
-		})
-		if err != nil {
-			fatal(err)
 		}
-		report(res, *verbose)
-		for _, ev := range res.Trace {
+	}
+	results := netcache.RunBatch(ctx, netcache.BatchOptions{
+		Workers: *jobs, Timeout: *timeout,
+	}, specs)
+
+	failed := 0
+	for _, br := range results {
+		if br.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "netsim: %v\n", br.Err)
+			continue
+		}
+		report(br.Result, *verbose)
+		for _, ev := range br.Result.Trace {
 			fmt.Println(ev)
 		}
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"netcache"
 )
@@ -26,8 +28,13 @@ const (
 func main() {
 	fmt.Println("Custom kernel: parallel histogram + table-lookup smoothing")
 	fmt.Println()
+	// A deadline guards against a buggy kernel that deadlocks or spins: the
+	// engine aborts the run and returns the context error instead of
+	// hanging. A context that never fires cannot change the results.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 	for _, sys := range netcache.Systems {
-		res, err := netcache.RunCustom("histogram", sys, netcache.Config{}, build)
+		res, err := netcache.RunCustomContext(ctx, "histogram", sys, netcache.Config{}, build)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,7 +4,10 @@
 //
 // The example sweeps the memory block read latency (44 / 76 / 108 pcycles)
 // and the optical transmission rate (5 / 10 / 20 Gb/s, Figure 14) for a
-// High-reuse application and prints how much each system degrades.
+// High-reuse application and prints how much each system degrades. Both
+// sweeps are submitted as one batch and execute concurrently; the results
+// come back in spec order, so the tables render identically at any worker
+// count.
 //
 // Run with:
 //
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,37 +28,47 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "input scale")
 	flag.Parse()
 
-	run := func(sys netcache.System, cfg netcache.Config) int64 {
-		res, err := netcache.Run(netcache.RunSpec{App: *app, System: sys, Config: cfg, Scale: *scale})
-		if err != nil {
-			log.Fatal(err)
+	memLats := []int{44, 76, 108}
+	rates := []int{5, 10, 20}
+
+	// Build the whole 2-sweep matrix up front: per system, three memory
+	// latencies then three transmission rates.
+	var specs []netcache.RunSpec
+	for _, sys := range netcache.Systems {
+		for _, pc := range memLats {
+			cfg := netcache.DefaultConfig()
+			cfg.MemBlockRead = pc
+			specs = append(specs, netcache.RunSpec{App: *app, System: sys, Config: cfg, Scale: *scale})
 		}
-		return res.Cycles
+		for _, g := range rates {
+			cfg := netcache.DefaultConfig()
+			cfg.GbitsPerSec = g
+			specs = append(specs, netcache.RunSpec{App: *app, System: sys, Config: cfg, Scale: *scale})
+		}
 	}
+	results := netcache.RunBatch(context.Background(), netcache.BatchOptions{}, specs)
+	cycles := make([]int64, len(results))
+	for i, br := range results {
+		if br.Err != nil {
+			log.Fatal(br.Err)
+		}
+		cycles[i] = br.Result.Cycles
+	}
+	stride := len(memLats) + len(rates)
 
 	fmt.Printf("Memory-wall sweep for %q\n\n", *app)
 	fmt.Println("Run time vs memory block read latency (Figure 15):")
 	fmt.Printf("%-10s %12s %12s %12s %10s\n", "system", "44 pc", "76 pc", "108 pc", "growth")
-	for _, sys := range netcache.Systems {
-		var c [3]int64
-		for i, pc := range []int{44, 76, 108} {
-			cfg := netcache.DefaultConfig()
-			cfg.MemBlockRead = pc
-			c[i] = run(sys, cfg)
-		}
+	for i, sys := range netcache.Systems {
+		c := cycles[i*stride : i*stride+len(memLats)]
 		fmt.Printf("%-10s %12d %12d %12d %9.1f%%\n", sys, c[0], c[1], c[2],
 			100*(float64(c[2])/float64(c[0])-1))
 	}
 
 	fmt.Println("\nRun time vs optical transmission rate (Figure 14):")
 	fmt.Printf("%-10s %12s %12s %12s\n", "system", "5 Gb/s", "10 Gb/s", "20 Gb/s")
-	for _, sys := range netcache.Systems {
-		var c [3]int64
-		for i, g := range []int{5, 10, 20} {
-			cfg := netcache.DefaultConfig()
-			cfg.GbitsPerSec = g
-			c[i] = run(sys, cfg)
-		}
+	for i, sys := range netcache.Systems {
+		c := cycles[i*stride+len(memLats) : (i+1)*stride]
 		fmt.Printf("%-10s %12d %12d %12d\n", sys, c[0], c[1], c[2])
 	}
 

@@ -2,7 +2,7 @@
 // application: shared-cache size (Figure 8), channel associativity
 // (Figure 11) and replacement policy (Figure 12) — the experiments that
 // justify the NetCache's "random replacement, fully-associative channels"
-// design.
+// design. All ten configurations are simulated concurrently in one batch.
 //
 // Run with:
 //
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,47 +23,63 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "input scale")
 	flag.Parse()
 
-	run := func(cfg netcache.Config) netcache.Result {
-		res, err := netcache.Run(netcache.RunSpec{
+	sizes := []int{16, 32, 64}
+	assoc := []bool{false, true}
+	policies := []netcache.Policy{
+		netcache.PolicyRandom, netcache.PolicyLFU, netcache.PolicyLRU, netcache.PolicyFIFO,
+	}
+
+	var specs []netcache.RunSpec
+	add := func(cfg netcache.Config) {
+		specs = append(specs, netcache.RunSpec{
 			App: *app, System: netcache.SystemNetCache, Config: cfg, Scale: *scale,
 		})
-		if err != nil {
-			log.Fatal(err)
+	}
+	for _, kb := range sizes {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedCacheKB = kb
+		add(cfg)
+	}
+	for _, dm := range assoc {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedDirectMap = dm
+		add(cfg)
+	}
+	for _, pol := range policies {
+		cfg := netcache.DefaultConfig()
+		cfg.SharedPolicy = pol
+		add(cfg)
+	}
+
+	results := netcache.RunBatch(context.Background(), netcache.BatchOptions{}, specs)
+	res := make([]netcache.Result, len(results))
+	for i, br := range results {
+		if br.Err != nil {
+			log.Fatal(br.Err)
 		}
-		return res
+		res[i] = br.Result
 	}
 
 	fmt.Printf("Shared cache design space for %q (16 nodes)\n\n", *app)
 
 	fmt.Println("Size (Figure 8):")
-	for _, kb := range []int{16, 32, 64} {
-		cfg := netcache.DefaultConfig()
-		cfg.SharedCacheKB = kb
-		res := run(cfg)
+	for i, kb := range sizes {
 		fmt.Printf("  %2d KB: hit rate %5.1f%%  run time %d\n",
-			kb, 100*res.SharedCacheHitRate, res.Cycles)
+			kb, 100*res[i].SharedCacheHitRate, res[i].Cycles)
 	}
 
 	fmt.Println("\nChannel associativity (Figure 11):")
-	for _, dm := range []bool{false, true} {
-		cfg := netcache.DefaultConfig()
-		cfg.SharedDirectMap = dm
-		res := run(cfg)
+	for i, dm := range assoc {
 		name := "fully-associative"
 		if dm {
 			name = "direct-mapped"
 		}
-		fmt.Printf("  %-17s: hit rate %5.1f%%\n", name, 100*res.SharedCacheHitRate)
+		fmt.Printf("  %-17s: hit rate %5.1f%%\n", name, 100*res[len(sizes)+i].SharedCacheHitRate)
 	}
 
 	fmt.Println("\nReplacement policy (Figure 12):")
-	for _, pol := range []netcache.Policy{
-		netcache.PolicyRandom, netcache.PolicyLFU, netcache.PolicyLRU, netcache.PolicyFIFO,
-	} {
-		cfg := netcache.DefaultConfig()
-		cfg.SharedPolicy = pol
-		res := run(cfg)
-		fmt.Printf("  %-7s: hit rate %5.1f%%\n", pol, 100*res.SharedCacheHitRate)
+	for i, pol := range policies {
+		fmt.Printf("  %-7s: hit rate %5.1f%%\n", pol, 100*res[len(sizes)+len(assoc)+i].SharedCacheHitRate)
 	}
 
 	fmt.Println("\nThe paper's design — random replacement on fully-associative")

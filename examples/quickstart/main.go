@@ -1,6 +1,6 @@
 // Quickstart: simulate one application on the NetCache multiprocessor and
-// its three baselines, and print the headline comparison the paper's
-// Figure 6 makes.
+// its three baselines — all four runs concurrently on a worker pool — and
+// print the headline comparison the paper's Figure 6 makes.
 //
 // Run with:
 //
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,23 +19,32 @@ func main() {
 	const app = "gauss" // a High-reuse application: big NetCache win
 	fmt.Printf("Simulating %q on four 16-node optical multiprocessors...\n\n", app)
 
-	var base int64
-	for _, sys := range netcache.Systems {
-		res, err := netcache.Run(netcache.RunSpec{
+	// One spec per system; RunBatch farms them out to GOMAXPROCS workers.
+	// Every simulation is bit-deterministic, so the parallel results match
+	// sequential runs exactly, and they come back in spec order.
+	specs := make([]netcache.RunSpec, len(netcache.Systems))
+	for i, sys := range netcache.Systems {
+		specs[i] = netcache.RunSpec{
 			App:    app,
 			System: sys,
 			Scale:  0.25, // quarter-scale input; 1.0 = the paper's 256x256
 			Verify: true, // check the elimination actually happened
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
+	}
+	results := netcache.RunBatch(context.Background(), netcache.BatchOptions{}, specs)
+
+	var base int64
+	for _, br := range results {
+		if br.Err != nil {
+			log.Fatal(br.Err)
+		}
+		res := br.Result
 		if base == 0 {
 			base = res.Cycles
 		}
-		fmt.Printf("%-10s %12d pcycles  (%.2fx NetCache)", sys, res.Cycles,
+		fmt.Printf("%-10s %12d pcycles  (%.2fx NetCache)", br.Spec.System, res.Cycles,
 			float64(res.Cycles)/float64(base))
-		if sys == netcache.SystemNetCache {
+		if br.Spec.System == netcache.SystemNetCache {
 			fmt.Printf("  shared-cache hit rate %.0f%%", 100*res.SharedCacheHitRate)
 		}
 		fmt.Println()

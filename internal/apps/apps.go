@@ -6,6 +6,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -106,7 +107,12 @@ var table4 = map[string][2]string{
 
 // Run executes the app body for machine.Run, wrapping the raw context.
 func Run(m *machine.Machine, a App) (machine.RunStats, error) {
-	return m.Run(func(mc *machine.Ctx) {
+	return RunContext(context.Background(), m, a)
+}
+
+// RunContext is Run with cancellation (see machine.RunContext).
+func RunContext(ctx context.Context, m *machine.Machine, a App) (machine.RunStats, error) {
+	return m.RunContext(ctx, func(mc *machine.Ctx) {
 		a.Run(&Ctx{Ctx: mc})
 	})
 }

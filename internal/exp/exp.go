@@ -1,14 +1,22 @@
 // Package exp drives the paper's evaluation (Section 5): it contains one
 // function per table and figure, each returning structured rows that the
 // netbench command renders. Runs are memoized within a Runner so figures
-// sharing a configuration (e.g. the base NetCache run) simulate it once.
+// sharing a configuration (e.g. the base NetCache run) simulate it once,
+// and each figure pre-submits its whole spec list to a worker pool so
+// independent simulations execute in parallel (parallelism between runs
+// only — every simulation stays bit-deterministic, so results are identical
+// at any worker count).
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"netcache"
+	"netcache/internal/runner"
 )
 
 // AllApps is the Table 4 application list.
@@ -16,8 +24,10 @@ func AllApps() []string { return netcache.Apps() }
 
 // Options configure a harness run.
 type Options struct {
-	Scale    float64  // input scale, 1.0 = paper inputs
-	Apps     []string // subset; nil = all twelve
+	Scale    float64       // input scale, 1.0 = paper inputs
+	Apps     []string      // subset; nil = all twelve
+	Workers  int           // concurrent simulations; <=0 = GOMAXPROCS
+	Timeout  time.Duration // per-simulation wall-clock limit; 0 = none
 	Progress func(format string, args ...interface{})
 }
 
@@ -34,9 +44,19 @@ func (o Options) log(format string, args ...interface{}) {
 	}
 }
 
-// Runner memoizes simulation results across experiments.
+// Spec names one simulation of the evaluation matrix.
+type Spec struct {
+	App string
+	Sys netcache.System
+	Cfg netcache.Config
+}
+
+// Runner memoizes simulation results across experiments and schedules
+// uncached specs on a worker pool.
 type Runner struct {
-	opt   Options
+	opt Options
+
+	mu    sync.Mutex
 	cache map[string]netcache.Result
 }
 
@@ -51,29 +71,106 @@ func NewRunner(opt Options) *Runner {
 // Opt returns the runner options.
 func (r *Runner) Opt() Options { return r.opt }
 
-func cfgKey(c netcache.Config) string {
-	return fmt.Sprintf("p%d.l2_%d.r%d.m%d.s%d.ln%d.pol%d.dm%v.ss%v",
-		c.Procs, c.L2Bytes, c.GbitsPerSec, c.MemBlockRead,
-		c.SharedCacheKB, c.SharedLineBytes, c.SharedPolicy, c.SharedDirectMap,
-		c.SingleStartReads) + fmt.Sprintf(".pf%v", c.Prefetch)
+// key derives the memoization key from the complete configuration: every
+// Config field participates (via %+v), so two configs differing in any knob
+// — including L1 geometry, write-buffer depth, or the replacement seed —
+// can never alias each other's cached results.
+func (r *Runner) key(s Spec) string {
+	return fmt.Sprintf("%s|%s|%+v|%g", s.App, s.Sys, s.Cfg, r.opt.Scale)
+}
+
+func (r *Runner) cached(key string) (netcache.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, ok := r.cache[key]
+	return res, ok
+}
+
+// Prime simulates every not-yet-cached spec concurrently and memoizes the
+// results. Identical specs are deduplicated (singleflight), results are
+// cached in deterministic spec order, and all failures are returned joined,
+// also in spec order. Successful runs stay cached even when Prime returns
+// an error, so callers keep partial results.
+func (r *Runner) Prime(ctx context.Context, specs []Spec) error {
+	type pending struct {
+		spec Spec
+		key  string
+	}
+	var todo []pending
+	r.mu.Lock()
+	for _, s := range specs {
+		if _, ok := r.cache[r.key(s)]; !ok {
+			todo = append(todo, pending{s, r.key(s)})
+		}
+	}
+	r.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+
+	jobs := make([]runner.Job[netcache.Result], len(todo))
+	for i, p := range todo {
+		spec := netcache.RunSpec{App: p.spec.App, System: p.spec.Sys, Config: p.spec.Cfg, Scale: r.opt.Scale}
+		jobs[i] = runner.Job[netcache.Result]{
+			Key: p.key,
+			Run: func(ctx context.Context) (netcache.Result, error) {
+				return netcache.RunContext(ctx, spec)
+			},
+		}
+	}
+	results := runner.Map(ctx, runner.Options[netcache.Result]{
+		Workers: r.opt.Workers,
+		Timeout: r.opt.Timeout,
+		OnDone: func(d runner.Done[netcache.Result]) {
+			if d.Err != nil {
+				r.opt.log("  %-9s %-10s FAILED: %v", todo[d.Index].spec.App, todo[d.Index].spec.Sys, d.Err)
+				return
+			}
+			r.opt.log("  %-9s %-10s %12d cycles  (%.1fs wall)",
+				todo[d.Index].spec.App, todo[d.Index].spec.Sys, d.Value.Cycles, d.Wall.Seconds())
+		},
+	}, jobs)
+
+	var errs []error
+	r.mu.Lock()
+	for i, res := range results {
+		if res.Err != nil {
+			errs = append(errs, res.Err)
+			continue
+		}
+		r.cache[todo[i].key] = res.Value
+	}
+	r.mu.Unlock()
+	return errors.Join(errs...)
 }
 
 // Run simulates (or returns the memoized result of) one spec.
-func (r *Runner) Run(app string, sys netcache.System, cfg netcache.Config) netcache.Result {
-	key := fmt.Sprintf("%s|%s|%s|%g", app, sys, cfgKey(cfg), r.opt.Scale)
-	if res, ok := r.cache[key]; ok {
-		return res
+func (r *Runner) Run(ctx context.Context, app string, sys netcache.System, cfg netcache.Config) (netcache.Result, error) {
+	s := Spec{App: app, Sys: sys, Cfg: cfg}
+	if res, ok := r.cached(r.key(s)); ok {
+		return res, nil
 	}
-	start := time.Now()
-	res, err := netcache.Run(netcache.RunSpec{
-		App: app, System: sys, Config: cfg, Scale: r.opt.Scale,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s on %s: %v", app, sys, err))
+	if err := r.Prime(ctx, []Spec{s}); err != nil {
+		return netcache.Result{}, err
 	}
-	r.opt.log("  %-9s %-10s %12d cycles  (%.1fs wall)", app, sys, res.Cycles, time.Since(start).Seconds())
-	r.cache[key] = res
-	return res
+	res, _ := r.cached(r.key(s))
+	return res, nil
+}
+
+// runAll primes specs in parallel and returns their results in spec order.
+func (r *Runner) runAll(ctx context.Context, specs []Spec) ([]netcache.Result, error) {
+	if err := r.Prime(ctx, specs); err != nil {
+		return nil, err
+	}
+	out := make([]netcache.Result, len(specs))
+	for i, s := range specs {
+		res, ok := r.cached(r.key(s))
+		if !ok {
+			return nil, fmt.Errorf("exp: %s on %s missing after prime", s.App, s.Sys)
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // Base returns the Section 4.1 configuration.

@@ -1,21 +1,34 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"netcache"
 )
 
+var bg = context.Background()
+
 func tinyRunner(apps ...string) *Runner {
 	return NewRunner(Options{Scale: 0.06, Apps: apps})
+}
+
+// mustRun is the test shorthand for a single memoized run.
+func mustRun(t *testing.T, r *Runner, app string, sys netcache.System, cfg netcache.Config) netcache.Result {
+	t.Helper()
+	res, err := r.Run(bg, app, sys, cfg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", app, sys, err)
+	}
+	return res
 }
 
 // TestRunnerMemoization checks identical specs simulate once.
 func TestRunnerMemoization(t *testing.T) {
 	r := tinyRunner("sor")
-	a := r.Run("sor", netcache.SystemNetCache, Base())
+	a := mustRun(t, r, "sor", netcache.SystemNetCache, Base())
 	before := len(r.cache)
-	b := r.Run("sor", netcache.SystemNetCache, Base())
+	b := mustRun(t, r, "sor", netcache.SystemNetCache, Base())
 	if len(r.cache) != before {
 		t.Fatal("second identical run was not memoized")
 	}
@@ -25,16 +38,55 @@ func TestRunnerMemoization(t *testing.T) {
 	// A different config is a different run.
 	cfg := Base()
 	cfg.SharedCacheKB = 16
-	r.Run("sor", netcache.SystemNetCache, cfg)
+	mustRun(t, r, "sor", netcache.SystemNetCache, cfg)
 	if len(r.cache) == before {
 		t.Fatal("different config was wrongly memoized")
+	}
+}
+
+// TestRunnerKeyCoversFullConfig is the regression test for the memoization
+// key aliasing bug: the old key omitted L1Bytes, L1Block, L2Block, WBEntries
+// and Seed, so configs differing only in those fields returned each other's
+// cached results. The key must distinguish every Config field.
+func TestRunnerKeyCoversFullConfig(t *testing.T) {
+	r := tinyRunner("sor")
+	variants := []func(*netcache.Config){
+		func(c *netcache.Config) { c.L1Bytes = 8 * 1024 },
+		func(c *netcache.Config) { c.L1Block = 64 },
+		func(c *netcache.Config) { c.L2Block = 128 },
+		func(c *netcache.Config) { c.WBEntries = 4 },
+		func(c *netcache.Config) { c.Seed = 12345 },
+	}
+	base := r.key(Spec{App: "sor", Sys: netcache.SystemNetCache, Cfg: Base()})
+	seen := map[string]bool{base: true}
+	for i, mutate := range variants {
+		cfg := Base()
+		mutate(&cfg)
+		k := r.key(Spec{App: "sor", Sys: netcache.SystemNetCache, Cfg: cfg})
+		if seen[k] {
+			t.Fatalf("variant %d aliases another config's memoization key %q", i, k)
+		}
+		seen[k] = true
+	}
+
+	// And the cache really does simulate the variant separately: a two-line
+	// L1 thrashes and changes the measured cycle count.
+	baseRes := mustRun(t, r, "sor", netcache.SystemNetCache, Base())
+	tiny := Base()
+	tiny.L1Bytes = 64
+	tinyRes := mustRun(t, r, "sor", netcache.SystemNetCache, tiny)
+	if baseRes.Cycles == tinyRes.Cycles {
+		t.Fatal("two-line L1 returned the base-L1 cached result (key aliasing)")
 	}
 }
 
 // TestFigure5Shape checks speedups are positive and single-node runs have
 // no remote misses.
 func TestFigure5Shape(t *testing.T) {
-	rows := Figure5(tinyRunner("sor", "gauss"))
+	rows, err := Figure5(bg, tinyRunner("sor", "gauss"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -47,7 +99,10 @@ func TestFigure5Shape(t *testing.T) {
 
 // TestFigure6Normalization checks NetCache normalizes to 1.0.
 func TestFigure6Normalization(t *testing.T) {
-	rows := Figure6(tinyRunner("sor"))
+	rows, err := Figure6(bg, tinyRunner("sor"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rows[0].Norm["netcache"] != 1.0 {
 		t.Fatalf("netcache norm = %f", rows[0].Norm["netcache"])
 	}
@@ -61,7 +116,10 @@ func TestFigure6Normalization(t *testing.T) {
 // TestFigure8Sizes checks hit rates are recorded for all three sizes and
 // are monotone non-decreasing for a reuse-bound kernel.
 func TestFigure8Sizes(t *testing.T) {
-	rows := Figure8(tinyRunner("gauss"))
+	rows, err := Figure8(bg, tinyRunner("gauss"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := rows[0].Hits
 	for _, kb := range []int{16, 32, 64} {
 		if h[kb] < 0 || h[kb] > 100 {
@@ -75,7 +133,10 @@ func TestFigure8Sizes(t *testing.T) {
 
 // TestFigure9And10Baseline checks the no-cache column normalizes to 1.
 func TestFigure9And10Baseline(t *testing.T) {
-	rows := Figure9And10(tinyRunner("sor"))
+	rows, err := Figure9And10(bg, tinyRunner("sor"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rows[0].RunTime[0] != 1 || rows[0].ReadLat[0] != 1 {
 		t.Fatalf("baseline not normalized: %+v", rows[0])
 	}
@@ -83,7 +144,10 @@ func TestFigure9And10Baseline(t *testing.T) {
 
 // TestFigure12AllPolicies checks all four policies are measured.
 func TestFigure12AllPolicies(t *testing.T) {
-	rows := Figure12(tinyRunner("gauss"))
+	rows, err := Figure12(bg, tinyRunner("gauss"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, pol := range []string{"random", "lru", "lfu", "fifo"} {
 		if _, ok := rows[0].Hits[pol]; !ok {
 			t.Fatalf("policy %s missing", pol)
@@ -94,10 +158,13 @@ func TestFigure12AllPolicies(t *testing.T) {
 // TestSweeps checks the Figures 13-15 sweeps produce a full grid.
 func TestSweeps(t *testing.T) {
 	r := NewRunner(Options{Scale: 0.06, Apps: []string{"sor"}})
-	for name, fn := range map[string]func(*Runner) []SweepRow{
+	for name, fn := range map[string]func(context.Context, *Runner) ([]SweepRow, error){
 		"fig13": Figure13, "fig14": Figure14, "fig15": Figure15,
 	} {
-		rows := fn(r)
+		rows, err := fn(bg, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if len(rows) != 1*4*3 {
 			t.Fatalf("%s: %d points, want 12", name, len(rows))
 		}
@@ -111,7 +178,10 @@ func TestSweeps(t *testing.T) {
 
 // TestBlockSizeStudy checks the Section 5.3.2 study runs both line sizes.
 func TestBlockSizeStudy(t *testing.T) {
-	rows := BlockSize(tinyRunner("sor"))
+	rows, err := BlockSize(bg, tinyRunner("sor"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rows[0].Cycles64 <= 0 || rows[0].Cycles128 <= 0 {
 		t.Fatalf("degenerate %+v", rows[0])
 	}
@@ -121,7 +191,10 @@ func TestBlockSizeStudy(t *testing.T) {
 // a miss-heavy kernel and never changes results for a different reason
 // (identical hit behaviour).
 func TestAblationDualStart(t *testing.T) {
-	rows := AblationDualStart(NewRunner(Options{Scale: 0.12, Apps: []string{"cg"}}))
+	rows, err := AblationDualStart(bg, NewRunner(Options{Scale: 0.12, Apps: []string{"cg"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rows[0].SingleStart < rows[0].DualStart {
 		t.Fatalf("single-start faster than dual-start: %+v", rows[0])
 	}
@@ -130,7 +203,10 @@ func TestAblationDualStart(t *testing.T) {
 // TestScaling checks the node-count sweep produces sane speedups.
 func TestScaling(t *testing.T) {
 	r := NewRunner(Options{Scale: 0.06, Apps: []string{"sor"}})
-	rows := Scaling(r)
+	rows, err := Scaling(bg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2*len(ScalingProcs) {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -141,5 +217,14 @@ func TestScaling(t *testing.T) {
 		if row.Speedup <= 0 {
 			t.Fatalf("degenerate %+v", row)
 		}
+	}
+}
+
+// TestRunError checks a bad app propagates an error instead of panicking
+// (the old Runner panicked the process on any simulation failure).
+func TestRunError(t *testing.T) {
+	r := tinyRunner()
+	if _, err := r.Run(bg, "no-such-app", netcache.SystemNetCache, Base()); err == nil {
+		t.Fatal("expected an error for an unknown application")
 	}
 }

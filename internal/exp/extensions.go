@@ -1,6 +1,10 @@
 package exp
 
-import "netcache"
+import (
+	"context"
+
+	"netcache"
+)
 
 // The experiments in this file go beyond the paper's figures: they are the
 // design-choice ablations DESIGN.md calls out and a machine-size scaling
@@ -17,21 +21,31 @@ type AblationRow struct {
 }
 
 // AblationDualStart measures the cost of forgoing the dual-start read.
-func AblationDualStart(r *Runner) []AblationRow {
+func AblationDualStart(ctx context.Context, r *Runner) ([]AblationRow, error) {
+	apps := r.opt.apps()
+	single := Base()
+	single.SingleStartReads = true
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: single})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationRow
-	for _, app := range r.opt.apps() {
-		dual := r.Run(app, netcache.SystemNetCache, Base())
-		cfg := Base()
-		cfg.SingleStartReads = true
-		single := r.Run(app, netcache.SystemNetCache, cfg)
+	for i, app := range apps {
+		dual, sgl := res[2*i], res[2*i+1]
 		out = append(out, AblationRow{
 			App:         app,
 			DualStart:   dual.Cycles,
-			SingleStart: single.Cycles,
-			PenaltyPc:   100 * (float64(single.Cycles)/float64(dual.Cycles) - 1),
+			SingleStart: sgl.Cycles,
+			PenaltyPc:   100 * (float64(sgl.Cycles)/float64(dual.Cycles) - 1),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // ScalingRow is one point of the machine-size study.
@@ -47,31 +61,38 @@ type ScalingRow struct {
 // cache-channel interleaving consistent with the node count).
 var ScalingProcs = []int{1, 2, 4, 8, 16, 32}
 
+// ScalingSystems are the systems the machine-size study sweeps.
+var ScalingSystems = []netcache.System{netcache.SystemNetCache, netcache.SystemLambdaNet}
+
 // Scaling sweeps the node count for NetCache and LambdaNet.
-func Scaling(r *Runner) []ScalingRow {
+func Scaling(ctx context.Context, r *Runner) ([]ScalingRow, error) {
 	apps := r.opt.Apps
 	if len(apps) == 0 {
 		apps = []string{"sor", "gauss"}
 	}
-	var out []ScalingRow
+	var specs []Spec
+	var rows []ScalingRow
 	for _, app := range apps {
-		for _, sys := range []netcache.System{netcache.SystemNetCache, netcache.SystemLambdaNet} {
-			base := int64(0)
+		for _, sys := range ScalingSystems {
 			for _, p := range ScalingProcs {
 				cfg := Base()
 				cfg.Procs = p
-				res := r.Run(app, sys, cfg)
-				if p == 1 {
-					base = res.Cycles
-				}
-				out = append(out, ScalingRow{
-					App: app, System: sys.String(), Procs: p, Cycles: res.Cycles,
-					Speedup: float64(base) / float64(res.Cycles),
-				})
+				specs = append(specs, Spec{App: app, Sys: sys, Cfg: cfg})
+				rows = append(rows, ScalingRow{App: app, System: sys.String(), Procs: p})
 			}
 		}
 	}
-	return out
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Cycles = res[i].Cycles
+		// The p=1 point of each (app, system) group leads its stride.
+		base := res[i-i%len(ScalingProcs)].Cycles
+		rows[i].Speedup = float64(base) / float64(res[i].Cycles)
+	}
+	return rows, nil
 }
 
 // PrefetchRow compares the base NetCache against the Section 6 extension
@@ -84,19 +105,29 @@ type PrefetchRow struct {
 }
 
 // PrefetchStudy measures the latency-tolerance extension.
-func PrefetchStudy(r *Runner) []PrefetchRow {
+func PrefetchStudy(ctx context.Context, r *Runner) ([]PrefetchRow, error) {
+	apps := r.opt.apps()
+	pf := Base()
+	pf.Prefetch = true
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: pf})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []PrefetchRow
-	for _, app := range r.opt.apps() {
-		base := r.Run(app, netcache.SystemNetCache, Base())
-		cfg := Base()
-		cfg.Prefetch = true
-		pf := r.Run(app, netcache.SystemNetCache, cfg)
+	for i, app := range apps {
+		base, pfr := res[2*i], res[2*i+1]
 		out = append(out, PrefetchRow{
 			App:      app,
 			Base:     base.Cycles,
-			Prefetch: pf.Cycles,
-			GainPc:   100 * (1 - float64(pf.Cycles)/float64(base.Cycles)),
+			Prefetch: pfr.Cycles,
+			GainPc:   100 * (1 - float64(pfr.Cycles)/float64(base.Cycles)),
 		})
 	}
-	return out
+	return out, nil
 }

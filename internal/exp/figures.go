@@ -1,6 +1,15 @@
 package exp
 
-import "netcache"
+import (
+	"context"
+
+	"netcache"
+)
+
+// Each figure builds its full spec list up front, primes it on the worker
+// pool (one parallel sweep per figure), and then assembles rows from the
+// memoized results sequentially — so row order and contents are identical
+// at any worker count.
 
 // Fig5Row is one bar of Figure 5 (speedup of the 16-node NetCache machine).
 type Fig5Row struct {
@@ -12,19 +21,29 @@ type Fig5Row struct {
 
 // Figure5 regenerates the speedup bars: a 1-node and a 16-node NetCache run
 // per application.
-func Figure5(r *Runner) []Fig5Row {
+func Figure5(ctx context.Context, r *Runner) ([]Fig5Row, error) {
+	apps := r.opt.apps()
+	one := Base()
+	one.Procs = 1
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: one},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig5Row
-	for _, app := range r.opt.apps() {
-		one := Base()
-		one.Procs = 1
-		t1 := r.Run(app, netcache.SystemNetCache, one)
-		t16 := r.Run(app, netcache.SystemNetCache, Base())
+	for i, app := range apps {
+		t1, t16 := res[2*i], res[2*i+1]
 		out = append(out, Fig5Row{
 			App: app, T1: t1.Cycles, T16: t16.Cycles,
 			Speedup: float64(t1.Cycles) / float64(t16.Cycles),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Fig6Row is one application group of Figure 6: run times of the four
@@ -42,16 +61,27 @@ var Fig6Systems = []netcache.System{
 }
 
 // Figure6 regenerates the run-time comparison of the four systems.
-func Figure6(r *Runner) []Fig6Row {
+func Figure6(ctx context.Context, r *Runner) ([]Fig6Row, error) {
+	apps := r.opt.apps()
+	var specs []Spec
+	for _, app := range apps {
+		for _, sys := range Fig6Systems {
+			specs = append(specs, Spec{App: app, Sys: sys, Cfg: Base()})
+		}
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig6Row
-	for _, app := range r.opt.apps() {
+	for i, app := range apps {
 		row := Fig6Row{App: app, Cycles: map[string]int64{}, Norm: map[string]float64{}}
 		base := int64(0)
-		for _, sys := range Fig6Systems {
-			res := r.Run(app, sys, Base())
-			row.Cycles[sys.String()] = res.Cycles
+		for j, sys := range Fig6Systems {
+			c := res[i*len(Fig6Systems)+j].Cycles
+			row.Cycles[sys.String()] = c
 			if sys == netcache.SystemNetCache {
-				base = res.Cycles
+				base = c
 			}
 		}
 		for k, v := range row.Cycles {
@@ -59,7 +89,7 @@ func Figure6(r *Runner) []Fig6Row {
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // Fig7Row is one application group of Figure 7: read latency as % of run
@@ -74,11 +104,21 @@ type Fig7Row struct {
 }
 
 // Figure7 regenerates the data-caching effectiveness study.
-func Figure7(r *Runner) []Fig7Row {
+func Figure7(ctx context.Context, r *Runner) ([]Fig7Row, error) {
+	apps := r.opt.apps()
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemOptNet, Cfg: Base()},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig7Row
-	for _, app := range r.opt.apps() {
-		noRing := r.Run(app, netcache.SystemOptNet, Base())
-		with := r.Run(app, netcache.SystemNetCache, Base())
+	for i, app := range apps {
+		noRing, with := res[2*i], res[2*i+1]
 		row := Fig7Row{
 			App:             app,
 			ReadLatFraction: 100 * noRing.ReadLatencyFraction,
@@ -92,7 +132,7 @@ func Figure7(r *Runner) []Fig7Row {
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // SharedSizesKB are the Figure 8-10 shared-cache sizes (0 = OPTNET).
@@ -105,19 +145,30 @@ type Fig8Row struct {
 }
 
 // Figure8 regenerates the hit-rate vs shared-cache-size study.
-func Figure8(r *Runner) []Fig8Row {
-	var out []Fig8Row
-	for _, app := range r.opt.apps() {
-		row := Fig8Row{App: app, Hits: map[int]float64{}}
-		for _, kb := range SharedSizesKB[1:] {
+func Figure8(ctx context.Context, r *Runner) ([]Fig8Row, error) {
+	apps := r.opt.apps()
+	sizes := SharedSizesKB[1:]
+	var specs []Spec
+	for _, app := range apps {
+		for _, kb := range sizes {
 			cfg := Base()
 			cfg.SharedCacheKB = kb
-			res := r.Run(app, netcache.SystemNetCache, cfg)
-			row.Hits[kb] = 100 * res.SharedCacheHitRate
+			specs = append(specs, Spec{App: app, Sys: netcache.SystemNetCache, Cfg: cfg})
+		}
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Row
+	for i, app := range apps {
+		row := Fig8Row{App: app, Hits: map[int]float64{}}
+		for j, kb := range sizes {
+			row.Hits[kb] = 100 * res[i*len(sizes)+j].SharedCacheHitRate
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // Fig910Row carries Figures 9 and 10: read latency and run time for shared
@@ -130,26 +181,40 @@ type Fig910Row struct {
 }
 
 // Figure9And10 regenerates the latency and run-time vs size studies.
-func Figure9And10(r *Runner) []Fig910Row {
-	var out []Fig910Row
-	for _, app := range r.opt.apps() {
-		row := Fig910Row{App: app,
-			ReadLat: map[int]float64{}, RunTime: map[int]float64{}, Absolute: map[int]int64{}}
-		base := r.Run(app, netcache.SystemOptNet, Base())
-		row.ReadLat[0], row.RunTime[0], row.Absolute[0] = 1, 1, base.Cycles
-		for _, kb := range SharedSizesKB[1:] {
+func Figure9And10(ctx context.Context, r *Runner) ([]Fig910Row, error) {
+	apps := r.opt.apps()
+	sizes := SharedSizesKB[1:]
+	stride := 1 + len(sizes)
+	var specs []Spec
+	for _, app := range apps {
+		specs = append(specs, Spec{App: app, Sys: netcache.SystemOptNet, Cfg: Base()})
+		for _, kb := range sizes {
 			cfg := Base()
 			cfg.SharedCacheKB = kb
-			res := r.Run(app, netcache.SystemNetCache, cfg)
+			specs = append(specs, Spec{App: app, Sys: netcache.SystemNetCache, Cfg: cfg})
+		}
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig910Row
+	for i, app := range apps {
+		row := Fig910Row{App: app,
+			ReadLat: map[int]float64{}, RunTime: map[int]float64{}, Absolute: map[int]int64{}}
+		base := res[i*stride]
+		row.ReadLat[0], row.RunTime[0], row.Absolute[0] = 1, 1, base.Cycles
+		for j, kb := range sizes {
+			sized := res[i*stride+1+j]
 			if base.ReadStall > 0 {
-				row.ReadLat[kb] = float64(res.ReadStall) / float64(base.ReadStall)
+				row.ReadLat[kb] = float64(sized.ReadStall) / float64(base.ReadStall)
 			}
-			row.RunTime[kb] = float64(res.Cycles) / float64(base.Cycles)
-			row.Absolute[kb] = res.Cycles
+			row.RunTime[kb] = float64(sized.Cycles) / float64(base.Cycles)
+			row.Absolute[kb] = sized.Cycles
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // BlockSizeRow is the Section 5.3.2 shared-cache block-size study.
@@ -163,13 +228,23 @@ type BlockSizeRow struct {
 }
 
 // BlockSize regenerates the Section 5.3.2 experiment.
-func BlockSize(r *Runner) []BlockSizeRow {
+func BlockSize(ctx context.Context, r *Runner) ([]BlockSizeRow, error) {
+	apps := r.opt.apps()
+	wide := Base()
+	wide.SharedLineBytes = 128
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: wide})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []BlockSizeRow
-	for _, app := range r.opt.apps() {
-		b64 := r.Run(app, netcache.SystemNetCache, Base())
-		cfg := Base()
-		cfg.SharedLineBytes = 128
-		b128 := r.Run(app, netcache.SystemNetCache, cfg)
+	for i, app := range apps {
+		b64, b128 := res[2*i], res[2*i+1]
 		out = append(out, BlockSizeRow{
 			App:       app,
 			Cycles64:  b64.Cycles,
@@ -179,7 +254,7 @@ func BlockSize(r *Runner) []BlockSizeRow {
 			Hit128:    100 * b128.SharedCacheHitRate,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Fig11Row is the Section 5.3.3 associativity study: fully-associative vs
@@ -191,20 +266,29 @@ type Fig11Row struct {
 }
 
 // Figure11 regenerates the associativity study.
-func Figure11(r *Runner) []Fig11Row {
+func Figure11(ctx context.Context, r *Runner) ([]Fig11Row, error) {
+	apps := r.opt.apps()
+	dm := Base()
+	dm.SharedDirectMap = true
+	specs := make([]Spec, 0, 2*len(apps))
+	for _, app := range apps {
+		specs = append(specs,
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()},
+			Spec{App: app, Sys: netcache.SystemNetCache, Cfg: dm})
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig11Row
-	for _, app := range r.opt.apps() {
-		full := r.Run(app, netcache.SystemNetCache, Base())
-		cfg := Base()
-		cfg.SharedDirectMap = true
-		dm := r.Run(app, netcache.SystemNetCache, cfg)
+	for i, app := range apps {
 		out = append(out, Fig11Row{
 			App:       app,
-			HitFully:  100 * full.SharedCacheHitRate,
-			HitDirect: 100 * dm.SharedCacheHitRate,
+			HitFully:  100 * res[2*i].SharedCacheHitRate,
+			HitDirect: 100 * res[2*i+1].SharedCacheHitRate,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Policies is the Figure 12 bar order.
@@ -219,19 +303,29 @@ type Fig12Row struct {
 }
 
 // Figure12 regenerates the replacement-policy study.
-func Figure12(r *Runner) []Fig12Row {
-	var out []Fig12Row
-	for _, app := range r.opt.apps() {
-		row := Fig12Row{App: app, Hits: map[string]float64{}}
+func Figure12(ctx context.Context, r *Runner) ([]Fig12Row, error) {
+	apps := r.opt.apps()
+	var specs []Spec
+	for _, app := range apps {
 		for _, pol := range Policies {
 			cfg := Base()
 			cfg.SharedPolicy = pol
-			res := r.Run(app, netcache.SystemNetCache, cfg)
-			row.Hits[pol.String()] = 100 * res.SharedCacheHitRate
+			specs = append(specs, Spec{App: app, Sys: netcache.SystemNetCache, Cfg: cfg})
+		}
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Row
+	for i, app := range apps {
+		row := Fig12Row{App: app, Hits: map[string]float64{}}
+		for j, pol := range Policies {
+			row.Hits[pol.String()] = 100 * res[i*len(Policies)+j].SharedCacheHitRate
 		}
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // SweepRow is one point of the Figures 13-15 parameter sweeps.
@@ -246,36 +340,44 @@ type SweepRow struct {
 // used in Section 5.4.
 var SweepApps = []string{"gauss", "radix"}
 
-func (r *Runner) sweep(xs []int, set func(*netcache.Config, int)) []SweepRow {
+func (r *Runner) sweep(ctx context.Context, xs []int, set func(*netcache.Config, int)) ([]SweepRow, error) {
 	apps := r.opt.Apps
 	if len(apps) == 0 {
 		apps = SweepApps
 	}
-	var out []SweepRow
+	var specs []Spec
+	var rows []SweepRow
 	for _, app := range apps {
 		for _, sys := range Fig6Systems {
 			for _, x := range xs {
 				cfg := Base()
 				set(&cfg, x)
-				res := r.Run(app, sys, cfg)
-				out = append(out, SweepRow{App: app, System: sys.String(), X: x, Cycles: res.Cycles})
+				specs = append(specs, Spec{App: app, Sys: sys, Cfg: cfg})
+				rows = append(rows, SweepRow{App: app, System: sys.String(), X: x})
 			}
 		}
 	}
-	return out
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Cycles = res[i].Cycles
+	}
+	return rows, nil
 }
 
 // Figure13 sweeps the second-level cache size (16/32/64 KB).
-func Figure13(r *Runner) []SweepRow {
-	return r.sweep([]int{16, 32, 64}, func(c *netcache.Config, kb int) { c.L2Bytes = kb * 1024 })
+func Figure13(ctx context.Context, r *Runner) ([]SweepRow, error) {
+	return r.sweep(ctx, []int{16, 32, 64}, func(c *netcache.Config, kb int) { c.L2Bytes = kb * 1024 })
 }
 
 // Figure14 sweeps the optical transmission rate (5/10/20 Gb/s).
-func Figure14(r *Runner) []SweepRow {
-	return r.sweep([]int{5, 10, 20}, func(c *netcache.Config, g int) { c.GbitsPerSec = g })
+func Figure14(ctx context.Context, r *Runner) ([]SweepRow, error) {
+	return r.sweep(ctx, []int{5, 10, 20}, func(c *netcache.Config, g int) { c.GbitsPerSec = g })
 }
 
 // Figure15 sweeps the memory block read latency (44/76/108 pcycles).
-func Figure15(r *Runner) []SweepRow {
-	return r.sweep([]int{44, 76, 108}, func(c *netcache.Config, pc int) { c.MemBlockRead = pc })
+func Figure15(ctx context.Context, r *Runner) ([]SweepRow, error) {
+	return r.sweep(ctx, []int{44, 76, 108}, func(c *netcache.Config, pc int) { c.MemBlockRead = pc })
 }

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netcache"
+)
+
+// parallelMatrix is a small app/system matrix exercising every protocol.
+func parallelMatrix() []Spec {
+	var specs []Spec
+	for _, app := range []string{"sor", "gauss"} {
+		for _, sys := range Fig6Systems {
+			specs = append(specs, Spec{App: app, Sys: sys, Cfg: Base()})
+		}
+	}
+	return specs
+}
+
+// TestParallelDeterminism runs the matrix sequentially (Workers=1) and with
+// four workers and asserts every full Result struct — cycles, read/write
+// counters, protocol maps, raw per-node stats — is bit-identical. This is
+// the acceptance property behind -j: parallelism only exists between
+// simulations, so worker count can never change a result.
+func TestParallelDeterminism(t *testing.T) {
+	specs := parallelMatrix()
+
+	seq := NewRunner(Options{Scale: 0.06, Workers: 1})
+	if err := seq.Prime(context.Background(), specs); err != nil {
+		t.Fatalf("sequential prime: %v", err)
+	}
+	par := NewRunner(Options{Scale: 0.06, Workers: 4})
+	if err := par.Prime(context.Background(), specs); err != nil {
+		t.Fatalf("parallel prime: %v", err)
+	}
+
+	for _, s := range specs {
+		a, err := seq.Run(context.Background(), s.App, s.Sys, s.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Run(context.Background(), s.App, s.Sys, s.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s on %s: sequential and 4-worker results differ\nseq: %+v\npar: %+v",
+				s.App, s.Sys, a, b)
+		}
+	}
+}
+
+// TestPrimeDedup checks identical specs in one batch simulate once
+// (singleflight) while still filling every requested slot.
+func TestPrimeDedup(t *testing.T) {
+	var executed atomic.Int64
+	r := NewRunner(Options{
+		Scale:   0.06,
+		Workers: 4,
+		Progress: func(string, ...interface{}) {
+			executed.Add(1)
+		},
+	})
+	spec := Spec{App: "sor", Sys: netcache.SystemNetCache, Cfg: Base()}
+	specs := []Spec{spec, spec, spec, spec}
+	if err := r.Prime(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 1 {
+		t.Fatalf("4 identical specs executed %d times, want 1", n)
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(r.cache))
+	}
+}
+
+// TestCancelMidSweep cancels the context after the first completed run of a
+// larger sweep and checks Prime returns promptly with context.Canceled while
+// keeping the already-finished results cached (partial results).
+func TestCancelMidSweep(t *testing.T) {
+	var specs []Spec
+	for _, app := range []string{"sor", "gauss", "radix", "cg", "fft", "lu"} {
+		specs = append(specs, Spec{App: app, Sys: netcache.SystemNetCache, Cfg: Base()})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r := NewRunner(Options{
+		Scale:   0.06,
+		Workers: 2,
+		Progress: func(string, ...interface{}) {
+			cancel() // first completion cancels the rest of the sweep
+		},
+	})
+
+	start := time.Now()
+	err := r.Prime(ctx, specs)
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("cancelled sweep took %v, not prompt", wall)
+	}
+	r.mu.Lock()
+	done := len(r.cache)
+	r.mu.Unlock()
+	if done == 0 {
+		t.Fatal("no partial results cached")
+	}
+	if done == len(specs) {
+		t.Fatal("every run completed; cancellation had no effect")
+	}
+}

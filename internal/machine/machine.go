@@ -6,6 +6,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"netcache/internal/mem"
@@ -147,10 +148,22 @@ func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
 // Run executes body on every processor and returns the collected run
 // statistics. A machine can only run once.
 func (m *Machine) Run(body func(*Ctx)) (RunStats, error) {
+	return m.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (or its
+// deadline passes) the engine aborts the simulation promptly, joins every
+// processor goroutine, and returns an error wrapping ctx.Err(). The context
+// is only polled between scheduler steps, so a context that never fires
+// cannot change the simulated timeline.
+func (m *Machine) RunContext(ctx context.Context, body func(*Ctx)) (RunStats, error) {
 	if m.finished {
 		return RunStats{}, fmt.Errorf("machine: Run called twice")
 	}
 	m.finished = true
+	if ctx != nil && ctx.Done() != nil {
+		m.Eng.Interrupt = ctx.Err
+	}
 	cycles, err := m.Eng.Run(func(p *sim.Proc) {
 		body(&Ctx{M: m, P: p, N: m.Nodes[p.ID]})
 	})

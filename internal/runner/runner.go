@@ -1,0 +1,149 @@
+// Package runner schedules independent simulation runs on a bounded worker
+// pool.
+//
+// Each simulation is internally bit-deterministic (the one-runnable-goroutine
+// discipline of internal/sim), so whole runs can execute concurrently with
+// zero result drift: parallelism lives strictly *between* simulations, never
+// within one. The runner adds the orchestration the evaluation harness needs
+// on top of that observation: a worker pool sized by GOMAXPROCS or an
+// explicit -j, context cancellation, per-run timeouts, panic recovery into
+// errors, singleflight deduplication of identical specs, progress callbacks,
+// and result ordering that is independent of completion order.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configure one Map call.
+type Options[T any] struct {
+	// Workers bounds the number of concurrently executing jobs.
+	// Non-positive means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Timeout, when positive, bounds each job's wall-clock time. A job
+	// whose Run observes its context returns promptly with an error
+	// wrapping context.DeadlineExceeded.
+	Timeout time.Duration
+
+	// OnDone, when non-nil, is called once per job execution (deduplicated
+	// jobs report once, on their leader). It runs on worker goroutines and
+	// must be safe for concurrent use.
+	OnDone func(Done[T])
+}
+
+// Done describes one finished job execution, for progress reporting.
+type Done[T any] struct {
+	Index  int    // position of the executed job in the Map slice
+	Key    string // the job's dedup key ("" if none)
+	Value  T
+	Err    error
+	Wall   time.Duration
+	Shared int // additional jobs served by this same execution
+}
+
+// Job is one unit of work.
+type Job[T any] struct {
+	// Key identifies the job for singleflight deduplication: jobs with
+	// equal non-empty keys within one Map call execute once and share the
+	// result. An empty key is never deduplicated.
+	Key string
+
+	// Run performs the work. It receives a context that is cancelled when
+	// the Map context is cancelled or the per-job timeout expires.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one job.
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// Map executes jobs on a worker pool and returns one Result per job, in job
+// order regardless of completion order. Jobs are dispatched in slice order.
+// A panicking job is recovered into its Result's Err. When ctx is cancelled,
+// jobs that have not started return ctx.Err() without running; jobs already
+// running are interrupted if their Run observes the context.
+func Map[T any](ctx context.Context, opt Options[T], jobs []Job[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+
+	// Group jobs by key: one execution per group, fanned out to members.
+	groups := make([][]int, 0, len(jobs))
+	byKey := make(map[string]int)
+	for i, j := range jobs {
+		if j.Key != "" {
+			if g, ok := byKey[j.Key]; ok {
+				groups[g] = append(groups[g], i)
+				continue
+			}
+			byKey[j.Key] = len(groups)
+		}
+		groups = append(groups, []int{i})
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) {
+					return
+				}
+				members := groups[g]
+				lead := members[0]
+				var res Result[T]
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+				} else {
+					start := time.Now()
+					res.Value, res.Err = runOne(ctx, opt.Timeout, jobs[lead].Run)
+					if opt.OnDone != nil {
+						opt.OnDone(Done[T]{
+							Index: lead, Key: jobs[lead].Key,
+							Value: res.Value, Err: res.Err,
+							Wall: time.Since(start), Shared: len(members) - 1,
+						})
+					}
+				}
+				for _, i := range members {
+					results[i] = res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with the per-job timeout applied and panics
+// recovered into errors.
+func runOne[T any](ctx context.Context, timeout time.Duration, run func(context.Context) (T, error)) (val T, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job panicked: %v", r)
+		}
+	}()
+	return run(ctx)
+}

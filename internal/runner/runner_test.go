@@ -1,0 +1,142 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering checks results land at their job's index regardless of
+// completion order.
+func TestMapOrdering(t *testing.T) {
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func(context.Context) (int, error) {
+			if i%3 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return i * i, nil
+		}}
+	}
+	res := Map(context.Background(), Options[int]{Workers: 8}, jobs)
+	for i, r := range res {
+		if r.Err != nil || r.Value != i*i {
+			t.Fatalf("result %d = (%d, %v), want (%d, nil)", i, r.Value, r.Err, i*i)
+		}
+	}
+}
+
+// TestMapDedup checks jobs sharing a key execute once and all receive the
+// shared result, while empty keys never dedup.
+func TestMapDedup(t *testing.T) {
+	var runs atomic.Int64
+	mk := func(key string) Job[int64] {
+		return Job[int64]{Key: key, Run: func(context.Context) (int64, error) {
+			return runs.Add(1), nil
+		}}
+	}
+	jobs := []Job[int64]{mk("a"), mk("a"), mk("b"), mk("a"), mk(""), mk("")}
+	res := Map(context.Background(), Options[int64]{Workers: 1}, jobs)
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("%d executions, want 4 (a, b, and two keyless)", got)
+	}
+	if res[0].Value != res[1].Value || res[1].Value != res[3].Value {
+		t.Fatalf("jobs keyed 'a' got different results: %+v", res)
+	}
+	if res[4].Value == res[5].Value {
+		t.Fatalf("keyless jobs were wrongly deduplicated: %+v", res)
+	}
+}
+
+// TestMapPanicRecovery checks a panicking job becomes an error without
+// taking down the pool or its neighbours.
+func TestMapPanicRecovery(t *testing.T) {
+	jobs := []Job[int]{
+		{Run: func(context.Context) (int, error) { return 1, nil }},
+		{Run: func(context.Context) (int, error) { panic("boom") }},
+		{Run: func(context.Context) (int, error) { return 3, nil }},
+	}
+	res := Map(context.Background(), Options[int]{Workers: 2}, jobs)
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %+v", res)
+	}
+	if res[1].Err == nil || res[1].Value != 0 {
+		t.Fatalf("panicking job did not become an error: %+v", res[1])
+	}
+}
+
+// TestMapTimeout checks the per-job timeout cancels a job's context.
+func TestMapTimeout(t *testing.T) {
+	jobs := []Job[int]{{Run: func(ctx context.Context) (int, error) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return 1, nil
+		}
+	}}}
+	start := time.Now()
+	res := Map(context.Background(), Options[int]{Workers: 1, Timeout: 20 * time.Millisecond}, jobs)
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", res[0].Err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout was not prompt")
+	}
+}
+
+// TestMapCancellation checks unstarted jobs are skipped with ctx.Err().
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func(context.Context) (int, error) {
+			started.Add(1)
+			cancel() // first job to run cancels the rest
+			return i, nil
+		}}
+	}
+	res := Map(ctx, Options[int]{Workers: 1}, jobs)
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d jobs started after cancellation, want 1", n)
+	}
+	var skipped int
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped != len(jobs)-1 {
+		t.Fatalf("%d jobs skipped, want %d", skipped, len(jobs)-1)
+	}
+}
+
+// TestOnDone checks the progress callback reports each execution once with
+// its dedup fan-out count.
+func TestOnDone(t *testing.T) {
+	var calls atomic.Int64
+	var shared atomic.Int64
+	jobs := []Job[string]{
+		{Key: "x", Run: func(context.Context) (string, error) { return "v", nil }},
+		{Key: "x", Run: func(context.Context) (string, error) { return "v", nil }},
+		{Key: "y", Run: func(context.Context) (string, error) { return "", fmt.Errorf("nope") }},
+	}
+	Map(context.Background(), Options[string]{
+		Workers: 2,
+		OnDone: func(d Done[string]) {
+			calls.Add(1)
+			shared.Add(int64(d.Shared))
+		},
+	}, jobs)
+	if calls.Load() != 2 {
+		t.Fatalf("OnDone called %d times, want 2", calls.Load())
+	}
+	if shared.Load() != 1 {
+		t.Fatalf("total shared = %d, want 1", shared.Load())
+	}
+}

@@ -23,6 +23,15 @@ import (
 	"fmt"
 )
 
+// interruptEvery is how many scheduler iterations pass between Interrupt
+// polls. Polling is off the per-event hot path often enough to stay cheap
+// while still bounding abort latency to a few thousand events.
+const interruptEvery = 1024
+
+// abortSignal is panicked through app code to unwind a poisoned processor
+// goroutine during an engine abort. It never escapes the package.
+type abortSignal struct{}
+
 // Time is a simulation timestamp in processor cycles (pcycles).
 type Time int64
 
@@ -75,9 +84,10 @@ type Proc struct {
 	clock Time
 	state procState
 
-	svc    func() // pending service, run in engine context at clock
-	resume chan struct{}
-	yield  chan yieldKind
+	svc      func() // pending service, run in engine context at clock
+	resume   chan struct{}
+	yield    chan yieldKind
+	poisoned bool // set by the engine before resuming a proc it is aborting
 }
 
 type yieldKind int
@@ -89,6 +99,13 @@ const (
 
 // Engine drives the simulation.
 type Engine struct {
+	// Interrupt, when non-nil, is polled periodically from the scheduler
+	// loop; returning a non-nil error aborts the run with that error. Wire
+	// a context.Context's Err method here for cancellation and timeouts.
+	// Polling never runs between a processor's service and its resume, so
+	// an Interrupt that never fires cannot perturb the simulated timeline.
+	Interrupt func() error
+
 	now    Time
 	seq    uint64
 	events eventHeap
@@ -138,6 +155,10 @@ func (e *Engine) fail(err error) {
 // Run starts all processors at cycle 0, each executing fn, and drives the
 // simulation until every processor's app function has returned. It returns
 // the final time (the maximum completion cycle over all processors).
+//
+// A panic in app code, and a non-nil Interrupt poll, both abort the run: the
+// engine unwinds and joins every processor goroutine (no leaks) and returns
+// the failure as an error.
 func (e *Engine) Run(fn func(*Proc)) (Time, error) {
 	for _, p := range e.procs {
 		p.state = procResume
@@ -146,8 +167,37 @@ func (e *Engine) Run(fn func(*Proc)) (Time, error) {
 	}
 	e.live = len(e.procs)
 
-	var finish Time
+	finish := e.loop()
+	e.drain()
+	if e.failed != nil {
+		return e.now, e.failed
+	}
+	if finish < e.now {
+		finish = e.now
+	}
+	e.now = finish
+	return finish, nil
+}
+
+// loop is the scheduler: it advances the clock until every processor is done
+// or the run fails. A panic out of an event or service closure (protocol
+// machinery) is converted into a run failure so Run can still join the
+// processor goroutines.
+func (e *Engine) loop() (finish Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("sim: engine panic at cycle %d: %v", e.now, r))
+		}
+	}()
+	var iters uint64
 	for e.live > 0 && e.failed == nil {
+		iters++
+		if e.Interrupt != nil && iters%interruptEvery == 0 {
+			if err := e.Interrupt(); err != nil {
+				e.fail(fmt.Errorf("sim: aborted at cycle %d: %w", e.now, err))
+				return finish
+			}
+		}
 		// Find the earliest pending action.
 		evAt := Forever
 		if len(e.events) > 0 {
@@ -163,7 +213,8 @@ func (e *Engine) Run(fn func(*Proc)) (Time, error) {
 		}
 		if evAt <= procAt {
 			if evAt == Forever {
-				return e.now, fmt.Errorf("sim: deadlock at cycle %d: %d processors blocked with no pending events", e.now, e.live)
+				e.fail(fmt.Errorf("sim: deadlock at cycle %d: %d processors blocked with no pending events", e.now, e.live))
+				return finish
 			}
 			ev := heap.Pop(&e.events).(*event)
 			e.now = ev.at
@@ -190,14 +241,23 @@ func (e *Engine) Run(fn func(*Proc)) (Time, error) {
 			}
 		}
 	}
-	if e.failed != nil {
-		return e.now, e.failed
+	return finish
+}
+
+// drain poisons and joins every processor goroutine that has not finished.
+// Every live processor is parked at <-p.resume (in Invoke, or in run before
+// its first resume), so one resume/yield round trip unwinds each cleanly.
+func (e *Engine) drain() {
+	for _, p := range e.procs {
+		if p.state == procDone || p.state == procIdle {
+			continue
+		}
+		p.poisoned = true
+		p.resume <- struct{}{}
+		<-p.yield
+		p.state = procDone
+		e.live--
 	}
-	if finish < e.now {
-		finish = e.now
-	}
-	e.now = finish
-	return finish, nil
 }
 
 func (p *Proc) runService() {
@@ -208,8 +268,18 @@ func (p *Proc) runService() {
 
 func (p *Proc) run(fn func(*Proc)) {
 	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if _, aborting := r.(abortSignal); !aborting {
+				p.eng.fail(fmt.Errorf("sim: proc %d panicked: %v", p.ID, r))
+			}
+		}
+		p.yield <- yieldDone
+	}()
+	if p.poisoned {
+		return
+	}
 	fn(p)
-	p.yield <- yieldDone
 }
 
 // Clock returns the processor's local clock. Valid from both app code and
@@ -234,6 +304,9 @@ func (p *Proc) Invoke(svc func()) {
 	p.svc = svc
 	p.yield <- yieldService
 	<-p.resume
+	if p.poisoned {
+		panic(abortSignal{})
+	}
 }
 
 // ResumeAt marks the processor runnable again at time t. Must be called from

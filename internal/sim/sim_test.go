@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // TestSingleProcAdvance checks that pure computation advances the clock.
@@ -236,6 +239,85 @@ func TestEventOrderingWithinCycle(t *testing.T) {
 		if v != i {
 			t.Fatalf("same-cycle events out of order: %v", log)
 		}
+	}
+}
+
+// TestInterruptAborts checks a firing Interrupt hook stops the run with its
+// error and joins every processor goroutine (no leaks).
+func TestInterruptAborts(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("cancelled")
+	e := NewEngine(4)
+	polls := 0
+	e.Interrupt = func() error {
+		polls++
+		if polls >= 2 {
+			return boom
+		}
+		return nil
+	}
+	_, err := e.Run(func(p *Proc) {
+		for { // never terminates on its own
+			p.Advance(1)
+			p.Invoke(func() { p.ResumeAt(p.Clock()) })
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	// All four processor goroutines must have unwound.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines leaked after abort", n-before)
+	}
+}
+
+// TestInterruptCleanRunUnchanged checks a non-firing Interrupt cannot
+// perturb the simulated timeline.
+func TestInterruptCleanRunUnchanged(t *testing.T) {
+	run := func(hook bool) Time {
+		e := NewEngine(3)
+		if hook {
+			e.Interrupt = func() error { return nil }
+		}
+		final, err := e.Run(func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Advance(Time(p.ID + 1))
+				p.Invoke(func() { p.ResumeAt(p.Clock() + 2) })
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("interrupt hook changed the timeline: %d vs %d", a, b)
+	}
+}
+
+// TestProcPanicBecomesError checks a panic in app code is recovered into a
+// run error instead of crashing the process, and the sibling processors are
+// unwound.
+func TestProcPanicBecomesError(t *testing.T) {
+	e := NewEngine(2)
+	_, err := e.Run(func(p *Proc) {
+		if p.ID == 1 {
+			p.Advance(10)
+			p.Invoke(func() { p.ResumeAt(p.Clock()) })
+			panic("app bug")
+		}
+		for i := 0; i < 1000; i++ {
+			p.Advance(1)
+			p.Invoke(func() { p.ResumeAt(p.Clock()) })
+		}
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking processor")
 	}
 }
 

@@ -10,11 +10,15 @@ import (
 	"strings"
 )
 
+// numBuckets is the number of log2 buckets a Histogram holds; bucket
+// numBuckets-1 absorbs every sample of 2^(numBuckets-1) and above.
+const numBuckets = 40
+
 // Histogram is a log2-bucketed latency histogram: bucket i counts samples
 // in [2^i, 2^(i+1)), with bucket 0 holding samples <= 1. It is cheap enough
 // to sit on the simulator's read path.
 type Histogram struct {
-	Buckets [40]uint64
+	Buckets [numBuckets]uint64
 	N       uint64
 	Sum     uint64
 	MaxV    uint64
@@ -36,7 +40,7 @@ func (h *Histogram) Add(v int64) {
 
 func bucketOf(u uint64) int {
 	b := 0
-	for u > 1 && b < len([40]uint64{})-1 {
+	for u > 1 && b < numBuckets-1 {
 		u >>= 1
 		b++
 	}

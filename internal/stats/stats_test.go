@@ -136,3 +136,41 @@ func TestSeriesSorted(t *testing.T) {
 		t.Fatalf("unsorted %+v", pts)
 	}
 }
+
+// TestBucketBoundaries pins the edges of the log2 bucketing: bucket 0 holds
+// samples <= 1, each power of two starts its own bucket, and everything at
+// or above 2^(numBuckets-1) saturates into the top bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, // negatives clamp to zero
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{1 << 38, numBuckets - 2},
+		{1<<39 - 1, numBuckets - 2},
+		{1 << 39, numBuckets - 1},
+		{1<<62 - 1, numBuckets - 1}, // far past the top boundary still saturates
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Add(c.v)
+		got := -1
+		for i, n := range h.Buckets {
+			if n > 0 {
+				got = i
+				break
+			}
+		}
+		if got != c.want {
+			t.Errorf("Add(%d) landed in bucket %d, want %d", c.v, got, c.want)
+		}
+	}
+	if numBuckets != len(Histogram{}.Buckets) {
+		t.Fatal("numBuckets out of sync with the Buckets array")
+	}
+}

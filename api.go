@@ -75,12 +75,18 @@ func Run(spec RunSpec) (Result, error) {
 // steps only, so a context that never fires cannot perturb the run —
 // results stay bit-identical to Run.
 func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
-	if spec.Scale == 0 {
-		spec.Scale = 0.25
-	}
 	app, err := apps.New(spec.App)
 	if err != nil {
 		return Result{}, err
+	}
+	return runApp(ctx, spec, app)
+}
+
+// runApp executes one prepared app instance; split from RunContext so tests
+// can drive the pipeline with synthetic apps (e.g. a failing Verify).
+func runApp(ctx context.Context, spec RunSpec, app apps.App) (Result, error) {
+	if spec.Scale == 0 {
+		spec.Scale = 0.25
 	}
 	m := NewMachine(spec.System, spec.Config)
 	var tb *trace.Buffer
@@ -92,14 +98,17 @@ func RunContext(ctx context.Context, spec RunSpec) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("netcache: %s on %s: %w", spec.App, spec.System, err)
 	}
-	if spec.Verify {
-		if err := app.Verify(); err != nil {
-			return Result{}, fmt.Errorf("netcache: %s on %s: verification: %w", spec.App, spec.System, err)
-		}
-	}
 	res := summarize(spec.App, rs)
 	if tb != nil {
 		res.Trace = tb.Events()
+	}
+	if spec.Verify {
+		if err := app.Verify(); err != nil {
+			// Return the partial Result alongside the error: the recorded
+			// transaction tail (res.Trace) is most useful exactly when
+			// verification fails.
+			return res, fmt.Errorf("netcache: %s on %s: verification: %w", spec.App, spec.System, err)
+		}
 	}
 	return res, nil
 }
@@ -200,13 +209,17 @@ type BatchResult struct {
 // RunBatch simulates every spec concurrently on a worker pool and returns
 // one BatchResult per spec, in spec order regardless of completion order.
 // Each simulation is bit-deterministic and independent, so the results are
-// identical to running the specs sequentially. When ctx is cancelled,
-// not-yet-started specs fail with ctx.Err() and running ones abort promptly;
-// completed entries keep their results (partial results, not a panic).
+// identical to running the specs sequentially. Specs with equal canonical
+// keys (see RunSpec.Key) are simulated once and share the result. When ctx
+// is cancelled, not-yet-started specs fail with ctx.Err() and running ones
+// abort promptly; completed entries keep their results (partial results,
+// not a panic).
 func RunBatch(ctx context.Context, opt BatchOptions, specs []RunSpec) []BatchResult {
 	jobs := make([]runner.Job[Result], len(specs))
 	for i, spec := range specs {
+		key, _ := spec.Key() // "" on error: run without dedup
 		jobs[i] = runner.Job[Result]{
+			Key: key,
 			Run: func(ctx context.Context) (Result, error) { return RunContext(ctx, spec) },
 		}
 	}

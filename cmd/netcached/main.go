@@ -1,0 +1,102 @@
+// Command netcached serves netcache simulations over HTTP with a
+// content-addressed result store: identical requests are answered from disk,
+// concurrent identical requests coalesce into one simulation, and only
+// genuinely novel specs burn CPU (simulations are bit-deterministic, so a
+// result is a pure function of its spec).
+//
+// Usage:
+//
+//	netcached -addr :8100 -store /var/cache/netcached \
+//	          -store-max-bytes 1073741824 -j 8 -timeout 10m
+//
+// Endpoints:
+//
+//	POST /v1/run     one RunSpec -> Result JSON
+//	POST /v1/batch   {"specs":[...]} -> {"results":[...]} in spec order
+//	GET  /v1/apps    the Table 4 application list
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    Prometheus text format
+//
+// Example:
+//
+//	curl -s localhost:8100/v1/run -d '{"App":"sor","System":"netcache","Scale":0.25}'
+//
+// On SIGINT/SIGTERM the daemon drains: new simulations are refused,
+// in-flight ones finish within -drain, and past that deadline they are
+// aborted through the simulation engines' interrupt path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netcache/internal/server"
+	"netcache/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8100", "listen address")
+		storeDir = flag.String("store", "", "result store directory (empty = no persistent store)")
+		maxBytes = flag.Int64("store-max-bytes", 1<<30, "store size bound; LRU-evicted beyond it (0 = unbounded)")
+		jobs     = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 15*time.Minute, "per-simulation wall-clock limit (0 = none)")
+		queue    = flag.Int("queue", 64, "admission queue depth beyond the worker count")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain deadline before in-flight simulations are aborted")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "netcached: ", log.LstdFlags)
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *maxBytes)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("store %s (%d entries, %d bytes)", *storeDir, st.Stats().Entries, st.Stats().Bytes)
+	}
+
+	srv := server.New(server.Config{
+		Store:      st,
+		Workers:    *jobs,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+		Log:        logger,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s", l.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (deadline %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		logger.Printf("drained")
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netcached:", err)
+			os.Exit(1)
+		}
+	}
+}

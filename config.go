@@ -64,6 +64,32 @@ func (s System) String() string {
 	return fmt.Sprintf("system(%d)", int(s))
 }
 
+// MarshalJSON encodes the system as its paper name, so wire specs read
+// "netcache" rather than an enum ordinal.
+func (s System) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts a system name (any ParseSystem spelling) or a
+// legacy numeric value.
+func (s *System) UnmarshalJSON(b []byte) error {
+	t := string(b)
+	if len(t) >= 2 && t[0] == '"' && t[len(t)-1] == '"' {
+		v, err := ParseSystem(t[1 : len(t)-1])
+		if err != nil {
+			return err
+		}
+		*s = v
+		return nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(t, "%d", &n); err != nil {
+		return fmt.Errorf("netcache: bad system %s", t)
+	}
+	*s = System(n)
+	return nil
+}
+
 // ParseSystem converts a name to a System.
 func ParseSystem(s string) (System, error) {
 	switch strings.ToLower(s) {

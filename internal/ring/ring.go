@@ -50,6 +50,31 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// MarshalJSON encodes the policy as its name, keeping the wire format
+// self-describing and stable if the constants are ever reordered.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + p.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts a policy name ("lru") or a legacy numeric value.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		v, err := ParsePolicy(s[1 : len(s)-1])
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return fmt.Errorf("ring: bad policy %s", s)
+	}
+	*p = Policy(n)
+	return nil
+}
+
 // ParsePolicy converts a name to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {

@@ -20,6 +20,22 @@ import (
 	"time"
 )
 
+// Package-wide gauges across every concurrent Map call, for service
+// metrics (netcached exposes them on /metrics): how many job groups are
+// executing right now and how many are admitted but not yet started.
+var (
+	inFlight atomic.Int64
+	queued   atomic.Int64
+)
+
+// InFlight reports the number of job groups currently executing across all
+// Map calls in the process.
+func InFlight() int64 { return inFlight.Load() }
+
+// Queued reports the number of job groups dispatched to Map calls but not
+// yet started — the scheduler's queue depth.
+func Queued() int64 { return queued.Load() }
+
 // Options configure one Map call.
 type Options[T any] struct {
 	// Workers bounds the number of concurrently executing jobs.
@@ -95,6 +111,7 @@ func Map[T any](ctx context.Context, opt Options[T], jobs []Job[T]) []Result[T] 
 		workers = len(groups)
 	}
 
+	queued.Add(int64(len(groups)))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -106,14 +123,17 @@ func Map[T any](ctx context.Context, opt Options[T], jobs []Job[T]) []Result[T] 
 				if g >= len(groups) {
 					return
 				}
+				queued.Add(-1)
 				members := groups[g]
 				lead := members[0]
 				var res Result[T]
 				if err := ctx.Err(); err != nil {
 					res.Err = err
 				} else {
+					inFlight.Add(1)
 					start := time.Now()
 					res.Value, res.Err = runOne(ctx, opt.Timeout, jobs[lead].Run)
+					inFlight.Add(-1)
 					if opt.OnDone != nil {
 						opt.OnDone(Done[T]{
 							Index: lead, Key: jobs[lead].Key,

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"netcache"
+)
+
+// Client talks to a netcached server. The zero HTTPClient uses
+// http.DefaultClient.
+type Client struct {
+	BaseURL    string // e.g. "http://127.0.0.1:8100"
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-200 service reply.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration // populated on 429
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("netcached: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+func (c *Client) post(ctx context.Context, path string, in any) ([]byte, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Code: resp.StatusCode}
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			se.Msg = eb.Error
+		} else {
+			se.Msg = string(raw)
+		}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			se.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return nil, se
+	}
+	return raw, nil
+}
+
+// RunRaw posts spec to /v1/run and returns the raw result JSON — the bytes
+// the store serves, byte-identical across identical specs.
+func (c *Client) RunRaw(ctx context.Context, spec netcache.RunSpec) ([]byte, error) {
+	return c.post(ctx, "/v1/run", spec)
+}
+
+// Run posts spec to /v1/run and decodes the Result.
+func (c *Client) Run(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+	raw, err := c.RunRaw(ctx, spec)
+	if err != nil {
+		return netcache.Result{}, err
+	}
+	var res netcache.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return netcache.Result{}, fmt.Errorf("netcached: decoding result: %w", err)
+	}
+	return res, nil
+}
+
+// Batch posts specs to /v1/batch and returns one entry per spec, in order.
+func (c *Client) Batch(ctx context.Context, specs []netcache.RunSpec) ([]BatchEntry, error) {
+	raw, err := c.post(ctx, "/v1/batch", BatchRequest{Specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("netcached: decoding batch: %w", err)
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, fmt.Errorf("netcached: batch returned %d results for %d specs", len(resp.Results), len(specs))
+	}
+	return resp.Results, nil
+}
+
+// Apps fetches the Table 4 application list.
+func (c *Client) Apps(ctx context.Context) ([]AppInfo, error) {
+	raw, err := c.get(ctx, "/v1/apps")
+	if err != nil {
+		return nil, err
+	}
+	var infos []AppInfo
+	if err := json.Unmarshal(raw, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz")
+	return err
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	raw, err := c.get(ctx, "/metrics")
+	return string(raw), err
+}

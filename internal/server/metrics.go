@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"netcache/internal/runner"
+	"netcache/internal/stats"
+	"netcache/internal/store"
+)
+
+// metrics collects the service counters rendered on GET /metrics in the
+// Prometheus text exposition format. Simulation latencies reuse the
+// simulator's own log2-bucketed stats.Histogram, recorded in microseconds
+// and exposed with power-of-two le boundaries in seconds.
+type metrics struct {
+	inflight atomic.Int64 // simulations currently executing in this server
+
+	mu          sync.Mutex
+	requests    map[string]uint64 // "path|code" -> count
+	simulations uint64            // simulations actually executed
+	storeServed uint64            // requests answered from the store
+	coalesced   uint64            // requests that joined an in-flight leader
+	rejected    uint64            // requests refused by the admission queue
+	simDur      map[string]*stats.Histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]uint64),
+		simDur:   make(map[string]*stats.Histogram),
+	}
+}
+
+func (m *metrics) request(path string, code int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", path, code)]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) simDone(app string, micros int64) {
+	m.mu.Lock()
+	m.simulations++
+	h := m.simDur[app]
+	if h == nil {
+		h = &stats.Histogram{}
+		m.simDur[app] = h
+	}
+	h.Add(micros)
+	m.mu.Unlock()
+}
+
+func (m *metrics) add(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+// render writes the exposition text. st may be nil (no persistent store).
+func (m *metrics) render(b *strings.Builder, st *store.Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(b, "# HELP netcached_requests_total HTTP requests by path and status code.\n")
+	fmt.Fprintf(b, "# TYPE netcached_requests_total counter\n")
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		path, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(b, "netcached_requests_total{path=%q,code=%q} %d\n", path, code, m.requests[k])
+	}
+
+	counter("netcached_simulations_total", "Simulations executed (store misses after coalescing).", m.simulations)
+	counter("netcached_store_served_total", "Requests answered from the result store.", m.storeServed)
+	counter("netcached_coalesced_total", "Requests that joined an identical in-flight simulation.", m.coalesced)
+	counter("netcached_admission_rejected_total", "Requests refused with 429 by the admission queue.", m.rejected)
+	gauge("netcached_inflight_simulations", "Simulations executing right now.", m.inflight.Load())
+	gauge("netcached_runner_inflight_jobs", "Job groups executing on the shared worker pool.", runner.InFlight())
+	gauge("netcached_runner_queued_jobs", "Job groups admitted to the worker pool but not yet started.", runner.Queued())
+
+	if st != nil {
+		s := st.Stats()
+		counter("netcached_store_hits_total", "Result-store hits.", s.Hits)
+		counter("netcached_store_misses_total", "Result-store misses (absent or corrupt entries).", s.Misses)
+		counter("netcached_store_corrupt_total", "Store entries dropped for failing checksum validation.", s.Corrupt)
+		counter("netcached_store_evictions_total", "Store entries evicted by the size bound.", s.Evictions)
+		gauge("netcached_store_entries", "Entries resident in the store.", int64(s.Entries))
+		gauge("netcached_store_bytes", "Bytes resident in the store.", s.Bytes)
+	}
+
+	fmt.Fprintf(b, "# HELP netcached_sim_duration_seconds Wall-clock simulation latency by application.\n")
+	fmt.Fprintf(b, "# TYPE netcached_sim_duration_seconds histogram\n")
+	apps := make([]string, 0, len(m.simDur))
+	for app := range m.simDur {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		h := m.simDur[app]
+		hi := 0
+		for i, c := range h.Buckets {
+			if c > 0 {
+				hi = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= hi; i++ {
+			cum += h.Buckets[i]
+			// Bucket i holds samples in [2^i, 2^(i+1)) microseconds.
+			le := float64(uint64(1)<<uint(i+1)) / 1e6
+			fmt.Fprintf(b, "netcached_sim_duration_seconds_bucket{app=%q,le=%q} %d\n", app, trimFloat(le), cum)
+		}
+		fmt.Fprintf(b, "netcached_sim_duration_seconds_bucket{app=%q,le=\"+Inf\"} %d\n", app, h.N)
+		fmt.Fprintf(b, "netcached_sim_duration_seconds_sum{app=%q} %s\n", app, trimFloat(float64(h.Sum)/1e6))
+		fmt.Fprintf(b, "netcached_sim_duration_seconds_count{app=%q} %d\n", app, h.N)
+	}
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,447 @@
+// Package server exposes the netcache simulator as an HTTP/JSON service
+// with a content-addressed result store in front of the worker pool.
+//
+// Every simulation is bit-deterministic, so a Result is a pure function of
+// its canonical RunSpec (netcache.RunSpec.Key). The serving pipeline
+// exploits that in three layers:
+//
+//  1. store:       identical specs across process lifetimes are answered
+//     from disk (internal/store), byte-identically;
+//  2. coalescing:  concurrent identical specs singleflight into exactly one
+//     simulation, every waiter sharing the leader's outcome;
+//  3. admission:   genuinely novel specs pass a bounded admission queue
+//     (429 + Retry-After when saturated) and a worker
+//     semaphore before burning CPU.
+//
+// Shutdown is graceful: new simulations are refused, in-flight ones drain
+// until the deadline, and past it the server's base context is cancelled,
+// which aborts the simulation engines through their Interrupt path.
+//
+// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/apps, GET /healthz,
+// GET /metrics (Prometheus text format).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"netcache"
+	"netcache/internal/runner"
+	"netcache/internal/store"
+)
+
+// Config wires a Server.
+type Config struct {
+	// Store, when non-nil, persists results content-addressed by spec key.
+	Store *store.Store
+
+	// Workers bounds concurrently executing simulations (<= 0: GOMAXPROCS).
+	Workers int
+
+	// QueueDepth bounds simulations admitted but waiting for a worker;
+	// beyond it requests are refused with 429 (<= 0: 64).
+	QueueDepth int
+
+	// Timeout caps each simulation's wall clock (0: none).
+	Timeout time.Duration
+
+	// RunFunc executes one simulation. Nil means netcache.RunContext; tests
+	// substitute instrumented runners.
+	RunFunc func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error)
+
+	// Log receives request errors. Nil discards.
+	Log *log.Logger
+}
+
+// Server is the netcached HTTP service.
+type Server struct {
+	cfg  Config
+	m    *metrics
+	http http.Server
+
+	// base is the simulation lifetime context: simulations run under it
+	// (not under the triggering request) so a leader's client disconnect
+	// cannot kill work that coalesced followers or the store will reuse.
+	// Shutdown cancels it after the drain deadline, aborting the engines
+	// through the sim Interrupt path.
+	base  context.Context
+	abort context.CancelFunc
+
+	sem   chan struct{} // worker tokens
+	queue chan struct{} // admission slots (workers + queue depth)
+
+	mu      sync.Mutex
+	calls   map[string]*call
+	closing bool
+	sims    sync.WaitGroup
+
+	validApps map[string]bool
+}
+
+// call is one in-flight keyed computation; followers wait on done.
+type call struct {
+	done chan struct{}
+	out  outcome
+}
+
+// outcome is a finished request: either body (HTTP 200) or errMsg+code.
+type outcome struct {
+	body   []byte
+	code   int
+	errMsg string
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RunFunc == nil {
+		cfg.RunFunc = netcache.RunContext
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	base, abort := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		m:         newMetrics(),
+		base:      base,
+		abort:     abort,
+		sem:       make(chan struct{}, cfg.Workers),
+		queue:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		calls:     make(map[string]*call),
+		validApps: make(map[string]bool),
+	}
+	for _, a := range netcache.Apps() {
+		s.validApps[a] = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/apps", s.handleApps)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.http.Handler = mux
+	return s
+}
+
+// Handler returns the HTTP handler, for in-process tests.
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: new simulations are refused immediately,
+// in-flight ones run to completion until ctx's deadline, and past it the
+// engines are aborted through the Interrupt path. It returns once every
+// simulation has joined and the listeners are closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.sims.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained: // clean drain
+	case <-ctx.Done():
+		s.abort() // deadline passed: interrupt the engines
+		<-drained // engines abort in bounded time; join them
+	}
+	s.abort()
+
+	// Simulations are done; handlers only have bytes left to write.
+	hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.http.Shutdown(hctx)
+}
+
+// --- request plumbing -------------------------------------------------------
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, path string, code int, msg string) {
+	s.m.request(path, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func (s *Server) writeOutcome(w http.ResponseWriter, path string, out outcome) {
+	if out.code != http.StatusOK {
+		if out.code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		}
+		s.writeError(w, path, out.code, out.errMsg)
+		return
+	}
+	s.m.request(path, http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out.body)
+}
+
+// retryAfterSeconds estimates when a queue slot frees up: the observed mean
+// simulation latency times the queue occupancy per worker.
+func (s *Server) retryAfterSeconds() int {
+	s.m.mu.Lock()
+	var n, sum uint64
+	for _, h := range s.m.simDur {
+		n += h.N
+		sum += h.Sum
+	}
+	s.m.mu.Unlock()
+	meanSec := 1.0
+	if n > 0 {
+		meanSec = float64(sum) / float64(n) / 1e6
+	}
+	waiting := float64(len(s.queue)) / float64(cap(s.sem))
+	sec := int(meanSec * (waiting + 1))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, "/v1/run", http.StatusMethodNotAllowed, "POST a RunSpec")
+		return
+	}
+	var spec netcache.RunSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		s.writeError(w, "/v1/run", http.StatusBadRequest, "bad spec: "+err.Error())
+		return
+	}
+	s.writeOutcome(w, "/v1/run", s.execute(r.Context(), spec))
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Specs []netcache.RunSpec `json:"specs"`
+}
+
+// BatchEntry is one per-spec outcome in a BatchResponse, in spec order.
+type BatchEntry struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Status int             `json:"status"`
+}
+
+// BatchResponse is the POST /v1/batch reply.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, "/v1/batch", http.StatusMethodNotAllowed, "POST a spec list")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		s.writeError(w, "/v1/batch", http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.writeError(w, "/v1/batch", http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Fan the members out on the same worker-pool machinery RunBatch uses;
+	// each takes the full store -> coalesce -> admit path, so identical
+	// members (and identical concurrent /v1/run requests) simulate once.
+	jobs := make([]runner.Job[outcome], len(req.Specs))
+	for i, spec := range req.Specs {
+		jobs[i] = runner.Job[outcome]{Run: func(ctx context.Context) (outcome, error) {
+			return s.execute(ctx, spec), nil
+		}}
+	}
+	outs := runner.Map(r.Context(), runner.Options[outcome]{Workers: s.cfg.Workers}, jobs)
+	resp := BatchResponse{Results: make([]BatchEntry, len(outs))}
+	for i, o := range outs {
+		e := BatchEntry{Status: o.Value.code}
+		if o.Err != nil { // runner-level failure (cancelled before start)
+			e.Status = http.StatusServiceUnavailable
+			e.Error = o.Err.Error()
+		} else if o.Value.code == http.StatusOK {
+			e.Result = json.RawMessage(o.Value.body)
+		} else {
+			e.Error = o.Value.errMsg
+		}
+		resp.Results[i] = e
+	}
+	s.m.request("/v1/batch", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// AppInfo describes one Table 4 application on GET /v1/apps.
+type AppInfo struct {
+	Name  string `json:"name"`
+	Desc  string `json:"desc"`
+	Input string `json:"input"`
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	infos := make([]AppInfo, 0, len(s.validApps))
+	for _, name := range netcache.Apps() {
+		desc, input := netcache.DescribeApp(name)
+		infos = append(infos, AppInfo{Name: name, Desc: desc, Input: input})
+	}
+	s.m.request("/v1/apps", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		s.writeError(w, "/healthz", http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.m.request("/healthz", http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.m.render(&b, s.cfg.Store)
+	s.m.request("/metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}
+
+// --- the keyed execution path ----------------------------------------------
+
+// execute serves one spec through store, coalescing, and admission. ctx is
+// the *waiter's* context: it bounds how long this request waits, while the
+// simulation itself runs under the server's base context.
+func (s *Server) execute(ctx context.Context, spec netcache.RunSpec) outcome {
+	if !s.validApps[spec.App] {
+		return outcome{code: http.StatusBadRequest, errMsg: fmt.Sprintf("unknown application %q", spec.App)}
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return outcome{code: http.StatusInternalServerError, errMsg: "keying spec: " + err.Error()}
+	}
+
+	s.mu.Lock()
+	if c, ok := s.calls[key]; ok {
+		s.mu.Unlock()
+		s.m.add(&s.m.coalesced)
+		select {
+		case <-c.done:
+			return c.out
+		case <-ctx.Done():
+			return outcome{code: http.StatusServiceUnavailable, errMsg: "request cancelled: " + ctx.Err().Error()}
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	c.out = s.lead(ctx, key, spec)
+	s.mu.Lock()
+	delete(s.calls, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.out
+}
+
+// lead is the singleflight leader: store lookup, then admission, then the
+// simulation itself.
+func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec) outcome {
+	if s.cfg.Store != nil {
+		if body, ok := s.cfg.Store.Get(key); ok {
+			s.m.add(&s.m.storeServed)
+			return outcome{code: http.StatusOK, body: body}
+		}
+	}
+
+	// Admission: a bounded queue in front of the worker semaphore.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.m.add(&s.m.rejected)
+		return outcome{code: http.StatusTooManyRequests, errMsg: "admission queue full"}
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return outcome{code: http.StatusServiceUnavailable, errMsg: "request cancelled: " + ctx.Err().Error()}
+	case <-s.base.Done():
+		return outcome{code: http.StatusServiceUnavailable, errMsg: "server shutting down"}
+	}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return outcome{code: http.StatusServiceUnavailable, errMsg: "server shutting down"}
+	}
+	s.sims.Add(1)
+	s.mu.Unlock()
+	defer s.sims.Done()
+
+	runCtx := s.base
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, s.cfg.Timeout)
+		defer cancel()
+	}
+	s.m.inflight.Add(1)
+	start := time.Now()
+	res, err := s.cfg.RunFunc(runCtx, spec)
+	s.m.inflight.Add(-1)
+	s.m.simDone(spec.App, time.Since(start).Microseconds())
+	if err != nil {
+		s.cfg.Log.Printf("run %s/%s: %v", spec.App, spec.System, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return outcome{code: http.StatusGatewayTimeout, errMsg: err.Error()}
+		case errors.Is(err, context.Canceled):
+			return outcome{code: http.StatusServiceUnavailable, errMsg: "aborted: " + err.Error()}
+		default:
+			return outcome{code: http.StatusInternalServerError, errMsg: err.Error()}
+		}
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return outcome{code: http.StatusInternalServerError, errMsg: "encoding result: " + err.Error()}
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(key, body); err != nil {
+			s.cfg.Log.Printf("store put %s: %v", key, err)
+		}
+	}
+	return outcome{code: http.StatusOK, body: body}
+}

@@ -1,0 +1,265 @@
+// Package store is a content-addressed, on-disk result store for the
+// netcached service: key = hex SHA-256 of the canonical JSON encoding of a
+// RunSpec, value = the serialized Result.
+//
+// Because every simulation is bit-deterministic, the store never needs
+// invalidation — a key's value can only ever be one byte string. The store
+// therefore optimizes for crash-safety and bounded size instead: entries are
+// written to a temp file and atomically renamed into place, reads validate a
+// length+checksum header and treat any corruption (truncation, bit flips,
+// garbage) as a miss to be recomputed, and a size bound is enforced by
+// evicting least-recently-used entries (file mtime, refreshed on hit).
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// magic heads every entry file; the trailing byte versions the layout.
+var magic = []byte("NCRS\x01")
+
+// headerSize = magic + 8-byte big-endian payload length + 32-byte SHA-256.
+const headerSize = 5 + 8 + sha256.Size
+
+const suffix = ".res"
+
+// Stats are the store's monotonic counters plus current occupancy.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64 // absent, corrupt, or unreadable entries
+	Corrupt   uint64 // subset of Misses that failed header/checksum validation
+	Puts      uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// Store is a size-bounded content-addressed cache directory. It is safe for
+// concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64 // <= 0 means unbounded
+
+	mu    sync.Mutex
+	size  int64
+	count int
+	st    Stats
+}
+
+// Open creates (if needed) and scans dir. maxBytes <= 0 disables eviction.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			s.size += info.Size()
+			s.count++
+		}
+	}
+	s.evictLocked("")
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+suffix) }
+
+// validKey accepts hex SHA-256 strings only, so keys can never escape dir.
+func validKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the stored value for key. Any failure — absent file, short
+// file, header or checksum mismatch — is a miss: the caller recomputes and
+// Puts, and a corrupt entry is deleted so it cannot shadow the rewrite.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.miss(false)
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.miss(false)
+		return nil, false
+	}
+	payload, ok := decode(b)
+	if !ok {
+		s.mu.Lock()
+		s.st.Misses++
+		s.st.Corrupt++
+		if err := os.Remove(s.path(key)); err == nil {
+			s.size -= int64(len(b))
+			s.count--
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now) // refresh LRU position
+	s.mu.Lock()
+	s.st.Hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+func (s *Store) miss(corrupt bool) {
+	s.mu.Lock()
+	s.st.Misses++
+	if corrupt {
+		s.st.Corrupt++
+	}
+	s.mu.Unlock()
+}
+
+// Put stores value under key atomically: the entry is staged in a temp file
+// and renamed into place, so readers (and crashes) observe either nothing or
+// the complete checksummed entry. Oversized stores evict LRU entries.
+func (s *Store) Put(key string, value []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	enc := encode(value)
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, err := os.Stat(s.path(key)); err == nil {
+		s.size -= prev.Size()
+		s.count--
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.size += int64(len(enc))
+	s.count++
+	s.st.Puts++
+	s.evictLocked(key)
+	return nil
+}
+
+// evictLocked removes oldest-mtime entries until the store fits maxBytes.
+// keep (the key just written, if any) is never evicted.
+func (s *Store) evictLocked(keep string) {
+	if s.maxBytes <= 0 || s.size <= s.maxBytes {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var all []entry
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, entry{e.Name(), info.Size(), info.ModTime()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].mtime.Equal(all[j].mtime) {
+			return all[i].mtime.Before(all[j].mtime)
+		}
+		return all[i].name < all[j].name
+	})
+	for _, e := range all {
+		if s.size <= s.maxBytes {
+			return
+		}
+		if keep != "" && e.name == keep+suffix {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.name)); err != nil {
+			continue
+		}
+		s.size -= e.size
+		s.count--
+		s.st.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Entries = s.count
+	st.Bytes = s.size
+	return st
+}
+
+func encode(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, magic...)
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
+	out = append(out, lenb[:]...)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// decode validates the header and checksum; any mismatch returns ok=false.
+func decode(b []byte) ([]byte, bool) {
+	if len(b) < headerSize || !bytes.Equal(b[:len(magic)], magic) {
+		return nil, false
+	}
+	n := binary.BigEndian.Uint64(b[len(magic) : len(magic)+8])
+	payload := b[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	var want [sha256.Size]byte
+	copy(want[:], b[len(magic)+8:headerSize])
+	if sha256.Sum256(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func keyOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyOf("spec-a")
+	val := []byte(`{"Cycles":12345}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, val)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenKeepsEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	key := keyOf("persist")
+	if err := s.Put(key, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != "value" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+// recompute mimics the service's miss path: on a failed Get, rebuild the
+// value and Put it back, then require a clean hit.
+func recompute(t *testing.T, s *Store, key string, val []byte) {
+	t.Helper()
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("corrupt entry served as a hit: %q", got)
+	}
+	if err := s.Put(key, val); err != nil {
+		t.Fatalf("recompute Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("after recompute Get = %q, %v", got, ok)
+	}
+}
+
+func TestCorruptionTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	key := keyOf("truncate-me")
+	val := []byte("a result payload that is long enough to truncate meaningfully")
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+suffix)
+	for _, keep := range []int64{0, 3, headerSize - 1, headerSize + 5} {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, keep); err != nil {
+			t.Fatal(err)
+		}
+		recompute(t, s, key, val)
+	}
+	if st := s.Stats(); st.Corrupt == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+}
+
+func TestCorruptionBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	key := keyOf("flip-me")
+	val := []byte("deterministic simulation result bytes")
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+suffix)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every region: magic, length, checksum, payload.
+	for _, off := range []int{0, len(magic) + 2, len(magic) + 10, headerSize + 4} {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recompute(t, s, key, val)
+	}
+}
+
+func TestCorruptEntryIsDeleted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	key := keyOf("delete-corrupt")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+suffix)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("garbage served as hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not deleted: %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	val := bytes.Repeat([]byte("x"), 100)
+	entryBytes := int64(headerSize + len(val))
+	s, _ := Open(dir, 3*entryBytes)
+	keys := make([]string, 4)
+	base := time.Now().Add(-time.Hour)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("entry-%d", i))
+		if err := s.Put(keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+		// mtimes decide LRU order; set them explicitly so the test does not
+		// depend on filesystem timestamp granularity.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, keys[i]+suffix), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Store holds 4 entries but fits 3: the next Put must evict entry-0,
+	// the least recently used.
+	k := keyOf("entry-new")
+	if err := s.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, want := range []string{keys[2], keys[3], k} {
+		if _, ok := s.Get(want); !ok {
+			t.Fatalf("recent entry %s evicted", want)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions counted: %+v", st)
+	}
+	if st.Bytes > 3*entryBytes {
+		t.Fatalf("store over budget: %+v", st)
+	}
+}
+
+func TestGetRefreshesLRU(t *testing.T) {
+	dir := t.TempDir()
+	val := bytes.Repeat([]byte("y"), 50)
+	entryBytes := int64(headerSize + len(val))
+	s, _ := Open(dir, 2*entryBytes)
+	old, hot := keyOf("old"), keyOf("hot")
+	base := time.Now().Add(-time.Hour)
+	for i, k := range []string{hot, old} {
+		if err := s.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, k+suffix), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch hot: its mtime moves to now, making old the eviction victim.
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("miss on hot entry")
+	}
+	if err := s.Put(keyOf("third"), val); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(hot); !ok {
+		t.Fatal("recently-read entry evicted")
+	}
+	if _, ok := s.Get(old); ok {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	for _, k := range []string{"", "../../etc/passwd", "short", keyOf("x")[:63] + "Z"} {
+		if err := s.Put(k, []byte("v")); err == nil {
+			t.Fatalf("Put(%q) accepted", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("Get(%q) hit", k)
+		}
+	}
+}

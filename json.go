@@ -1,0 +1,51 @@
+package netcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// The service layer (internal/store, internal/server, cmd/netcached) keys
+// its content-addressed result store by the canonical JSON encoding of a
+// RunSpec. Every simulation is bit-deterministic (see DESIGN.md), so a
+// Result is a pure function of its canonical spec and caching is sound:
+// equal keys imply byte-identical results.
+
+// Canonical returns the spec normalized exactly as Run executes it: the
+// Scale default applied, every Config zero-value replaced by the Section 4.1
+// base-machine value, and the OPTNET shared-cache degeneration made
+// explicit. Two specs that Run identically normalize to the same value, so
+// their store keys cannot alias to different results.
+func (s RunSpec) Canonical() RunSpec {
+	if s.Scale == 0 {
+		s.Scale = 0.25
+	}
+	s.Config = s.Config.withDefaults()
+	if s.System == SystemOptNet {
+		// NewMachine runs OPTNET as NetCache with no ring.
+		s.Config.SharedCacheKB = 0
+	}
+	return s
+}
+
+// CanonicalJSON returns the byte-stable canonical JSON encoding of the
+// spec — the store-key preimage. Stability follows from encoding/json's
+// deterministic struct-field order (declaration order) and the named
+// System/Policy encodings; a round-trip through UnmarshalJSON re-encodes
+// to the same bytes.
+func (s RunSpec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.Canonical())
+}
+
+// Key returns the content address of the spec's result: the hex SHA-256 of
+// CanonicalJSON. It is also the singleflight-coalescing key used by the
+// netcached service.
+func (s RunSpec) Key() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -100,7 +100,9 @@ func runApp(ctx context.Context, spec RunSpec, app apps.App) (Result, error) {
 	}
 	res := summarize(spec.App, rs)
 	if tb != nil {
-		res.Trace = tb.Events()
+		// The buffer retains at most TraceCap events, so one exact-size
+		// allocation covers the snapshot.
+		res.Trace = tb.SnapshotInto(make([]trace.Event, 0, spec.TraceCap))
 	}
 	if spec.Verify {
 		if err := app.Verify(); err != nil {

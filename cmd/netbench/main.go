@@ -7,6 +7,7 @@
 //	netbench -exp fig6,fig8 -scale 1.0      # selected experiments
 //	netbench -exp all -j 8                  # eight concurrent simulations
 //	netbench -exp tables                    # Tables 1-3 (latency models)
+//	netbench -exp fig5 -cpuprofile cpu.out  # profile the simulation engine
 //	netbench -list                          # list experiment ids
 //
 // Experiments: tables, table4, fig5, fig6, fig7, fig8, fig9, fig10,
@@ -33,6 +34,7 @@ import (
 
 	"netcache"
 	"netcache/internal/exp"
+	"netcache/internal/prof"
 	"netcache/internal/stats"
 	"netcache/internal/timing"
 )
@@ -40,6 +42,12 @@ import (
 var out = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so profile/trace files registered by the
+// deferred stop are flushed before the process exits.
+func run() int {
 	var (
 		which   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale   = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
@@ -50,14 +58,23 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csv     = flag.String("csv", "", "directory to also write sweep CSVs (fig13-15, scaling)")
 	)
+	var pf prof.Flags
+	pf.Register()
 	flag.Parse()
 
 	if *list {
 		for _, id := range allIDs {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		return 1
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -81,14 +98,14 @@ func main() {
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	// Reject typos before any simulation time is spent.
 	for _, id := range ids {
 		if _, ok := experiments[strings.TrimSpace(id)]; !ok {
 			fmt.Fprintf(os.Stderr, "netbench: unknown experiment %q\n", id)
-			os.Exit(1)
+			return 1
 		}
 	}
 	failed := 0
@@ -103,8 +120,9 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "netbench: %d of %d experiments failed\n", failed, len(ids))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // csvDir, when set, receives one CSV per sweep experiment.

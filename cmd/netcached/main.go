@@ -7,7 +7,8 @@
 // Usage:
 //
 //	netcached -addr :8100 -store /var/cache/netcached \
-//	          -store-max-bytes 1073741824 -j 8 -timeout 10m
+//	          -store-max-bytes 1073741824 -j 8 -timeout 10m \
+//	          [-pprof localhost:6060]
 //
 // Endpoints:
 //
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,10 +53,26 @@ func main() {
 		timeout  = flag.Duration("timeout", 15*time.Minute, "per-simulation wall-clock limit (0 = none)")
 		queue    = flag.Int("queue", 64, "admission queue depth beyond the worker count")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain deadline before in-flight simulations are aborted")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "netcached: ", log.LstdFlags)
+
+	if *pprof != "" {
+		// The profiling endpoint lives on its own listener so it can be bound
+		// to loopback while the API address stays public.
+		pl, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("pprof on http://%s/debug/pprof/", pl.Addr())
+		go func() {
+			if err := http.Serve(pl, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	var st *store.Store
 	if *storeDir != "" {

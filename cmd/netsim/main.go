@@ -7,6 +7,7 @@
 //	       [-l2 16384] [-rate 10] [-memlat 76] [-policy random] [-direct]
 //	       [-line 64] [-verify] [-prefetch] [-singlestart] [-dump N] [-v]
 //	       [-j 4] [-timeout 30s]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
 //
 // Systems: netcache, optnet, lambdanet, dmon-u, dmon-i, or "all". With
 // -system all the runs execute concurrently on a worker pool (-j, default
@@ -24,9 +25,16 @@ import (
 	"text/tabwriter"
 
 	"netcache"
+	"netcache/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so profile/trace files registered by the
+// deferred stop are flushed before the process exits.
+func run() int {
 	var (
 		app      = flag.String("app", "sor", "application (see -list)")
 		system   = flag.String("system", "netcache", "system: netcache|optnet|lambdanet|dmon-u|dmon-i|all")
@@ -48,6 +56,8 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent simulations for -system all (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
 	)
+	var pf prof.Flags
+	pf.Register()
 	flag.Parse()
 
 	if *list {
@@ -55,12 +65,20 @@ func main() {
 			desc, input := netcache.DescribeApp(name)
 			fmt.Printf("%-10s %-48s %s\n", name, desc, input)
 		}
-		return
+		return 0
 	}
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		return 1
+	}
+	defer stopProf()
 
 	pol, err := netcache.ParsePolicyName(*policy)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		return 1
 	}
 	cfg := netcache.DefaultConfig()
 	cfg.Procs = *procs
@@ -80,7 +98,8 @@ func main() {
 	} else {
 		s, err := netcache.ParseSystem(*system)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			return 1
 		}
 		systems = append(systems, s)
 	}
@@ -112,8 +131,9 @@ func main() {
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func report(r netcache.Result, verbose bool) {
@@ -155,9 +175,4 @@ func pct(a, b uint64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "netsim:", err)
-	os.Exit(1)
 }

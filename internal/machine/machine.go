@@ -123,7 +123,7 @@ func New(cfg Config, proto func(*Machine) Protocol) *Machine {
 	}
 	m.Nodes = make([]*Node, p)
 	for i := range m.Nodes {
-		m.Nodes[i] = &Node{
+		n := &Node{
 			ID:           i,
 			M:            m,
 			L1:           mem.NewCache(cfg.L1Bytes, cfg.L1Block),
@@ -131,6 +131,9 @@ func New(cfg Config, proto func(*Machine) Protocol) *Machine {
 			WB:           mem.NewWriteBuffer(cfg.WBEntries),
 			pendingBlock: -1,
 		}
+		n.drainFn = n.drainStep
+		n.drainAckFn = n.drainAck
+		m.Nodes[i] = n
 	}
 	m.Proto = proto(m)
 	return m

@@ -20,6 +20,12 @@ type Node struct {
 	// Entries age in the buffer before draining so consecutive writes to a
 	// block coalesce into one update; a fence or buffer pressure overrides
 	// the aging.
+	//
+	// drainFn and drainAckFn are drainStep/drainAck bound once at
+	// construction: the pipeline reschedules itself on every drained entry,
+	// and a stored func value keeps those events allocation-free.
+	drainFn     func()
+	drainAckFn  func()
 	inFlight    bool
 	lastMemAt   Time // when the node's latest write was globally performed
 	fenceProc   *sim.Proc
@@ -235,7 +241,7 @@ func (n *Node) kickDrain(t Time) {
 	if _, ok := n.WB.Front(); !ok {
 		return
 	}
-	n.M.Eng.Schedule(t, n.drainStep)
+	n.M.Eng.Schedule(t, n.drainFn)
 }
 
 // eligible reports whether the head entry may drain at time now.
@@ -263,7 +269,7 @@ func (n *Node) drainStep() {
 		return
 	}
 	if !n.eligible(e, now) {
-		n.M.Eng.Schedule(Time(e.At)+wbAge, n.drainStep)
+		n.M.Eng.Schedule(Time(e.At)+wbAge, n.drainFn)
 		return
 	}
 	n.WB.PopFront()
@@ -290,10 +296,14 @@ func (n *Node) drainStep() {
 		n.lastMemAt = memAt
 	}
 	_ = memAt
-	n.M.Eng.Schedule(nextAt, func() {
-		n.inFlight = false
-		n.drainStep()
-	})
+	n.M.Eng.Schedule(nextAt, n.drainAckFn)
+}
+
+// drainAck is the drain acknowledgement event: the outstanding transaction
+// completed, so the pipeline may issue its next entry.
+func (n *Node) drainAck() {
+	n.inFlight = false
+	n.drainStep()
 }
 
 // drainIdle records pipeline completion and wakes a fence waiter.

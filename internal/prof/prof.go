@@ -1,0 +1,88 @@
+// Package prof wires the standard Go profiling outputs into a command:
+// -cpuprofile, -memprofile and -trace flags whose files are opened before the
+// workload runs and flushed by a single stop function. Commands call Start
+// right after flag.Parse and defer the returned stop; because profiles are
+// only written when stop runs, mains must return through it (not os.Exit
+// directly) for the files to be complete.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the three profiling destinations.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on the default
+// flag set.
+func (f *Flags) Register() {
+	flag.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins CPU profiling and execution tracing as requested. The returned
+// stop function ends both and writes the heap profile; it is safe to call
+// when no flag was set (it does nothing).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+	}
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	mem := f.Mem
+	return func() {
+		cleanup()
+		if mem == "" {
+			return
+		}
+		mf, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer mf.Close()
+		runtime.GC() // up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}

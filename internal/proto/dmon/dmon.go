@@ -50,6 +50,12 @@ type Proto struct {
 	// current).
 	dir map[mem.Addr]int
 
+	// deliverUpdateFn/deliverInvalFn are the coherence delivery events bound
+	// once, scheduled through ScheduleArgs so drains do not allocate a
+	// closure per entry.
+	deliverUpdateFn func(writer, block int64)
+	deliverInvalFn  func(writer, block int64)
+
 	counters map[string]uint64
 }
 
@@ -68,6 +74,12 @@ func New(m *machine.Machine, v Variant) *Proto {
 	p.homeCh = make([]*optical.Timeline, md.Procs)
 	for i := range p.homeCh {
 		p.homeCh[i] = &optical.Timeline{}
+	}
+	p.deliverUpdateFn = func(writer, block int64) {
+		p.deliverUpdate(int(writer), mem.Addr(block))
+	}
+	p.deliverInvalFn = func(writer, block int64) {
+		p.deliverInval(int(writer), mem.Addr(block))
 	}
 	return p
 }
@@ -236,9 +248,7 @@ func (p *Proto) drainUpdate(n *machine.Node, e mem.WBEntry, t Time) (nextAt, mem
 	delivery := start + xmit + md.Flight
 	p.counters["updates"]++
 
-	block := e.Block
-	writer := n.ID
-	p.m.Eng.Schedule(delivery, func() { p.deliverUpdate(writer, block) })
+	p.m.Eng.ScheduleArgs(delivery, p.deliverUpdateFn, int64(n.ID), int64(e.Block))
 
 	memDone, ackAt := p.m.Mems[home].Update(delivery)
 	if ackAt < delivery {
@@ -294,8 +304,7 @@ func (p *Proto) drainInvalidate(n *machine.Node, e mem.WBEntry, t Time) (nextAt,
 	delivery := invStart + md.InvalXmit + md.Flight
 	p.counters["invalidations"]++
 
-	writer := n.ID
-	p.m.Eng.Schedule(delivery, func() { p.deliverInval(writer, block) })
+	p.m.Eng.ScheduleArgs(delivery, p.deliverInvalFn, int64(n.ID), int64(block))
 	p.dir[block] = n.ID
 	n.L2.SetState(block, mem.Exclusive)
 

@@ -22,8 +22,13 @@ type Time = sim.Time
 
 // Proto is the LambdaNet protocol instance.
 type Proto struct {
-	m        *machine.Machine
-	nodeCh   []*optical.Timeline // per-node transmit channel
+	m      *machine.Machine
+	nodeCh []*optical.Timeline // per-node transmit channel
+
+	// deliverFn is the update-delivery event bound once, scheduled through
+	// ScheduleArgs so each drained entry does not allocate a closure.
+	deliverFn func(writer, block int64)
+
 	counters map[string]uint64
 }
 
@@ -33,6 +38,9 @@ func New(m *machine.Machine) *Proto {
 	p.nodeCh = make([]*optical.Timeline, m.P())
 	for i := range p.nodeCh {
 		p.nodeCh[i] = &optical.Timeline{}
+	}
+	p.deliverFn = func(writer, block int64) {
+		p.deliverUpdate(int(writer), mem.Addr(block))
 	}
 	return p
 }
@@ -92,9 +100,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	delivery := start + xmit + md.Flight
 	p.counters["updates"]++
 
-	block := e.Block
-	writer := n.ID
-	p.m.Eng.Schedule(delivery, func() { p.deliverUpdate(writer, block) })
+	p.m.Eng.ScheduleArgs(delivery, p.deliverFn, int64(n.ID), int64(e.Block))
 
 	memDone, ackAt := p.m.Mems[home].Update(delivery)
 	if ackAt < delivery {

@@ -40,6 +40,10 @@ type Proto struct {
 	// shared-cache accesses to it are delayed until then (Section 3.4).
 	race map[mem.Addr]Time
 
+	// deliverFn is the update-delivery event bound once, scheduled through
+	// ScheduleArgs so each drained entry does not allocate a closure.
+	deliverFn func(writer, block int64)
+
 	counters map[string]uint64
 }
 
@@ -67,6 +71,11 @@ func New(m *machine.Machine, rc *ring.Cache) *Proto {
 	p.cohCh[1] = optical.NewToken(md.CoherenceSlot, half)
 	for i := range p.homeCh {
 		p.homeCh[i] = &optical.Timeline{}
+	}
+	// The engine sets Now to the event's cycle before dispatch, so the
+	// delivery time does not need to travel with the event.
+	p.deliverFn = func(writer, block int64) {
+		p.deliverUpdate(int(writer), mem.Addr(block), p.m.Eng.Now())
 	}
 	return p
 }
@@ -198,11 +207,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 
 	// Delivery: snoopers update L2 copies (invalidating L1 halves), the home
 	// inserts the update into its memory FIFO and refreshes the ring copy.
-	block := e.Block
-	writer := n.ID
-	p.m.Eng.Schedule(delivery, func() {
-		p.deliverUpdate(writer, block, delivery)
-	})
+	p.m.Eng.ScheduleArgs(delivery, p.deliverFn, int64(n.ID), int64(e.Block))
 
 	memDone, ackAt := p.m.Mems[home].Update(delivery)
 	if ackAt < delivery {

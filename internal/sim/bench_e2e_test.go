@@ -1,0 +1,26 @@
+package sim_test
+
+// End-to-end engine benchmark: the full Figure 5 speedup experiment (every
+// Table 4 application at one and sixteen nodes) at bench scale, driven
+// through the public experiment harness. This is the quantity the netcached
+// service pays on every store miss, so it is the number the scheduler
+// hot-path work is ultimately accountable to.
+
+import (
+	"context"
+	"testing"
+
+	"netcache/internal/exp"
+)
+
+// BenchmarkFigure5 regenerates Figure 5 serially (Workers: 1) so the
+// per-iteration wall clock tracks single-run engine latency rather than
+// host parallelism.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: 0.12, Workers: 1})
+		if _, err := exp.Figure5(context.Background(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

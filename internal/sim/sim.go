@@ -2,9 +2,10 @@
 //
 // The engine advances a single global clock over two kinds of actors:
 //
-//   - Events: closures scheduled at an absolute cycle, kept in a binary heap.
-//     Protocol machinery (update deliveries, acks, write-buffer drains) runs
-//     as events.
+//   - Events: closures scheduled at an absolute cycle. Protocol machinery
+//     (update deliveries, acks, write-buffer drains) runs as events. Events
+//     live in a pooled, free-listed arena indexed by a 4-ary min-heap, so
+//     scheduling and firing are allocation-free in steady state.
 //   - Processors: goroutines executing real application code. Each processor
 //     has a local clock that advances as the application "computes"; whenever
 //     the application touches the simulated memory system or synchronizes, the
@@ -16,15 +17,21 @@
 // race-free and bit-deterministic: the engine always picks the action with
 // the smallest timestamp, breaking ties by (events first, then lowest
 // processor ID).
+//
+// Two structures keep the pick cheap: the event heap exposes the earliest
+// event in O(1), and runnable processors sit in an indexed min-heap keyed by
+// (clock, ID), updated incrementally as they change state. When the invoking
+// processor is itself the unique earliest actor, Proc.Invoke runs its service
+// inline on the processor goroutine — the engine is parked waiting on that
+// processor's yield, so engine exclusivity still holds — and skips the
+// two-channel handoff entirely. See DESIGN.md, "Engine internals".
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// interruptEvery is how many scheduler iterations pass between Interrupt
-// polls. Polling is off the per-event hot path often enough to stay cheap
+// interruptEvery is how many scheduler actions pass between Interrupt polls.
+// Actions are counted across the engine loop and the inline service fast
+// path, so polling is off the per-event hot path often enough to stay cheap
 // while still bounding abort latency to a few thousand events.
 const interruptEvery = 1024
 
@@ -38,31 +45,15 @@ type Time int64
 // Forever is a timestamp larger than any reachable simulation time.
 const Forever Time = 1<<62 - 1
 
-// event is a scheduled closure.
+// event is one arena slot: a scheduled closure, or a scheduled two-argument
+// bound function (ScheduleArgs) that lets hot callers avoid allocating a
+// fresh closure per event.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	at     Time
+	seq    uint64
+	fn     func()
+	afn    func(a0, a1 int64)
+	a0, a1 int64
 }
 
 // procState tracks where a processor is in the engine handoff protocol.
@@ -83,6 +74,7 @@ type Proc struct {
 	eng   *Engine
 	clock Time
 	state procState
+	qi    int32 // index in the engine's runnable heap; -1 when absent
 
 	svc      func() // pending service, run in engine context at clock
 	resume   chan struct{}
@@ -94,6 +86,11 @@ type yieldKind int
 
 const (
 	yieldService yieldKind = iota
+	// yieldInline hands control back after an inline-path service already
+	// ran on the processor goroutine: the proc's state and runnable-heap
+	// membership are already current, the engine only needs to resume its
+	// scheduling loop.
+	yieldInline
 	yieldDone
 )
 
@@ -106,9 +103,20 @@ type Engine struct {
 	// an Interrupt that never fires cannot perturb the simulated timeline.
 	Interrupt func() error
 
-	now    Time
-	seq    uint64
-	events eventHeap
+	now   Time
+	seq   uint64
+	iters uint64 // scheduled actions since Run, for Interrupt batching
+
+	// Event storage: arena slots recycled through a free list, with a 4-ary
+	// min-heap of arena indices ordered by (at, seq).
+	arena []event
+	free  []int32
+	eheap []int32
+
+	// runq is the indexed min-heap of runnable processors (state procService
+	// or procResume), keyed by (clock, ID); Proc.qi tracks positions.
+	runq []*Proc
+
 	procs  []*Proc
 	live   int
 	failed error
@@ -122,6 +130,7 @@ func NewEngine(n int) *Engine {
 		e.procs[i] = &Proc{
 			ID:     i,
 			eng:    e,
+			qi:     -1,
 			resume: make(chan struct{}),
 			yield:  make(chan yieldKind),
 		}
@@ -135,20 +144,230 @@ func (e *Engine) Now() Time { return e.now }
 // Procs returns the engine's processor contexts.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
+// ---- Event heap --------------------------------------------------------
+
+// evLess orders arena slots by (at, seq): time order, scheduling order
+// within a cycle.
+func (e *Engine) evLess(i, j int32) bool {
+	a, b := &e.arena[i], &e.arena[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (e *Engine) evPush(idx int32) {
+	h := append(e.eheap, idx)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.evLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.eheap = h
+}
+
+func (e *Engine) evPopMin() int32 {
+	h := e.eheap
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	e.eheap = h
+	n := len(h)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.evLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.evLess(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return min
+}
+
 // Schedule registers fn to run in engine context at time at. Scheduling in
 // the past is an error that aborts the run.
 func (e *Engine) Schedule(at Time, fn func()) {
+	e.schedule(at, fn, nil, 0, 0)
+}
+
+// ScheduleArgs registers fn(a0, a1) to run in engine context at time at.
+// It is Schedule for hot paths: a caller that binds fn once (a stored method
+// value) and passes its per-event data as arguments schedules events without
+// allocating a closure per call.
+func (e *Engine) ScheduleArgs(at Time, fn func(a0, a1 int64), a0, a1 int64) {
+	e.schedule(at, nil, fn, a0, a1)
+}
+
+func (e *Engine) schedule(at Time, fn func(), afn func(a0, a1 int64), a0, a1 int64) {
 	if at < e.now {
 		e.fail(fmt.Errorf("sim: schedule at %d before now %d", at, e.now))
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[idx]
+	ev.at, ev.seq, ev.fn, ev.afn, ev.a0, ev.a1 = at, e.seq, fn, afn, a0, a1
+	e.evPush(idx)
+}
+
+// fireNext pops the earliest pending event, advances the clock to it,
+// recycles its arena slot, and runs it. The caller must have checked that an
+// event is pending.
+func (e *Engine) fireNext() {
+	idx := e.evPopMin()
+	ev := &e.arena[idx]
+	at, fn, afn, a0, a1 := ev.at, ev.fn, ev.afn, ev.a0, ev.a1
+	ev.fn, ev.afn = nil, nil
+	e.free = append(e.free, idx)
+	e.now = at
+	if afn != nil {
+		afn(a0, a1)
+		return
+	}
+	fn()
+}
+
+// ---- Runnable-processor heap -------------------------------------------
+
+// procLess is the scheduler tie-break for processors: earliest clock, then
+// lowest ID.
+func procLess(a, b *Proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.ID < b.ID)
+}
+
+func (e *Engine) runqUp(i int) {
+	q := e.runq
+	p := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procLess(p, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].qi = int32(i)
+		i = parent
+	}
+	q[i] = p
+	p.qi = int32(i)
+}
+
+func (e *Engine) runqDown(i int) {
+	q := e.runq
+	n := len(q)
+	p := q[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && procLess(q[c+1], q[c]) {
+			c++
+		}
+		if !procLess(q[c], p) {
+			break
+		}
+		q[i] = q[c]
+		q[i].qi = int32(i)
+		i = c
+	}
+	q[i] = p
+	p.qi = int32(i)
+}
+
+func (e *Engine) runqPush(p *Proc) {
+	e.runq = append(e.runq, p)
+	p.qi = int32(len(e.runq) - 1)
+	e.runqUp(int(p.qi))
+}
+
+// runqFix restores heap order after p's key changed, inserting p if absent.
+func (e *Engine) runqFix(p *Proc) {
+	if p.qi < 0 {
+		e.runqPush(p)
+		return
+	}
+	i := int(p.qi)
+	e.runqUp(i)
+	if int(p.qi) == i {
+		e.runqDown(i)
+	}
+}
+
+// runqRemove detaches p from the runnable heap (no-op when absent).
+func (e *Engine) runqRemove(p *Proc) {
+	i := int(p.qi)
+	if i < 0 {
+		return
+	}
+	last := len(e.runq) - 1
+	moved := e.runq[last]
+	e.runq[last] = nil
+	e.runq = e.runq[:last]
+	p.qi = -1
+	if i < last {
+		e.runq[i] = moved
+		moved.qi = int32(i)
+		e.runqUp(i)
+		if int(moved.qi) == i {
+			e.runqDown(i)
+		}
+	}
+}
+
+// isNext reports whether running processor p is the unique earliest actor:
+// no pending event at or before its clock (events fire first on ties) and no
+// runnable processor that is earlier or equal-with-lower-ID. Only then may
+// its next service run inline without perturbing the schedule.
+func (e *Engine) isNext(p *Proc) bool {
+	if len(e.eheap) > 0 && e.arena[e.eheap[0]].at <= p.clock {
+		return false
+	}
+	if len(e.runq) > 0 {
+		q := e.runq[0]
+		if q.clock < p.clock || (q.clock == p.clock && q.ID < p.ID) {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *Engine) fail(err error) {
 	if e.failed == nil {
 		e.failed = err
+	}
+}
+
+// pollInterrupt counts one scheduler action and polls the Interrupt hook on
+// the batching interval, converting a firing hook into a run failure.
+func (e *Engine) pollInterrupt() {
+	e.iters++
+	if e.Interrupt != nil && e.iters%interruptEvery == 0 {
+		if err := e.Interrupt(); err != nil {
+			e.fail(fmt.Errorf("sim: aborted at cycle %d: %w", e.now, err))
+		}
 	}
 }
 
@@ -164,6 +383,9 @@ func (e *Engine) Run(fn func(*Proc)) (Time, error) {
 		p.state = procResume
 		p.clock = 0
 		go p.run(fn)
+	}
+	for _, p := range e.procs {
+		e.runqPush(p)
 	}
 	e.live = len(e.procs)
 
@@ -189,38 +411,31 @@ func (e *Engine) loop() (finish Time) {
 			e.fail(fmt.Errorf("sim: engine panic at cycle %d: %v", e.now, r))
 		}
 	}()
-	var iters uint64
 	for e.live > 0 && e.failed == nil {
-		iters++
-		if e.Interrupt != nil && iters%interruptEvery == 0 {
-			if err := e.Interrupt(); err != nil {
-				e.fail(fmt.Errorf("sim: aborted at cycle %d: %w", e.now, err))
-				return finish
-			}
+		e.pollInterrupt()
+		if e.failed != nil {
+			return finish
 		}
-		// Find the earliest pending action.
+		// The earliest pending action sits at the heap roots.
 		evAt := Forever
-		if len(e.events) > 0 {
-			evAt = e.events[0].at
+		if len(e.eheap) > 0 {
+			evAt = e.arena[e.eheap[0]].at
 		}
 		var next *Proc
 		procAt := Forever
-		for _, p := range e.procs {
-			if (p.state == procService || p.state == procResume) && p.clock < procAt {
-				procAt = p.clock
-				next = p
-			}
+		if len(e.runq) > 0 {
+			next = e.runq[0]
+			procAt = next.clock
 		}
 		if evAt <= procAt {
 			if evAt == Forever {
 				e.fail(fmt.Errorf("sim: deadlock at cycle %d: %d processors blocked with no pending events", e.now, e.live))
 				return finish
 			}
-			ev := heap.Pop(&e.events).(*event)
-			e.now = ev.at
-			ev.fn()
+			e.fireNext()
 			continue
 		}
+		e.runqRemove(next)
 		e.now = procAt
 		switch next.state {
 		case procService:
@@ -232,6 +447,10 @@ func (e *Engine) loop() (finish Time) {
 			switch <-next.yield {
 			case yieldService:
 				next.state = procService
+				e.runqPush(next)
+			case yieldInline:
+				// The processor ran its service inline and already updated
+				// its state and heap membership; nothing to do here.
 			case yieldDone:
 				next.state = procDone
 				e.live--
@@ -245,8 +464,9 @@ func (e *Engine) loop() (finish Time) {
 }
 
 // drain poisons and joins every processor goroutine that has not finished.
-// Every live processor is parked at <-p.resume (in Invoke, or in run before
-// its first resume), so one resume/yield round trip unwinds each cleanly.
+// Every live processor is parked at <-p.resume (in Invoke — slow path or
+// after an inline-path yield — or in run before its first resume), so one
+// resume/yield round trip unwinds each cleanly.
 func (e *Engine) drain() {
 	for _, p := range e.procs {
 		if p.state == procDone || p.state == procIdle {
@@ -263,6 +483,18 @@ func (e *Engine) drain() {
 func (p *Proc) runService() {
 	svc := p.svc
 	p.svc = nil
+	svc()
+}
+
+// runInline executes svc in engine context on the processor's own goroutine,
+// converting a service panic into a run failure exactly as the engine loop
+// does for slow-path services.
+func (e *Engine) runInline(svc func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(fmt.Errorf("sim: engine panic at cycle %d: %v", e.now, r))
+		}
+	}()
 	svc()
 }
 
@@ -300,7 +532,43 @@ func (p *Proc) Advance(n Time) {
 // The service must finish the processor's transition by calling ResumeAt or
 // Block; app code resumes once the engine next selects this processor.
 // It must only be called from the processor's own app code.
+//
+// Fast path: when the invoking processor is already the unique earliest
+// actor (no event at or before its clock, no earlier runnable processor),
+// the engine would necessarily select it next, so the service runs inline on
+// the processor goroutine — the engine stays parked on this processor's
+// yield channel, preserving engine exclusivity — and, if the processor is
+// again the earliest actor at its resume time, app code continues without
+// any channel handoff at all.
 func (p *Proc) Invoke(svc func()) {
+	e := p.eng
+	if e.failed == nil && e.isNext(p) {
+		e.pollInterrupt()
+		if e.failed == nil {
+			e.now = p.clock
+			p.state = procBlocked // service decides the next state
+			e.runInline(svc)
+			if e.failed == nil && p.state == procResume && p.qi == 0 &&
+				(len(e.eheap) == 0 || e.arena[e.eheap[0]].at > p.clock) {
+				// Still the earliest actor at the resume time: continue app
+				// code directly.
+				e.runqRemove(p)
+				e.now = p.clock
+				p.state = procRunning
+				return
+			}
+			// Someone else must run first (or the run failed): hand control
+			// back to the engine and park until selected.
+			p.yield <- yieldInline
+			<-p.resume
+			if p.poisoned {
+				panic(abortSignal{})
+			}
+			return
+		}
+		// A firing Interrupt poll falls through to the slow path so the
+		// engine regains control and unwinds the run.
+	}
 	p.svc = svc
 	p.yield <- yieldService
 	<-p.resume
@@ -319,10 +587,14 @@ func (p *Proc) ResumeAt(t Time) {
 	}
 	p.clock = t
 	p.state = procResume
+	p.eng.runqFix(p)
 }
 
 // Block leaves the processor waiting; some future event must call ResumeAt.
-func (p *Proc) Block() { p.state = procBlocked }
+func (p *Proc) Block() {
+	p.state = procBlocked
+	p.eng.runqRemove(p)
+}
 
 // Blocked reports whether the processor is waiting on an external wakeup.
 func (p *Proc) Blocked() bool { return p.state == procBlocked }

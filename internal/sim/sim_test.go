@@ -347,3 +347,120 @@ func TestEventsCascade(t *testing.T) {
 		t.Fatalf("log = %v, want %v", log, want)
 	}
 }
+
+// TestScheduleAtNow checks an event scheduled at exactly the current cycle is
+// legal, fires before the scheduling processor's next service (events-first
+// tie-break), and in particular blocks the inline continuation fast path.
+func TestScheduleAtNow(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	_, err := e.Run(func(p *Proc) {
+		p.Advance(10)
+		p.Invoke(func() {
+			e.Schedule(e.Now(), func() { log = append(log, "event") })
+			p.ResumeAt(p.Clock())
+		})
+		p.Invoke(func() {
+			log = append(log, "service")
+			p.ResumeAt(p.Clock())
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 || log[0] != "event" || log[1] != "service" {
+		t.Fatalf("log = %v, want [event service]", log)
+	}
+}
+
+// TestInlineServiceSelfWake checks a service running on the inline fast path
+// may block its own processor and schedule the event that resumes it.
+func TestInlineServiceSelfWake(t *testing.T) {
+	e := NewEngine(1)
+	final, err := e.Run(func(p *Proc) {
+		p.Advance(5)
+		p.Invoke(func() {
+			wake := p.Clock() + 40
+			e.Schedule(wake, func() { p.ResumeAt(wake) })
+			p.Block()
+		})
+		if p.Clock() != 45 {
+			t.Errorf("woken at %d, want 45", p.Clock())
+		}
+		// Immediate self-resume: the inline continuation path (no handoff).
+		p.Invoke(func() { p.ResumeAt(p.Clock() + 7) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 52 {
+		t.Fatalf("final = %d, want 52", final)
+	}
+}
+
+// TestInterruptDuringInlinePath checks an Interrupt poll that fires on the
+// inline fast path still aborts the run cleanly: the processor falls back to
+// the slow path so the engine regains control, and every goroutine unwinds.
+func TestInterruptDuringInlinePath(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("cancelled")
+	e := NewEngine(1)
+	e.Interrupt = func() error { return boom }
+	services := 0
+	_, err := e.Run(func(p *Proc) {
+		// A single processor with no pending events runs every Invoke on the
+		// inline path, so the firing poll lands between an inline service and
+		// its resume.
+		for i := 0; i < 1_000_000; i++ {
+			p.Advance(1)
+			p.Invoke(func() { services++; p.ResumeAt(p.Clock()) })
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if services >= 1_000_000 {
+		t.Fatal("interrupt never fired")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines leaked after abort", n-before)
+	}
+}
+
+// TestDrainWithInlineParkedProc checks the abort path unwinds a processor
+// that is parked mid-Invoke on the inline path (blocked in its own inline
+// service, waiting on its resume channel) when a sibling fails the run.
+func TestDrainWithInlineParkedProc(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine(2)
+	_, err := e.Run(func(p *Proc) {
+		if p.ID == 0 {
+			// Runs inline (earliest actor), blocks, and parks on resume; the
+			// wake event is far enough out that the sibling fails first.
+			p.Invoke(func() {
+				e.Schedule(1000, func() { p.ResumeAt(1000) })
+				p.Block()
+			})
+			t.Error("poisoned processor resumed into app code")
+			return
+		}
+		p.Advance(10)
+		p.Invoke(func() { panic("proto bug") })
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking service")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("%d goroutines leaked after abort", n-before)
+	}
+}

@@ -100,14 +100,29 @@ func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
 	}
-	out := make([]Event, 0, len(b.ring))
-	if len(b.ring) == cap(b.ring) {
-		out = append(out, b.ring[b.next:]...)
-		out = append(out, b.ring[:b.next]...)
-	} else {
-		out = append(out, b.ring...)
+	return b.SnapshotInto(make([]Event, 0, len(b.ring)))
+}
+
+// SnapshotInto copies the retained events in chronological order into dst,
+// growing it only when its capacity is insufficient, and returns the filled
+// slice. Callers taking repeated snapshots (pollers, the verification path)
+// can reuse one slice across calls instead of allocating per snapshot.
+func (b *Buffer) SnapshotInto(dst []Event) []Event {
+	if b == nil {
+		return dst[:0]
 	}
-	return out
+	n := len(b.ring)
+	if cap(dst) < n {
+		dst = make([]Event, 0, n)
+	}
+	dst = dst[:0]
+	if n == cap(b.ring) {
+		dst = append(dst, b.ring[b.next:]...)
+		dst = append(dst, b.ring[:b.next]...)
+	} else {
+		dst = append(dst, b.ring...)
+	}
+	return dst
 }
 
 // Dump renders the retained events, one per line.

@@ -45,6 +45,52 @@ func TestNilBufferSafe(t *testing.T) {
 	}
 }
 
+// TestSnapshotIntoReuse checks SnapshotInto fills a caller slice in place
+// when its capacity suffices and keeps chronological order across wrap.
+func TestSnapshotIntoReuse(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 7; i++ {
+		b.Record(Event{At: int64(i)})
+	}
+	buf := make([]Event, 0, 4)
+	got := b.SnapshotInto(buf)
+	if len(got) != 4 {
+		t.Fatalf("retained %d, want 4", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("SnapshotInto reallocated despite sufficient capacity")
+	}
+	for i, e := range got {
+		if e.At != int64(3+i) {
+			t.Fatalf("chronology broken: %+v", got)
+		}
+	}
+	// A second snapshot into the returned slice must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		got = b.SnapshotInto(got)
+	})
+	if allocs != 0 {
+		t.Fatalf("SnapshotInto allocated %v times per snapshot", allocs)
+	}
+}
+
+// TestSnapshotIntoGrows checks an undersized destination is replaced by a
+// large-enough one rather than truncating the snapshot.
+func TestSnapshotIntoGrows(t *testing.T) {
+	b := New(8)
+	for i := 0; i < 5; i++ {
+		b.Record(Event{At: int64(i)})
+	}
+	got := b.SnapshotInto(make([]Event, 0, 2))
+	if len(got) != 5 {
+		t.Fatalf("retained %d, want 5", len(got))
+	}
+	var nb *Buffer
+	if out := nb.SnapshotInto(got); len(out) != 0 {
+		t.Fatalf("nil buffer snapshot = %+v", out)
+	}
+}
+
 // TestKindNames checks every kind renders.
 func TestKindNames(t *testing.T) {
 	for k := L2Miss; k <= Prefetch; k++ {

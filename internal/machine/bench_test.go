@@ -1,0 +1,75 @@
+package machine_test
+
+// Per-reference micro-benchmarks: the cost of one simulated load or store
+// through the node memory system (L1/write-buffer fast paths, the full L2
+// miss transaction), measured end to end through the execution-driven Ctx
+// API. These are the unit costs the Figure 5 wall clock is built from, and
+// the hit path is required to stay allocation-free.
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+	protolambda "netcache/internal/proto/lambdanet"
+)
+
+// benchMachine builds a single-node LambdaNet machine (private references
+// behave identically on every system) and runs body on its one processor.
+func benchMachine(b *testing.B, body func(c *machine.Ctx)) {
+	b.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Timing.Procs = 1
+	m := machine.New(cfg, func(m *machine.Machine) machine.Protocol {
+		return protolambda.New(m)
+	})
+	if _, err := m.Run(body); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReferenceHit measures the L1 hit path: one tag lookup (shift/mask
+// set selection) plus a clock advance, with no engine handoff. Must be
+// 0 allocs/op.
+func BenchmarkReferenceHit(b *testing.B) {
+	benchMachine(b, func(c *machine.Ctx) {
+		addr := c.M.Space.AllocPrivate(0, 64)
+		c.Read(addr) // warm the L1
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Read(addr)
+		}
+	})
+}
+
+// BenchmarkReferenceMiss measures the full second-level miss path: L1 and L2
+// tag checks, the write-buffer scan, the protocol ReadMiss transaction
+// against the local memory module, and both cache fills.
+func BenchmarkReferenceMiss(b *testing.B) {
+	benchMachine(b, func(c *machine.Ctx) {
+		// 512 private blocks against a 256-set L2: cycling the range makes
+		// every reference miss both cache levels.
+		const blocks = 512
+		base := c.M.Space.AllocPrivate(0, blocks*64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Read(base + machine.Addr(i%blocks)*64)
+		}
+	})
+}
+
+// BenchmarkWriteCoalesce measures the store fast path: almost every write
+// coalesces into the buffered entry for its block (one ring scan plus a mask
+// OR); the entry periodically ages out through the drain pipeline and is
+// re-enqueued.
+func BenchmarkWriteCoalesce(b *testing.B) {
+	benchMachine(b, func(c *machine.Ctx) {
+		base := c.M.Space.AllocPrivate(0, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Write(base + machine.Addr(i%8)*8)
+		}
+	})
+}

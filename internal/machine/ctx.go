@@ -45,7 +45,8 @@ func (c *Ctx) Read(a Addr) {
 		c.P.Advance(c.M.Model.L1TagCheck)
 		return
 	}
-	c.P.Invoke(func() { c.N.read(c.P, a) })
+	c.N.svcAddr = a
+	c.P.Invoke(c.N.readSvcFn)
 }
 
 // Write issues a store to the 8-byte word at a (1 pcycle into the write
@@ -62,13 +63,14 @@ func (c *Ctx) Write(a Addr) {
 		c.P.Advance(1)
 		return
 	}
-	c.P.Invoke(func() { c.N.write(c.P, a) })
+	c.N.svcAddr = a
+	c.P.Invoke(c.N.writeSvcFn)
 }
 
 // Fence blocks until all of this processor's prior writes are globally
 // performed (release-consistency fence).
 func (c *Ctx) Fence() {
-	c.P.Invoke(func() { c.N.fence(c.P) })
+	c.P.Invoke(c.N.fenceSvcFn)
 }
 
 // Barrier synchronizes all processors at the numbered barrier. The fence is

@@ -133,6 +133,12 @@ func New(cfg Config, proto func(*Machine) Protocol) *Machine {
 		}
 		n.drainFn = n.drainStep
 		n.drainAckFn = n.drainAck
+		n.pfDoneFn = func(block, st int64) {
+			n.prefetchDone(mem.Addr(block), mem.State(st))
+		}
+		n.readSvcFn = func() { n.read(n.proc, n.svcAddr) }
+		n.writeSvcFn = func() { n.write(n.proc, n.svcAddr) }
+		n.fenceSvcFn = func() { n.fence(n.proc) }
 		m.Nodes[i] = n
 	}
 	m.Proto = proto(m)
@@ -168,7 +174,9 @@ func (m *Machine) RunContext(ctx context.Context, body func(*Ctx)) (RunStats, er
 		m.Eng.Interrupt = ctx.Err
 	}
 	cycles, err := m.Eng.Run(func(p *sim.Proc) {
-		body(&Ctx{M: m, P: p, N: m.Nodes[p.ID]})
+		n := m.Nodes[p.ID]
+		n.proc = p
+		body(&Ctx{M: m, P: p, N: n})
 	})
 	rs := m.collect(cycles)
 	return rs, err

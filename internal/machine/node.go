@@ -16,6 +16,16 @@ type Node struct {
 	L2 *mem.Cache
 	WB *mem.WriteBuffer
 
+	// proc is the node's processor, recorded when Run starts; svcAddr and
+	// the bound readSvcFn/writeSvcFn/fenceSvcFn let the Ctx fast paths hand
+	// a memory reference to Proc.Invoke without allocating a closure per
+	// call (a stored per-call closure escapes; these are built once).
+	proc       *sim.Proc
+	svcAddr    Addr
+	readSvcFn  func()
+	writeSvcFn func()
+	fenceSvcFn func()
+
 	// Write-buffer drain pipeline: one outstanding coherence transaction.
 	// Entries age in the buffer before draining so consecutive writes to a
 	// block coalesce into one update; a fence or buffer pressure overrides
@@ -41,9 +51,14 @@ type Node struct {
 	pendingBlock Addr // -1 when no read outstanding
 	poisoned     bool
 
-	// In-flight prefetches: block -> completion cycle. A demand miss on an
-	// in-flight block merges with it (MSHR-style) instead of re-fetching.
-	pfInflight map[Addr]Time
+	// In-flight prefetches live in a fixed bank of MSHR-style registers: a
+	// demand miss on an in-flight block merges with it instead of
+	// re-fetching, and a full bank simply declines to issue further
+	// prefetches (finite miss-status registers, as real hardware has).
+	// pfDoneFn is the completion event bound once so landing a prefetch
+	// does not allocate a closure.
+	pf       mshrBank
+	pfDoneFn func(block, st int64)
 	// lastMiss detects sequential miss streams: prefetching fires only when
 	// a miss extends the previous one by one block.
 	lastMiss Addr
@@ -107,7 +122,7 @@ func (n *Node) read(p *sim.Proc, a Addr) {
 		return
 	}
 	// A demand miss on a block with an in-flight prefetch merges with it.
-	if pfDone, ok := n.pfInflight[l2block]; ok {
+	if pfDone, ok := n.pf.lookup(l2block); ok {
 		n.St.PrefetchHits++
 		done := pfDone + 1
 		if done < t+m.Model.L2HitTotal {
@@ -152,6 +167,57 @@ func (n *Node) read(p *sim.Proc, a Addr) {
 	p.ResumeAt(done)
 }
 
+// mshrCap is the number of prefetch miss-status registers per node. A full
+// bank declines new prefetches rather than growing (sequential streams keep
+// at most a couple of fetches in flight, so the cap is never limiting in
+// practice).
+const mshrCap = 8
+
+// mshrBank is the fixed bank of in-flight prefetch registers: (block,
+// completion cycle) pairs, scanned linearly (the bank is tiny and usually
+// holds zero or one entry). Entries are unordered; remove swaps the last
+// register into the vacated slot.
+type mshrBank struct {
+	block [mshrCap]Addr
+	done  [mshrCap]Time
+	n     int
+}
+
+func (b *mshrBank) lookup(block Addr) (Time, bool) {
+	for i := 0; i < b.n; i++ {
+		if b.block[i] == block {
+			return b.done[i], true
+		}
+	}
+	return 0, false
+}
+
+// insert registers an in-flight fetch; it reports false when the bank is
+// full or the block is already registered.
+func (b *mshrBank) insert(block Addr, done Time) bool {
+	if b.n >= mshrCap {
+		return false
+	}
+	if _, ok := b.lookup(block); ok {
+		return false
+	}
+	b.block[b.n] = block
+	b.done[b.n] = done
+	b.n++
+	return true
+}
+
+func (b *mshrBank) remove(block Addr) {
+	for i := 0; i < b.n; i++ {
+		if b.block[i] == block {
+			b.n--
+			b.block[i] = b.block[b.n]
+			b.done[i] = b.done[b.n]
+			return
+		}
+	}
+}
+
 // prefetch issues a background fetch of block at time t (the extended
 // machine with extra tunable receivers, Section 6). It does not block the
 // processor; the block lands in L2 when its transaction completes, and a
@@ -163,10 +229,10 @@ func (n *Node) prefetch(block Addr, t Time) {
 	if n.WB.Has(block) {
 		return
 	}
-	if n.pfInflight == nil {
-		n.pfInflight = make(map[Addr]Time)
+	if _, ok := n.pf.lookup(block); ok {
+		return
 	}
-	if _, ok := n.pfInflight[block]; ok {
+	if n.pf.n >= mshrCap {
 		return
 	}
 	n.St.Prefetches++
@@ -174,13 +240,17 @@ func (n *Node) prefetch(block Addr, t Time) {
 	if n.M.Trace != nil {
 		n.M.Trace.Record(trace.Event{At: int64(t), Node: int16(n.ID), Kind: trace.Prefetch, Addr: block, Latency: int32(done - t)})
 	}
-	n.pfInflight[block] = done
-	n.M.Eng.Schedule(done, func() {
-		delete(n.pfInflight, block)
-		if _, ok := n.L2.Lookup(block); !ok {
-			n.FillL2(block, st, done)
-		}
-	})
+	n.pf.insert(block, done)
+	n.M.Eng.ScheduleArgs(done, n.pfDoneFn, int64(block), int64(st))
+}
+
+// prefetchDone lands a completed background fetch: the register frees and
+// the block fills the L2 unless a demand miss already installed it.
+func (n *Node) prefetchDone(block Addr, st mem.State) {
+	n.pf.remove(block)
+	if _, ok := n.L2.Lookup(block); !ok {
+		n.FillL2(block, st, n.M.Eng.Now())
+	}
 }
 
 // FillL1 installs the L1 block containing a (silent eviction: the L1 is

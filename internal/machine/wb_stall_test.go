@@ -1,0 +1,48 @@
+package machine_test
+
+import (
+	"testing"
+
+	"netcache/internal/machine"
+)
+
+// TestWriteCoalesceWhileStalled checks the interaction of the fixed-ring
+// write buffer with the drain pipeline under pressure: a burst of distinct
+// shared blocks fills the buffer and stalls the processor, writes to
+// still-buffered blocks coalesce instead of stalling, and the drain
+// eventually performs every write (fence returns, buffer empty).
+func TestWriteCoalesceWhileStalled(t *testing.T) {
+	m := netcacheMachine(32)
+	base := m.Space.AllocShared(64 * 64)
+	const distinct = 40
+	_, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 0 {
+			return
+		}
+		for b := 0; b < distinct; b++ {
+			a := base + machine.Addr(b*64)
+			c.Write(a)
+			c.Write(a + 8) // immediate second word: must coalesce, never stall
+		}
+		c.Fence()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Nodes[0]
+	if n.St.WriteStall == 0 {
+		t.Fatal("expected write-buffer-full stalls")
+	}
+	if n.St.Writes != 2*distinct {
+		t.Fatalf("writes = %d, want %d", n.St.Writes, 2*distinct)
+	}
+	if n.WB.Coalesced < distinct {
+		t.Fatalf("coalesced = %d, want >= %d", n.WB.Coalesced, distinct)
+	}
+	if n.WB.Enqueued != distinct {
+		t.Fatalf("enqueued = %d, want %d (one entry per block)", n.WB.Enqueued, distinct)
+	}
+	if n.WB.Len() != 0 {
+		t.Fatalf("buffer holds %d entries after fence", n.WB.Len())
+	}
+}

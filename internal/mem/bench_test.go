@@ -1,0 +1,93 @@
+package mem
+
+// Micro-benchmarks for the structure-level costs under the per-reference
+// path: direct-mapped tag lookups, address-space math, write-buffer
+// coalescing/drain, and the open-addressed block table that replaced the
+// map[Addr]-backed protocol tables.
+
+import "testing"
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := NewCache(16*1024, 64)
+	c.Fill(SharedBase+4096, Clean)
+	b.ReportAllocs()
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(SharedBase + 4096 + Addr(i&63)); ok {
+			hits++
+		}
+	}
+	sinkInt = hits
+}
+
+func BenchmarkSpaceHome(b *testing.B) {
+	s := NewSpace(16, 64)
+	base := s.AllocShared(1 << 16)
+	b.ReportAllocs()
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += s.Home(base + Addr(i&0xFFFF))
+	}
+	sinkInt = acc
+}
+
+func BenchmarkWordIndex(b *testing.B) {
+	s := NewSpace(16, 64)
+	base := s.AllocShared(1 << 12)
+	b.ReportAllocs()
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += s.WordIndex(base + Addr(i&0xFFF))
+	}
+	sinkInt = acc
+}
+
+// BenchmarkWriteBufferDrain exercises the ring: fill to pressure, then
+// pop-from-front — the operation that used to shift every remaining entry.
+func BenchmarkWriteBufferDrain(b *testing.B) {
+	w := NewWriteBuffer(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 8; k++ {
+			w.Add(Addr(k)*64, k&7, false, int64(i))
+		}
+		for k := 0; k < 8; k++ {
+			w.PopFront()
+		}
+	}
+}
+
+// BenchmarkWriteBufferCoalesce measures the hot store path: a scan of the
+// occupied ring plus a mask OR.
+func BenchmarkWriteBufferCoalesce(b *testing.B) {
+	w := NewWriteBuffer(16)
+	w.Add(0, 0, false, 0)
+	w.Add(64, 0, false, 0)
+	w.Add(128, 0, false, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Add(128, i&7, false, int64(i))
+	}
+}
+
+// BenchmarkBlockTable cycles a put/get/delete pattern over a dense shared
+// block-index range, the access mix of the directory and race tables.
+func BenchmarkBlockTable(b *testing.B) {
+	var t BlockTable[int64]
+	s := NewSpace(16, 64)
+	base := s.AllocShared(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := s.BlockIndex(base + Addr(i&0x3FF)*64)
+		t.Put(k, int64(i))
+		if v, ok := t.Get(k); !ok || v != int64(i) {
+			b.Fatal("lost entry")
+		}
+		if i&7 == 7 {
+			t.Delete(k)
+		}
+	}
+}
+
+var sinkInt int

@@ -1,0 +1,138 @@
+package mem
+
+// BlockTable is an open-addressed hash table keyed by block index (see
+// Space.BlockIndex), replacing the map[Addr]-backed directory/race/prefetch
+// tables on the per-reference hot path. Shared blocks are allocated densely
+// above SharedBase, so the multiplicative hash spreads the index sequence
+// near-perfectly and almost every operation resolves in a single probe with
+// no hashing of strings or interface boxing.
+//
+// The zero value is an empty table ready for use. Keys must be non-negative
+// (block indexes of valid addresses always are); deletion uses backward-shift
+// compaction, so the table never accumulates tombstones.
+type BlockTable[V any] struct {
+	keys  []int64
+	vals  []V
+	n     int
+	shift uint // 64 - log2(len(keys))
+}
+
+// emptySlot marks an unoccupied table slot; block indexes are non-negative.
+const emptySlot = -1
+
+// tableMinCap is the initial capacity of a lazily-built table.
+const tableMinCap = 16
+
+func tableHash(k int64) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+
+func (t *BlockTable[V]) home(k int64) int { return int(tableHash(k) >> t.shift) }
+
+// Len returns the number of stored entries.
+func (t *BlockTable[V]) Len() int { return t.n }
+
+// Get returns the value stored under key, if any.
+func (t *BlockTable[V]) Get(key int64) (V, bool) {
+	var zero V
+	if t.n == 0 {
+		return zero, false
+	}
+	mask := len(t.keys) - 1
+	for i := t.home(key); ; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		if t.keys[i] == emptySlot {
+			return zero, false
+		}
+	}
+}
+
+// Put stores value under key, replacing any existing entry.
+func (t *BlockTable[V]) Put(key int64, value V) {
+	if t.keys == nil {
+		t.grow(tableMinCap)
+	} else if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow(2 * len(t.keys))
+	}
+	mask := len(t.keys) - 1
+	for i := t.home(key); ; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			t.vals[i] = value
+			return
+		}
+		if t.keys[i] == emptySlot {
+			t.keys[i] = key
+			t.vals[i] = value
+			t.n++
+			return
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. The probe chain is
+// compacted by backward shifting, so no tombstones remain.
+func (t *BlockTable[V]) Delete(key int64) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := len(t.keys) - 1
+	i := t.home(key)
+	for t.keys[i] != key {
+		if t.keys[i] == emptySlot {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift: pull forward any later chain entry whose home position
+	// does not lie strictly inside the circular interval (hole, entry].
+	j := i
+	for {
+		j = (j + 1) & mask
+		if t.keys[j] == emptySlot {
+			break
+		}
+		h := t.home(t.keys[j])
+		var inRange bool
+		if i <= j {
+			inRange = h > i && h <= j
+		} else {
+			inRange = h > i || h <= j
+		}
+		if !inRange {
+			t.keys[i] = t.keys[j]
+			t.vals[i] = t.vals[j]
+			i = j
+		}
+	}
+	var zero V
+	t.keys[i] = emptySlot
+	t.vals[i] = zero
+	t.n--
+	return true
+}
+
+func (t *BlockTable[V]) grow(capacity int) {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]int64, capacity)
+	t.vals = make([]V, capacity)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+	for i := range t.keys {
+		t.keys[i] = emptySlot
+	}
+	mask := capacity - 1
+	for i, k := range oldKeys {
+		if k == emptySlot {
+			continue
+		}
+		for j := t.home(k); ; j = (j + 1) & mask {
+			if t.keys[j] == emptySlot {
+				t.keys[j] = k
+				t.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}

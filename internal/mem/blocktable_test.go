@@ -1,0 +1,77 @@
+package mem
+
+import "testing"
+
+// TestBlockTableBasics checks put/get/delete including overwrite.
+func TestBlockTableBasics(t *testing.T) {
+	var bt BlockTable[int]
+	if _, ok := bt.Get(5); ok {
+		t.Fatal("empty table hit")
+	}
+	if bt.Delete(5) {
+		t.Fatal("empty table delete")
+	}
+	bt.Put(5, 50)
+	bt.Put(6, 60)
+	bt.Put(5, 55) // overwrite
+	if bt.Len() != 2 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if v, ok := bt.Get(5); !ok || v != 55 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if !bt.Delete(5) || bt.Delete(5) {
+		t.Fatal("delete semantics")
+	}
+	if v, ok := bt.Get(6); !ok || v != 60 {
+		t.Fatalf("Get(6) after delete = %d,%v", v, ok)
+	}
+}
+
+// TestBlockTableVsMap drives the table against a reference map with a
+// deterministic op stream over a dense key range (the shared block-index
+// pattern), crossing several growth and backward-shift-deletion cycles.
+func TestBlockTableVsMap(t *testing.T) {
+	var bt BlockTable[int64]
+	ref := map[int64]int64{}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	const dense = int64(1) << 34 // ≈ SharedBase >> blockShift
+	for i := 0; i < 20000; i++ {
+		k := dense + int64(next()%512)
+		switch next() % 3 {
+		case 0, 1:
+			v := int64(next())
+			bt.Put(k, v)
+			ref[k] = v
+		case 2:
+			got := bt.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if bt.Len() != len(ref) {
+			t.Fatalf("op %d: len %d vs ref %d", i, bt.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		got, ok := bt.Get(k)
+		if !ok || got != v {
+			t.Fatalf("final Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Keys never inserted must miss.
+	for i := int64(0); i < 512; i++ {
+		k := dense + 1024 + i
+		if _, ok := bt.Get(k); ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package mem
+
+import "testing"
+
+// TestInvalidateRangeUnalignedEmpty checks the clamp: an empty or negative
+// range drops nothing even when a is not block-aligned (the unclamped loop
+// used to invalidate block(a)).
+func TestInvalidateRangeUnalignedEmpty(t *testing.T) {
+	c := NewCache(4096, 32)
+	c.Fill(0, Clean)
+	if n := c.InvalidateRange(7, 0); n != 0 {
+		t.Fatalf("empty range invalidated %d blocks", n)
+	}
+	if n := c.InvalidateRange(7, -32); n != 0 {
+		t.Fatalf("negative range invalidated %d blocks", n)
+	}
+	if _, ok := c.Lookup(0); !ok {
+		t.Fatal("block 0 dropped by empty range")
+	}
+	// An unaligned one-byte range still covers its block.
+	if n := c.InvalidateRange(7, 1); n != 1 {
+		t.Fatalf("one-byte range invalidated %d blocks, want 1", n)
+	}
+}
+
+// TestInvalidateRangeSetWrap checks a range whose blocks straddle the
+// direct-mapped set index wrap-around (block i and block i+sets share a set
+// only via conflict; a contiguous range crossing cache-capacity alignment
+// touches set N-1 then set 0).
+func TestInvalidateRangeSetWrap(t *testing.T) {
+	c := NewCache(128, 32) // 4 sets
+	c.Fill(96, Clean)      // set 3
+	c.Fill(128, Clean)     // set 0 (next capacity period)
+	c.Fill(64, Clean)      // set 2, outside the range
+	if n := c.InvalidateRange(96, 64); n != 2 {
+		t.Fatalf("invalidated %d blocks, want 2", n)
+	}
+	if _, ok := c.Lookup(64); !ok {
+		t.Fatal("block outside range dropped")
+	}
+	if _, ok := c.Lookup(96); ok {
+		t.Fatal("block 96 survived")
+	}
+	if _, ok := c.Lookup(128); ok {
+		t.Fatal("block 128 survived")
+	}
+}
+
+// TestWriteBufferRingWrap drives the fixed ring past its capacity boundary:
+// pops move head forward, later adds wrap to the start of the backing array,
+// and FIFO order plus Has/Match must hold across the seam.
+func TestWriteBufferRingWrap(t *testing.T) {
+	w := NewWriteBuffer(4)
+	for b := 0; b < 4; b++ {
+		w.Add(Addr(b*64), 0, false, int64(b))
+	}
+	if !w.Full() {
+		t.Fatal("not full after capacity adds")
+	}
+	if e := w.PopFront(); e.Block != 0 {
+		t.Fatalf("popped %d, want 0", e.Block)
+	}
+	if e := w.PopFront(); e.Block != 64 {
+		t.Fatalf("popped %d, want 64", e.Block)
+	}
+	// These two land in ring slots 0 and 1 — past the array end.
+	w.Add(256, 1, false, 4)
+	w.Add(320, 2, false, 5)
+	if !w.Full() || w.Len() != 4 {
+		t.Fatalf("len = %d, full = %v", w.Len(), w.Full())
+	}
+	if !w.Has(256) || !w.Match(320, 2) || w.Match(320, 1) {
+		t.Fatal("Has/Match wrong across wrap")
+	}
+	// Coalescing must find wrapped entries too.
+	if !w.Add(256, 3, false, 6) {
+		t.Fatal("write to wrapped entry did not coalesce")
+	}
+	for i, want := range []Addr{128, 192, 256, 320} {
+		e := w.PopFront()
+		if e.Block != want {
+			t.Fatalf("pop %d: block %d, want %d", i, e.Block, want)
+		}
+		if want == 256 && e.Mask != (1<<1|1<<3) {
+			t.Fatalf("wrapped entry mask %b", e.Mask)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("len = %d after draining", w.Len())
+	}
+}
+
+// TestWriteBufferFullCoalesce checks a write to an already-buffered block
+// coalesces even when the buffer is full (no stall, no panic).
+func TestWriteBufferFullCoalesce(t *testing.T) {
+	w := NewWriteBuffer(4)
+	for b := 0; b < 4; b++ {
+		w.Add(Addr(b*64), 0, false, int64(b))
+	}
+	if !w.Add(64, 5, false, 9) {
+		t.Fatal("full-buffer write to buffered block did not coalesce")
+	}
+	if w.Len() != 4 || w.Coalesced != 1 {
+		t.Fatalf("len = %d, coalesced = %d", w.Len(), w.Coalesced)
+	}
+	if !w.Match(64, 5) {
+		t.Fatal("coalesced word not recorded")
+	}
+}
+
+// TestWriteBufferPanics checks the misuse guards.
+func TestWriteBufferPanics(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewWriteBuffer(0)", func() { NewWriteBuffer(0) })
+	mustPanic("PopFront on empty", func() { NewWriteBuffer(2).PopFront() })
+	mustPanic("Add on full", func() {
+		w := NewWriteBuffer(1)
+		w.Add(0, 0, false, 0)
+		w.Add(64, 0, false, 1)
+	})
+}

@@ -14,24 +14,55 @@ type Addr = int64
 // interleaved across the memories at the block level (Section 4.1); each
 // node's private data live in its own segment.
 const (
-	SharedBase Addr = 1 << 40
-	privBase   Addr = 1 << 20
-	privStride Addr = 1 << 32
-	WordBytes       = 8 // coalescing granularity: 8-byte words
+	SharedBase      Addr = 1 << 40
+	privBase        Addr = 1 << 20
+	privStride      Addr = 1 << 32
+	privStrideShift      = 32
+	WordBytes            = 8 // coalescing granularity: 8-byte words
+	wordShift            = 3
 )
 
-// Space is the simulated address space and allocator.
+// Space is the simulated address space and allocator. Both the processor
+// count and the interleave block size must be powers of two (they are in
+// every paper configuration), which lets the per-reference address math
+// (Home, WordIndex, Block) run on precomputed shifts and masks instead of
+// 64-bit division.
 type Space struct {
 	procs      int
 	blockBytes Addr
+	blockShift uint
+	blockMask  Addr // blockBytes - 1
+	procMask   Addr // procs - 1
 	sharedNext Addr
 	privNext   []Addr
 }
 
+// log2 returns the exponent of a power-of-two v, panicking (with what) on
+// zero, negatives and non-powers-of-two.
+func log2(v int64, what string) uint {
+	if v <= 0 || v&(v-1) != 0 {
+		panic(fmt.Sprintf("mem: %s must be a power of two, got %d", what, v))
+	}
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
 // NewSpace builds an address space for procs nodes with the given
-// interleaving block size (the L2 block size).
+// interleaving block size (the L2 block size). Both must be powers of two.
 func NewSpace(procs int, blockBytes int) *Space {
-	s := &Space{procs: procs, blockBytes: Addr(blockBytes), sharedNext: SharedBase}
+	log2(int64(procs), "proc count")
+	s := &Space{
+		procs:      procs,
+		blockBytes: Addr(blockBytes),
+		blockShift: log2(int64(blockBytes), "interleave block size"),
+		blockMask:  Addr(blockBytes) - 1,
+		procMask:   Addr(procs) - 1,
+		sharedNext: SharedBase,
+	}
 	s.privNext = make([]Addr, procs)
 	for i := range s.privNext {
 		s.privNext[i] = privBase + Addr(i)*privStride
@@ -65,19 +96,24 @@ func roundUp(v, to int64) int64 { return (v + to - 1) / to * to }
 func (s *Space) IsShared(a Addr) bool { return a >= SharedBase }
 
 // Block returns the block-aligned address containing a.
-func (s *Space) Block(a Addr) Addr { return a &^ (s.blockBytes - 1) }
+func (s *Space) Block(a Addr) Addr { return a &^ s.blockMask }
+
+// BlockIndex returns the global index of the block containing a (the key the
+// directory/race/prefetch BlockTables use; shared blocks are dense above
+// SharedBase, so consecutive shared blocks get consecutive indexes).
+func (s *Space) BlockIndex(a Addr) int64 { return int64(a >> s.blockShift) }
 
 // Home returns the node whose memory module holds a: block-interleaved for
 // shared addresses, the owning node for private ones.
 func (s *Space) Home(a Addr) int {
 	if s.IsShared(a) {
-		return int(((a - SharedBase) / s.blockBytes) % Addr(s.procs))
+		return int(((a - SharedBase) >> s.blockShift) & s.procMask)
 	}
-	return int((a - privBase) / privStride)
+	return int((a - privBase) >> privStrideShift)
 }
 
 // WordIndex returns the index of the 8-byte word holding a within its block.
-func (s *Space) WordIndex(a Addr) int { return int((a % s.blockBytes) / WordBytes) }
+func (s *Space) WordIndex(a Addr) int { return int((a & s.blockMask) >> wordShift) }
 
 // State is a cache block coherence state. Update-based protocols use only
 // Invalid/Clean; I-SPEED (Section 2.2) adds Shared and Exclusive, whose
@@ -106,22 +142,35 @@ func (st State) String() string {
 	return "?"
 }
 
-// Cache is a direct-mapped tag/state cache.
+// Cache is a direct-mapped tag/state cache. Capacity and block size must be
+// powers of two (they are in every paper configuration), so set selection and
+// tag alignment are a shift and a mask on the per-reference hot path.
 type Cache struct {
 	blockBytes Addr
+	blockShift uint
+	blockMask  Addr // blockBytes - 1
+	setMask    Addr // sets - 1
 	sets       Addr
 	tags       []Addr
 	states     []State
 }
 
 // NewCache builds a direct-mapped cache of sizeBytes capacity and blockBytes
-// blocks.
+// blocks; both must be powers of two.
 func NewCache(sizeBytes, blockBytes int) *Cache {
+	log2(int64(sizeBytes), "cache size")
+	shift := log2(int64(blockBytes), "cache block size")
 	sets := sizeBytes / blockBytes
-	if sets <= 0 || sizeBytes%blockBytes != 0 {
+	if sets <= 0 {
 		panic(fmt.Sprintf("mem: bad cache geometry %d/%d", sizeBytes, blockBytes))
 	}
-	c := &Cache{blockBytes: Addr(blockBytes), sets: Addr(sets)}
+	c := &Cache{
+		blockBytes: Addr(blockBytes),
+		blockShift: shift,
+		blockMask:  Addr(blockBytes) - 1,
+		setMask:    Addr(sets) - 1,
+		sets:       Addr(sets),
+	}
 	c.tags = make([]Addr, sets)
 	for i := range c.tags {
 		c.tags[i] = -1
@@ -133,28 +182,31 @@ func NewCache(sizeBytes, blockBytes int) *Cache {
 // BlockBytes returns the cache block size.
 func (c *Cache) BlockBytes() Addr { return c.blockBytes }
 
-func (c *Cache) set(a Addr) Addr { return (a / c.blockBytes) % c.sets }
+func (c *Cache) set(a Addr) Addr { return (a >> c.blockShift) & c.setMask }
 
-// Lookup reports whether a hits and, if so, its state.
+// Lookup reports whether a hits and, if so, its state. The set index and
+// aligned tag derive from one shift of the address.
 func (c *Cache) Lookup(a Addr) (State, bool) {
-	s := c.set(a)
-	if c.tags[s] == c.block(a) && c.states[s] != Invalid {
+	b := a &^ c.blockMask
+	s := (b >> c.blockShift) & c.setMask
+	if c.tags[s] == b && c.states[s] != Invalid {
 		return c.states[s], true
 	}
 	return Invalid, false
 }
 
-func (c *Cache) block(a Addr) Addr { return a &^ (c.blockBytes - 1) }
+func (c *Cache) block(a Addr) Addr { return a &^ c.blockMask }
 
 // Fill installs the block containing a in the given state and returns the
 // evicted block address and state (evicted == -1 when the frame was free).
 func (c *Cache) Fill(a Addr, st State) (evicted Addr, evState State) {
-	s := c.set(a)
+	b := a &^ c.blockMask
+	s := (b >> c.blockShift) & c.setMask
 	evicted, evState = c.tags[s], c.states[s]
 	if evState == Invalid {
 		evicted = -1
 	}
-	c.tags[s] = c.block(a)
+	c.tags[s] = b
 	c.states[s] = st
 	return evicted, evState
 }
@@ -162,8 +214,9 @@ func (c *Cache) Fill(a Addr, st State) (evicted Addr, evState State) {
 // SetState changes the state of a resident block; it reports whether the
 // block was present.
 func (c *Cache) SetState(a Addr, st State) bool {
-	s := c.set(a)
-	if c.tags[s] != c.block(a) || c.states[s] == Invalid {
+	b := a &^ c.blockMask
+	s := (b >> c.blockShift) & c.setMask
+	if c.tags[s] != b || c.states[s] == Invalid {
 		return false
 	}
 	c.states[s] = st
@@ -173,8 +226,9 @@ func (c *Cache) SetState(a Addr, st State) bool {
 // Invalidate drops the block containing a, reporting whether it was present
 // and its prior state.
 func (c *Cache) Invalidate(a Addr) (State, bool) {
-	s := c.set(a)
-	if c.tags[s] != c.block(a) || c.states[s] == Invalid {
+	b := a &^ c.blockMask
+	s := (b >> c.blockShift) & c.setMask
+	if c.tags[s] != b || c.states[s] == Invalid {
 		return Invalid, false
 	}
 	st := c.states[s]
@@ -183,10 +237,16 @@ func (c *Cache) Invalidate(a Addr) (State, bool) {
 }
 
 // InvalidateRange drops every resident block overlapping [a, a+n) — used to
-// keep the L1 consistent when an L2 block is evicted or updated.
+// keep the L1 consistent when an L2 block is evicted or updated. An empty or
+// negative range drops nothing, even when a is not block-aligned (the
+// unclamped loop used to invalidate block(a) in that case).
 func (c *Cache) InvalidateRange(a Addr, n Addr) int {
+	if n <= 0 {
+		return 0
+	}
 	count := 0
-	for b := c.block(a); b < a+n; b += c.blockBytes {
+	last := c.block(a + n - 1)
+	for b := c.block(a); b <= last; b += c.blockBytes {
 		if _, ok := c.Invalidate(b); ok {
 			count++
 		}
@@ -215,31 +275,48 @@ func (e WBEntry) Words() int {
 // WriteBuffer is the 16-entry coalescing write buffer. Writes to a block
 // already buffered coalesce into its entry; reads may bypass queued writes
 // and are forwarded from a matching entry.
+//
+// The entries live in a fixed ring: PopFront advances the head instead of
+// shifting the remaining entries down (the old O(n) copy), and no drain ever
+// allocates.
 type WriteBuffer struct {
-	entries   []WBEntry
-	cap       int
+	entries   []WBEntry // fixed ring, len == capacity
+	head      int
+	count     int
 	Coalesced uint64
 	Enqueued  uint64
 }
 
 // NewWriteBuffer builds a write buffer with capacity entries.
 func NewWriteBuffer(capacity int) *WriteBuffer {
-	return &WriteBuffer{cap: capacity}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("mem: WriteBuffer capacity %d", capacity))
+	}
+	return &WriteBuffer{entries: make([]WBEntry, capacity)}
 }
 
 // Full reports whether a new (non-coalescing) write would stall.
-func (w *WriteBuffer) Full() bool { return len(w.entries) >= w.cap }
+func (w *WriteBuffer) Full() bool { return w.count >= len(w.entries) }
 
 // Len returns the number of buffered entries.
-func (w *WriteBuffer) Len() int { return len(w.entries) }
+func (w *WriteBuffer) Len() int { return w.count }
+
+// slot maps queue position i (0 = oldest) to its ring index.
+func (w *WriteBuffer) slot(i int) int {
+	s := w.head + i
+	if s >= len(w.entries) {
+		s -= len(w.entries)
+	}
+	return s
+}
 
 // Add records a write of the word at index word within block. It reports
 // whether the write coalesced into an existing entry; when it did not, the
 // caller must have checked Full first.
 func (w *WriteBuffer) Add(block Addr, word int, shared bool, at int64) (coalesced bool) {
-	for i := range w.entries {
-		if w.entries[i].Block == block {
-			w.entries[i].Mask |= 1 << uint(word)
+	for i := 0; i < w.count; i++ {
+		if e := &w.entries[w.slot(i)]; e.Block == block {
+			e.Mask |= 1 << uint(word)
 			w.Coalesced++
 			return true
 		}
@@ -247,15 +324,16 @@ func (w *WriteBuffer) Add(block Addr, word int, shared bool, at int64) (coalesce
 	if w.Full() {
 		panic("mem: WriteBuffer.Add on full buffer")
 	}
-	w.entries = append(w.entries, WBEntry{Block: block, Mask: 1 << uint(word), Shared: shared, At: at})
+	w.entries[w.slot(w.count)] = WBEntry{Block: block, Mask: 1 << uint(word), Shared: shared, At: at}
+	w.count++
 	w.Enqueued++
 	return false
 }
 
 // Has reports whether block has any buffered entry.
 func (w *WriteBuffer) Has(block Addr) bool {
-	for i := range w.entries {
-		if w.entries[i].Block == block {
+	for i := 0; i < w.count; i++ {
+		if w.entries[w.slot(i)].Block == block {
 			return true
 		}
 	}
@@ -265,8 +343,8 @@ func (w *WriteBuffer) Has(block Addr) bool {
 // Match reports whether block has a buffered entry containing word (read
 // forwarding).
 func (w *WriteBuffer) Match(block Addr, word int) bool {
-	for i := range w.entries {
-		if w.entries[i].Block == block && w.entries[i].Mask&(1<<uint(word)) != 0 {
+	for i := 0; i < w.count; i++ {
+		if e := &w.entries[w.slot(i)]; e.Block == block && e.Mask&(1<<uint(word)) != 0 {
 			return true
 		}
 	}
@@ -276,16 +354,22 @@ func (w *WriteBuffer) Match(block Addr, word int) bool {
 // Front returns the oldest entry without removing it; ok is false when the
 // buffer is empty.
 func (w *WriteBuffer) Front() (WBEntry, bool) {
-	if len(w.entries) == 0 {
+	if w.count == 0 {
 		return WBEntry{}, false
 	}
-	return w.entries[0], true
+	return w.entries[w.head], true
 }
 
 // PopFront removes and returns the oldest entry.
 func (w *WriteBuffer) PopFront() WBEntry {
-	e := w.entries[0]
-	copy(w.entries, w.entries[1:])
-	w.entries = w.entries[:len(w.entries)-1]
+	if w.count == 0 {
+		panic("mem: WriteBuffer.PopFront on empty buffer")
+	}
+	e := w.entries[w.head]
+	w.head++
+	if w.head >= len(w.entries) {
+		w.head = 0
+	}
+	w.count--
 	return e
 }

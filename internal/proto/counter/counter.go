@@ -1,0 +1,140 @@
+// Package counter provides the dense per-reference event counters shared by
+// the protocol implementations. The protocols increment enum-indexed slots of
+// a fixed array on the per-reference hot path (one add, no hashing, no
+// allocation); the string names only materialize at collection time, when
+// Set.Map rebuilds the exact map[string]uint64 the reporting layer
+// (machine.RunStats, JSON results, /metrics, the golden corpus) has always
+// consumed.
+//
+// Map semantics are preserved bit-for-bit: a counter appears in the exported
+// map iff it was ever incremented (event counters never decrement, so
+// nonzero ⇔ touched), or iff it was explicitly Stored (the channel-utilization
+// gauges the protocols assign unconditionally, which may legitimately be
+// zero).
+package counter
+
+// ID indexes one protocol counter in a Set. The enum spans the union of all
+// protocols' counters; each protocol touches only its own subset, so unused
+// slots stay zero and are never exported.
+type ID uint8
+
+const (
+	// Event counters (exported when nonzero).
+	LocalReads ID = iota
+	RemoteReads
+	SharedHits
+	HomeFetches
+	SingleStartDelays
+	PrivateWrites
+	Updates
+	RingUpdates
+	Forwards
+	ForwardMisses
+	OwnerWrites
+	WriteMisses
+	Invalidations
+	Writebacks
+
+	// Channel-utilization gauges (assigned via Store at collection time;
+	// exported even when zero).
+	ReqchWaitCycles
+	ReqchGrants
+	CohchBusyCycles
+	CohchWaitCycles
+	HomechBusyCycles
+	HomechGrants
+	HomechWaitCycles
+	CtrlWaitCycles
+	CtrlGrants
+	BcastWaitCycles
+	BcastBusyCycles
+	NodechBusyCycles
+	NodechWaitCycles
+
+	NumIDs // sentinel: number of counters
+)
+
+// names is the shared name table; the strings are the wire/report keys and
+// must never change (the golden corpus and /metrics key on them).
+var names = [NumIDs]string{
+	LocalReads:        "local_reads",
+	RemoteReads:       "remote_reads",
+	SharedHits:        "shared_hits",
+	HomeFetches:       "home_fetches",
+	SingleStartDelays: "single_start_delays",
+	PrivateWrites:     "private_writes",
+	Updates:           "updates",
+	RingUpdates:       "ring_updates",
+	Forwards:          "forwards",
+	ForwardMisses:     "forward_misses",
+	OwnerWrites:       "owner_writes",
+	WriteMisses:       "write_misses",
+	Invalidations:     "invalidations",
+	Writebacks:        "writebacks",
+	ReqchWaitCycles:   "reqch_wait_cycles",
+	ReqchGrants:       "reqch_grants",
+	CohchBusyCycles:   "cohch_busy_cycles",
+	CohchWaitCycles:   "cohch_wait_cycles",
+	HomechBusyCycles:  "homech_busy_cycles",
+	HomechGrants:      "homech_grants",
+	HomechWaitCycles:  "homech_wait_cycles",
+	CtrlWaitCycles:    "ctrl_wait_cycles",
+	CtrlGrants:        "ctrl_grants",
+	BcastWaitCycles:   "bcast_wait_cycles",
+	BcastBusyCycles:   "bcast_busy_cycles",
+	NodechBusyCycles:  "nodech_busy_cycles",
+	NodechWaitCycles:  "nodech_wait_cycles",
+}
+
+// String returns the counter's report key.
+func (id ID) String() string {
+	if id < NumIDs {
+		return names[id]
+	}
+	return "counter(?)"
+}
+
+// Lookup resolves a report key back to its ID (used by name-stability tests).
+func Lookup(name string) (ID, bool) {
+	for id := ID(0); id < NumIDs; id++ {
+		if names[id] == name {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// Set is a dense counter bank. The zero value is ready to use.
+type Set struct {
+	v [NumIDs]uint64
+	// stored marks IDs assigned via Store, which export even when zero.
+	stored [NumIDs]bool
+}
+
+// Inc increments id by one.
+func (s *Set) Inc(id ID) { s.v[id]++ }
+
+// Add increments id by n.
+func (s *Set) Add(id ID, n uint64) { s.v[id] += n }
+
+// Store assigns id (a gauge recomputed at collection time) and marks it
+// always-exported.
+func (s *Set) Store(id ID, v uint64) {
+	s.v[id] = v
+	s.stored[id] = true
+}
+
+// Get returns the current value of id.
+func (s *Set) Get(id ID) uint64 { return s.v[id] }
+
+// Map materializes the counter bank as the reporting map: every nonzero
+// counter plus every Stored gauge, keyed by report name.
+func (s *Set) Map() map[string]uint64 {
+	out := make(map[string]uint64)
+	for id := ID(0); id < NumIDs; id++ {
+		if s.v[id] != 0 || s.stored[id] {
+			out[names[id]] = s.v[id]
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package counter
+
+import "testing"
+
+// TestNameTable checks every ID has a unique, stable, non-empty report key
+// and that Lookup/String round-trip.
+func TestNameTable(t *testing.T) {
+	seen := map[string]ID{}
+	for id := ID(0); id < NumIDs; id++ {
+		name := id.String()
+		if name == "" || name == "counter(?)" {
+			t.Fatalf("ID %d has no name", id)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("name %q assigned to both %d and %d", name, prev, id)
+		}
+		seen[name] = id
+		back, ok := Lookup(name)
+		if !ok || back != id {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d", name, back, ok, id)
+		}
+	}
+	if _, ok := Lookup("no_such_counter"); ok {
+		t.Fatal("Lookup invented a counter")
+	}
+}
+
+// TestMapSemantics checks the export rule that keeps the golden corpus
+// byte-identical: incremented counters appear (they are nonzero), untouched
+// counters do not, and Stored gauges appear even at zero.
+func TestMapSemantics(t *testing.T) {
+	var s Set
+	if len(s.Map()) != 0 {
+		t.Fatalf("zero Set exports %v", s.Map())
+	}
+	s.Inc(Updates)
+	s.Add(LocalReads, 3)
+	s.Store(ReqchGrants, 0)
+	m := s.Map()
+	want := map[string]uint64{"updates": 1, "local_reads": 3, "reqch_grants": 0}
+	if len(m) != len(want) {
+		t.Fatalf("exported %v, want %v", m, want)
+	}
+	for k, v := range want {
+		got, ok := m[k]
+		if !ok || got != v {
+			t.Fatalf("exported %v, want %v", m, want)
+		}
+	}
+	if s.Get(LocalReads) != 3 || s.Get(RemoteReads) != 0 {
+		t.Fatal("Get mismatch")
+	}
+}

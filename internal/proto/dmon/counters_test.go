@@ -1,0 +1,70 @@
+package dmon_test
+
+import (
+	"sort"
+	"testing"
+
+	"netcache/internal/machine"
+	"netcache/internal/proto/counter"
+	protodmon "netcache/internal/proto/dmon"
+)
+
+// gaugeKeys are the channel-utilization gauges Counters() always exports,
+// even at zero — the key set the golden corpus and /metrics expect.
+var gaugeKeys = []string{
+	"ctrl_wait_cycles", "ctrl_grants",
+	"homech_busy_cycles", "homech_grants", "homech_wait_cycles",
+	"bcast_wait_cycles", "bcast_busy_cycles",
+}
+
+// TestCounterNamesStable checks the dense counter table round-trips through
+// Counters() for both DMON variants: gauges are always present, every
+// exported key resolves in the shared name table, and event counters appear
+// only once driven.
+func TestCounterNamesStable(t *testing.T) {
+	for _, v := range []protodmon.Variant{protodmon.Update, protodmon.Invalidate} {
+		idle := build(v)
+		if _, err := idle.Run(func(c *machine.Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+		got := idle.Proto.Counters()
+		var keys []string
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		want := append([]string(nil), gaugeKeys...)
+		sort.Strings(want)
+		if len(keys) != len(want) {
+			t.Fatalf("%s: idle key set %v, want %v", idle.Proto.Name(), keys, want)
+		}
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("%s: idle key set %v, want %v", idle.Proto.Name(), keys, want)
+			}
+		}
+
+		m := build(v)
+		addr := m.Space.AllocShared(64)
+		if _, err := m.Run(func(c *machine.Ctx) {
+			if c.ID() != 0 {
+				return
+			}
+			c.Read(addr)
+			c.Write(addr)
+			c.Fence()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		driven := m.Proto.Counters()
+		for k := range driven {
+			id, ok := counter.Lookup(k)
+			if !ok {
+				t.Fatalf("%s: key %q not in shared name table", m.Proto.Name(), k)
+			}
+			if id.String() != k {
+				t.Fatalf("%s: key %q round-trips to %q", m.Proto.Name(), k, id.String())
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"netcache/internal/machine"
 	"netcache/internal/mem"
 	"netcache/internal/optical"
+	"netcache/internal/proto/counter"
 	"netcache/internal/ring"
 	"netcache/internal/sim"
 )
@@ -46,9 +47,10 @@ type Proto struct {
 	bcast  [2]*optical.Timeline // broadcast/coherence channels (U uses both; I uses [0])
 	homeCh []*optical.Timeline  // home channels: requests in, replies out
 
-	// I-SPEED directory: block -> owner node (absent = no owner, memory
-	// current).
-	dir map[mem.Addr]int
+	// I-SPEED directory: block index -> owner node (absent = no owner,
+	// memory current). Shared blocks are dense above mem.SharedBase, so the
+	// open-addressed block-index table resolves in one probe almost always.
+	dir mem.BlockTable[int]
 
 	// deliverUpdateFn/deliverInvalFn are the coherence delivery events bound
 	// once, scheduled through ScheduleArgs so drains do not allocate a
@@ -56,18 +58,16 @@ type Proto struct {
 	deliverUpdateFn func(writer, block int64)
 	deliverInvalFn  func(writer, block int64)
 
-	counters map[string]uint64
+	counters counter.Set
 }
 
 // New builds a DMON protocol of the given variant over m.
 func New(m *machine.Machine, v Variant) *Proto {
 	md := m.Model
 	p := &Proto{
-		m:        m,
-		variant:  v,
-		ctrl:     optical.NewTDMA(md.SlotUnit, md.Procs),
-		dir:      make(map[mem.Addr]int),
-		counters: make(map[string]uint64),
+		m:       m,
+		variant: v,
+		ctrl:    optical.NewTDMA(md.SlotUnit, md.Procs),
 	}
 	p.bcast[0] = &optical.Timeline{}
 	p.bcast[1] = &optical.Timeline{}
@@ -97,23 +97,23 @@ func (p *Proto) Ring() *ring.Cache { return nil }
 
 // Counters returns protocol event counts.
 func (p *Proto) Counters() map[string]uint64 {
-	p.counters["ctrl_wait_cycles"] = uint64(p.ctrl.Waited)
-	p.counters["ctrl_grants"] = p.ctrl.Grants
+	p.counters.Store(counter.CtrlWaitCycles, uint64(p.ctrl.Waited))
+	p.counters.Store(counter.CtrlGrants, p.ctrl.Grants)
 	var busy, grants uint64
 	for _, h := range p.homeCh {
 		busy += uint64(h.Busy)
 		grants += h.Grants
 	}
-	p.counters["homech_busy_cycles"] = busy
-	p.counters["homech_grants"] = grants
+	p.counters.Store(counter.HomechBusyCycles, busy)
+	p.counters.Store(counter.HomechGrants, grants)
 	var hwait uint64
 	for _, h := range p.homeCh {
 		hwait += uint64(h.Waited)
 	}
-	p.counters["homech_wait_cycles"] = hwait
-	p.counters["bcast_wait_cycles"] = uint64(p.bcast[0].Waited + p.bcast[1].Waited)
-	p.counters["bcast_busy_cycles"] = uint64(p.bcast[0].Busy + p.bcast[1].Busy)
-	return p.counters
+	p.counters.Store(counter.HomechWaitCycles, hwait)
+	p.counters.Store(counter.BcastWaitCycles, uint64(p.bcast[0].Waited+p.bcast[1].Waited))
+	p.counters.Store(counter.BcastBusyCycles, uint64(p.bcast[0].Busy+p.bcast[1].Busy))
+	return p.counters.Map()
 }
 
 // reserve models the control-channel reservation: wait for the node's TDMA
@@ -141,7 +141,7 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 
 	if !sp.IsShared(addr) {
 		ready := p.m.Mems[n.ID].ReadBlock(t, Time(p.m.Cfg.L2Block))
-		p.counters["local_reads"]++
+		p.counters.Inc(counter.LocalReads)
 		return ready, mem.Clean
 	}
 
@@ -149,13 +149,13 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 		// Locally-homed shared block: the directory is consulted without
 		// crossing the network; a remote owner still requires forwarding.
 		if p.variant == Invalidate {
-			if owner, ok := p.dir[block]; ok && owner != n.ID {
+			if owner, ok := p.dir.Get(sp.BlockIndex(block)); ok && owner != n.ID {
 				done := p.forward(n.ID, owner, block, t)
 				return done, mem.Clean
 			}
 		}
 		ready := p.m.Mems[n.ID].ReadBlock(t, Time(p.m.Cfg.L2Block))
-		p.counters["local_reads"]++
+		p.counters.Inc(counter.LocalReads)
 		return ready, mem.Clean
 	}
 
@@ -164,10 +164,10 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 	res := p.reserve(n.ID, t)
 	reqStart := p.homeCh[home].Acquire(res+md.TuningDelay, md.MemRequestDMON)
 	atHome := reqStart + md.MemRequestDMON + md.Flight
-	p.counters["remote_reads"]++
+	p.counters.Inc(counter.RemoteReads)
 
 	if p.variant == Invalidate {
-		if owner, ok := p.dir[block]; ok && owner != n.ID {
+		if owner, ok := p.dir.Get(sp.BlockIndex(block)); ok && owner != n.ID {
 			return p.forward(n.ID, owner, block, atHome), mem.Clean
 		}
 	}
@@ -200,7 +200,7 @@ const dirUpdateService = Time(8)
 // clean); an exclusive owner downgrades to shared.
 func (p *Proto) forward(requester, owner int, block mem.Addr, atHome Time) Time {
 	md := p.m.Model
-	p.counters["forwards"]++
+	p.counters.Inc(counter.Forwards)
 	home := p.m.Space.Home(block)
 	// Directory lookup in the home's memory module.
 	atHome = p.m.Mems[home].Occupy(atHome, dirLookupService)
@@ -217,7 +217,7 @@ func (p *Proto) forward(requester, owner int, block mem.Addr, atHome Time) Time 
 	}
 	// The owner's copy was evicted while the request was in flight (its
 	// writeback is on the way); fall back to home memory.
-	p.counters["forward_misses"]++
+	p.counters.Inc(counter.ForwardMisses)
 	ready := p.m.Mems[home].ReadBlock(atOwner+md.Flight, Time(p.m.Cfg.L2Block))
 	return p.reply(home, requester, ready)
 }
@@ -227,7 +227,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	md := p.m.Model
 	if !e.Shared {
 		done, _ := p.m.Mems[n.ID].Update(t + md.L2TagCheck)
-		p.counters["private_writes"]++
+		p.counters.Inc(counter.PrivateWrites)
 		return t + md.L2TagCheck + 1, done
 	}
 	if p.variant == Update {
@@ -246,7 +246,7 @@ func (p *Proto) drainUpdate(n *machine.Node, e mem.WBEntry, t Time) (nextAt, mem
 	xmit := md.UpdateXmit(e.Words())
 	start := p.bcastFor(n.ID).Acquire(res, xmit)
 	delivery := start + xmit + md.Flight
-	p.counters["updates"]++
+	p.counters.Inc(counter.Updates)
 
 	p.m.Eng.ScheduleArgs(delivery, p.deliverUpdateFn, int64(n.ID), int64(e.Block))
 
@@ -285,14 +285,14 @@ func (p *Proto) drainInvalidate(n *machine.Node, e mem.WBEntry, t Time) (nextAt,
 	if present && st == mem.Exclusive {
 		// Silent write to the owned copy.
 		done := t + md.L2TagCheck + md.WriteToNIDMONI + md.L2Write
-		p.counters["owner_writes"]++
+		p.counters.Inc(counter.OwnerWrites)
 		return done, done
 	}
 	start := t
 	if !present {
 		// Write miss: fetch the block first (write-allocate under
 		// invalidate coherence).
-		p.counters["write_misses"]++
+		p.counters.Inc(counter.WriteMisses)
 		fetchDone, fst := p.ReadMiss(n, block, t+md.L2TagCheck)
 		n.FillL2(block, fst, fetchDone)
 		start = fetchDone
@@ -302,10 +302,10 @@ func (p *Proto) drainInvalidate(n *machine.Node, e mem.WBEntry, t Time) (nextAt,
 	res := p.reserve(n.ID, tNI)
 	invStart := p.bcast[0].Acquire(res, md.InvalXmit)
 	delivery := invStart + md.InvalXmit + md.Flight
-	p.counters["invalidations"]++
+	p.counters.Inc(counter.Invalidations)
 
 	p.m.Eng.ScheduleArgs(delivery, p.deliverInvalFn, int64(n.ID), int64(block))
-	p.dir[block] = n.ID
+	p.dir.Put(p.m.Space.BlockIndex(block), n.ID)
 	n.L2.SetState(block, mem.Exclusive)
 
 	home := p.m.Space.Home(block)
@@ -344,11 +344,12 @@ func (p *Proto) Evict(n *machine.Node, block mem.Addr, st mem.State, t Time) {
 	if st != mem.Exclusive && st != mem.Shared {
 		return
 	}
-	if owner, ok := p.dir[block]; !ok || owner != n.ID {
+	idx := p.m.Space.BlockIndex(block)
+	if owner, ok := p.dir.Get(idx); !ok || owner != n.ID {
 		return
 	}
-	delete(p.dir, block)
-	p.counters["writebacks"]++
+	p.dir.Delete(idx)
+	p.counters.Inc(counter.Writebacks)
 	md := p.m.Model
 	home := p.m.Space.Home(block)
 	// Writing the block back streams it into the home memory (about the

@@ -1,0 +1,67 @@
+package lambdanet_test
+
+import (
+	"sort"
+	"testing"
+
+	"netcache/internal/machine"
+	"netcache/internal/proto/counter"
+)
+
+// gaugeKeys are the channel-utilization gauges Counters() always exports,
+// even at zero — the key set the golden corpus and /metrics expect.
+var gaugeKeys = []string{"nodech_busy_cycles", "nodech_wait_cycles"}
+
+// TestCounterNamesStable checks the dense counter table round-trips through
+// Counters(): gauges are always present, every exported key resolves in the
+// shared name table, and event counters appear only once driven.
+func TestCounterNamesStable(t *testing.T) {
+	idle := build()
+	if _, err := idle.Run(func(c *machine.Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	got := idle.Proto.Counters()
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := append([]string(nil), gaugeKeys...)
+	sort.Strings(want)
+	if len(keys) != len(want) {
+		t.Fatalf("idle key set %v, want %v", keys, want)
+	}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("idle key set %v, want %v", keys, want)
+		}
+	}
+
+	m := build()
+	addr := remoteOf(m)
+	if _, err := m.Run(func(c *machine.Ctx) {
+		if c.ID() != 0 {
+			return
+		}
+		c.Read(addr)
+		c.Write(addr)
+		c.Fence()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	driven := m.Proto.Counters()
+	for _, k := range []string{"remote_reads", "updates"} {
+		if driven[k] == 0 {
+			t.Fatalf("driven counters missing %q: %v", k, driven)
+		}
+	}
+	for k := range driven {
+		id, ok := counter.Lookup(k)
+		if !ok {
+			t.Fatalf("key %q not in shared name table", k)
+		}
+		if id.String() != k {
+			t.Fatalf("key %q round-trips to %q", k, id.String())
+		}
+	}
+}

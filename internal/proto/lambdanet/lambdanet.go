@@ -13,6 +13,7 @@ import (
 	"netcache/internal/machine"
 	"netcache/internal/mem"
 	"netcache/internal/optical"
+	"netcache/internal/proto/counter"
 	"netcache/internal/ring"
 	"netcache/internal/sim"
 )
@@ -29,12 +30,12 @@ type Proto struct {
 	// ScheduleArgs so each drained entry does not allocate a closure.
 	deliverFn func(writer, block int64)
 
-	counters map[string]uint64
+	counters counter.Set
 }
 
 // New builds a LambdaNet protocol over m.
 func New(m *machine.Machine) *Proto {
-	p := &Proto{m: m, counters: make(map[string]uint64)}
+	p := &Proto{m: m}
 	p.nodeCh = make([]*optical.Timeline, m.P())
 	for i := range p.nodeCh {
 		p.nodeCh[i] = &optical.Timeline{}
@@ -60,9 +61,9 @@ func (p *Proto) Counters() map[string]uint64 {
 		busy += uint64(ch.Busy)
 		wait += uint64(ch.Waited)
 	}
-	p.counters["nodech_busy_cycles"] = busy
-	p.counters["nodech_wait_cycles"] = wait
-	return p.counters
+	p.counters.Store(counter.NodechBusyCycles, busy)
+	p.counters.Store(counter.NodechWaitCycles, wait)
+	return p.counters.Map()
 }
 
 // ReadMiss: request on the requester's channel, reply on the home's channel
@@ -73,14 +74,14 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 	home := sp.Home(addr)
 	if !sp.IsShared(addr) || home == n.ID {
 		ready := p.m.Mems[n.ID].ReadBlock(t, Time(p.m.Cfg.L2Block))
-		p.counters["local_reads"]++
+		p.counters.Inc(counter.LocalReads)
 		return ready, mem.Clean
 	}
 	reqStart := p.nodeCh[n.ID].Acquire(t, md.MemRequest)
 	atHome := reqStart + md.MemRequest + md.Flight
 	ready := p.m.Mems[home].ReadBlock(atHome, Time(p.m.Cfg.L2Block))
 	start := p.nodeCh[home].Acquire(ready, md.BlockTransfer)
-	p.counters["remote_reads"]++
+	p.counters.Inc(counter.RemoteReads)
 	return start + md.BlockTransfer + md.Flight + md.NIToL2, mem.Clean
 }
 
@@ -90,7 +91,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	md := p.m.Model
 	if !e.Shared {
 		done, _ := p.m.Mems[n.ID].Update(t + md.L2TagCheck)
-		p.counters["private_writes"]++
+		p.counters.Inc(counter.PrivateWrites)
 		return t + md.L2TagCheck + 1, done
 	}
 	home := p.m.Space.Home(e.Block)
@@ -98,7 +99,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	xmit := md.UpdateXmitLambda(e.Words())
 	start := p.nodeCh[n.ID].Acquire(tNI, xmit)
 	delivery := start + xmit + md.Flight
-	p.counters["updates"]++
+	p.counters.Inc(counter.Updates)
 
 	p.m.Eng.ScheduleArgs(delivery, p.deliverFn, int64(n.ID), int64(e.Block))
 

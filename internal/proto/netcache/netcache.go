@@ -12,6 +12,7 @@ import (
 	"netcache/internal/machine"
 	"netcache/internal/mem"
 	"netcache/internal/optical"
+	"netcache/internal/proto/counter"
 	"netcache/internal/ring"
 	"netcache/internal/sim"
 )
@@ -38,13 +39,15 @@ type Proto struct {
 	// race maps a block to the cycle at which the race FIFO entry for a
 	// recent update leaves the queue (two ring roundtrips after delivery);
 	// shared-cache accesses to it are delayed until then (Section 3.4).
-	race map[mem.Addr]Time
+	// Shared blocks are dense above mem.SharedBase, so the open-addressed
+	// block-index table resolves in one probe for almost every access.
+	race mem.BlockTable[Time]
 
 	// deliverFn is the update-delivery event bound once, scheduled through
 	// ScheduleArgs so each drained entry does not allocate a closure.
 	deliverFn func(writer, block int64)
 
-	counters map[string]uint64
+	counters counter.Set
 }
 
 // SetSingleStart enables the single-start read ablation (reads begin on the
@@ -56,12 +59,10 @@ func (p *Proto) SetSingleStart(v bool) { p.singleStart = v }
 func New(m *machine.Machine, rc *ring.Cache) *Proto {
 	md := m.Model
 	p := &Proto{
-		m:        m,
-		reqCh:    optical.NewTDMA(md.SlotUnit, md.Procs),
-		homeCh:   make([]*optical.Timeline, md.Procs),
-		rc:       rc,
-		race:     make(map[mem.Addr]Time),
-		counters: make(map[string]uint64),
+		m:      m,
+		reqCh:  optical.NewTDMA(md.SlotUnit, md.Procs),
+		homeCh: make([]*optical.Timeline, md.Procs),
+		rc:     rc,
 	}
 	half := md.Procs / 2
 	if half == 0 {
@@ -93,16 +94,16 @@ func (p *Proto) Ring() *ring.Cache { return p.rc }
 
 // Counters returns protocol event counts plus channel utilization.
 func (p *Proto) Counters() map[string]uint64 {
-	p.counters["reqch_wait_cycles"] = uint64(p.reqCh.Waited)
-	p.counters["reqch_grants"] = p.reqCh.Grants
-	p.counters["cohch_busy_cycles"] = uint64(p.cohCh[0].Busy + p.cohCh[1].Busy)
-	p.counters["cohch_wait_cycles"] = uint64(p.cohCh[0].Waited + p.cohCh[1].Waited)
+	p.counters.Store(counter.ReqchWaitCycles, uint64(p.reqCh.Waited))
+	p.counters.Store(counter.ReqchGrants, p.reqCh.Grants)
+	p.counters.Store(counter.CohchBusyCycles, uint64(p.cohCh[0].Busy+p.cohCh[1].Busy))
+	p.counters.Store(counter.CohchWaitCycles, uint64(p.cohCh[0].Waited+p.cohCh[1].Waited))
 	var busy uint64
 	for _, h := range p.homeCh {
 		busy += uint64(h.Busy)
 	}
-	p.counters["homech_busy_cycles"] = busy
-	return p.counters
+	p.counters.Store(counter.HomechBusyCycles, busy)
+	return p.counters.Map()
 }
 
 func (p *Proto) coh(node int) (*optical.Token, int) {
@@ -112,12 +113,12 @@ func (p *Proto) coh(node int) (*optical.Token, int) {
 // raceDelay returns the earliest cycle at or after t at which node may access
 // the shared-cache copy of block.
 func (p *Proto) raceDelay(n *machine.Node, block mem.Addr, t Time) Time {
-	exp, ok := p.race[block]
+	exp, ok := p.race.Get(p.m.Space.BlockIndex(block))
 	if !ok {
 		return t
 	}
 	if exp <= t {
-		delete(p.race, block)
+		p.race.Delete(p.m.Space.BlockIndex(block))
 		return t
 	}
 	n.St.RaceDelays++
@@ -134,7 +135,7 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 	if !sp.IsShared(addr) || home == n.ID {
 		// Private data or locally-homed block: served by the local memory.
 		ready := p.m.Mems[n.ID].ReadBlock(t, Time(p.m.Cfg.L2Block))
-		p.counters["local_reads"]++
+		p.counters.Inc(counter.LocalReads)
 		return ready, mem.Clean
 	}
 	block := sp.Block(addr)
@@ -156,7 +157,7 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 		// Ablation: the request waits for the ring scan to conclude a miss
 		// (half a roundtrip on average).
 		tStar = t + md.RingRoundtrip/2
-		p.counters["single_start_delays"]++
+		p.counters.Inc(counter.SingleStartDelays)
 	}
 	slot := p.reqCh.Acquire(n.ID, tStar)
 	atHome := slot + md.MemRequest + md.Flight
@@ -173,12 +174,12 @@ func (p *Proto) ReadMiss(n *machine.Node, addr mem.Addr, t Time) (Time, mem.Stat
 		}
 		start := p.homeCh[home].Acquire(ready, md.BlockTransfer)
 		homeDone = start + md.BlockTransfer + md.Flight + md.NIToL2
-		p.counters["home_fetches"]++
+		p.counters.Inc(counter.HomeFetches)
 	} else {
 		// The home sees the block in its channel table and disregards the
 		// request; the requester captures the block from the ring.
 		n.St.SharedHits++
-		p.counters["shared_hits"]++
+		p.counters.Inc(counter.SharedHits)
 	}
 	done := homeDone
 	if ringDone < done {
@@ -194,7 +195,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	if !e.Shared {
 		// Private write: performed at the local memory module.
 		done, _ := p.m.Mems[n.ID].Update(t + md.L2TagCheck)
-		p.counters["private_writes"]++
+		p.counters.Inc(counter.PrivateWrites)
 		return t + md.L2TagCheck + 1, done
 	}
 	home := p.m.Space.Home(e.Block)
@@ -203,7 +204,7 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 	xmit := md.UpdateXmit(e.Words())
 	start := ch.Acquire(member, tNI, xmit)
 	delivery := start + xmit + md.Flight
-	p.counters["updates"]++
+	p.counters.Inc(counter.Updates)
 
 	// Delivery: snoopers update L2 copies (invalidating L1 halves), the home
 	// inserts the update into its memory FIFO and refreshes the ring copy.
@@ -234,8 +235,8 @@ func (p *Proto) deliverUpdate(writer int, block mem.Addr, t Time) {
 	if p.rc != nil && p.rc.Update(block, t) {
 		// The home refreshes the circulating copy within two roundtrips;
 		// reads are held off via the race FIFO until it is current.
-		p.race[block] = t + md.RaceFIFOResidency
-		p.counters["ring_updates"]++
+		p.race.Put(p.m.Space.BlockIndex(block), t+md.RaceFIFOResidency)
+		p.counters.Inc(counter.RingUpdates)
 	}
 }
 

@@ -24,3 +24,17 @@ func BenchmarkFigure5(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFigure6 regenerates the Figure 6 execution-time breakdown (every
+// application on all four 16-node systems) serially. Relative to Figure 5 it
+// weighs the coherence-heavy systems more (DMON-I directory traffic,
+// LambdaNet update storms), so it tracks the memory-system layer rather than
+// raw scheduling.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.Options{Scale: 0.12, Workers: 1})
+		if _, err := exp.Figure6(context.Background(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,7 +8,8 @@
 //
 //	netcached -addr :8100 -store /var/cache/netcached \
 //	          -store-max-bytes 1073741824 -j 8 -timeout 10m \
-//	          [-pprof localhost:6060]
+//	          [-scrub-interval 1h] [-pprof localhost:6060] \
+//	          [-chaos "seed=42,store.write=0.1,http.error=0.05"]
 //
 // Endpoints:
 //
@@ -25,6 +26,11 @@
 // On SIGINT/SIGTERM the daemon drains: new simulations are refused,
 // in-flight ones finish within -drain, and past that deadline they are
 // aborted through the simulation engines' interrupt path.
+//
+// The -chaos flag arms deterministic fault injection (store I/O errors and
+// corruption, HTTP errors/disconnects/latency, worker panics and stalls)
+// for resilience testing; see internal/faults for the site names and
+// DESIGN.md for the failure model. Never enable it in production.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"netcache/internal/faults"
 	"netcache/internal/server"
 	"netcache/internal/store"
 )
@@ -54,10 +61,20 @@ func main() {
 		queue    = flag.Int("queue", 64, "admission queue depth beyond the worker count")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain deadline before in-flight simulations are aborted")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		scrub    = flag.Duration("scrub-interval", 0, "background store scrub period (0 = disabled)")
+		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "seed=42,store.write=0.1,http.error=0.05" (testing only)`)
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "netcached: ", log.LstdFlags)
+
+	inj, err := faults.Parse(*chaos)
+	if err != nil {
+		logger.Fatalf("-chaos: %v", err)
+	}
+	if inj != nil {
+		logger.Printf("CHAOS MODE: injecting faults [%s] — do not use in production", inj)
+	}
 
 	if *pprof != "" {
 		// The profiling endpoint lives on its own listener so it can be bound
@@ -76,12 +93,23 @@ func main() {
 
 	var st *store.Store
 	if *storeDir != "" {
+		var fsys store.FS
+		if inj != nil {
+			fsys = store.NewFaultFS(inj)
+		}
 		var err error
-		st, err = store.Open(*storeDir, *maxBytes)
+		st, err = store.OpenFS(*storeDir, *maxBytes, fsys)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		logger.Printf("store %s (%d entries, %d bytes)", *storeDir, st.Stats().Entries, st.Stats().Bytes)
+		s := st.Stats()
+		logger.Printf("store %s (%d entries, %d bytes, %d stale temps reaped)",
+			*storeDir, s.Entries, s.Bytes, s.ReapedTemps)
+		if *scrub > 0 {
+			st.StartScrubber(*scrub)
+			logger.Printf("scrubbing store every %v", *scrub)
+		}
+		defer st.Close()
 	}
 
 	srv := server.New(server.Config{
@@ -90,6 +118,7 @@ func main() {
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Log:        logger,
+		Inject:     inj,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,0 +1,258 @@
+// Package faults is a deterministic, seed-driven fault injector for chaos
+// testing the netcached stack.
+//
+// Every injection decision is a pure function of (seed, site name, per-site
+// invocation count): the n-th draw at a site always yields the same verdict
+// and the same auxiliary random value for a given seed, independent of
+// goroutine interleaving, wall-clock time, or what other sites are doing.
+// That makes chaos runs reproducible — a failing seed can be replayed — and
+// lets single-threaded tests assert exact fault sequences.
+//
+// Consumers thread a *Injector through their seams (store's FS hook, the
+// server's HTTP middleware, the runner's job wrapper) and call Fire or Draw
+// at each site. A nil *Injector is valid and never fires, so production
+// paths pay one nil check when chaos is off.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Conventional site names. Sites are plain strings — consumers may invent
+// their own — but the stack's built-in seams use these.
+const (
+	// StoreRead fails store file reads with an injected I/O error.
+	StoreRead = "store.read"
+	// StoreCorrupt flips one bit of a successfully read store entry.
+	StoreCorrupt = "store.corrupt"
+	// StoreWrite fails the temp-file write stage of a store Put.
+	StoreWrite = "store.write"
+	// StoreShortWrite silently truncates the temp-file write (reported as
+	// success — the crash-mid-write case atomic rename is meant to mask).
+	StoreShortWrite = "store.shortwrite"
+	// StoreRename fails the atomic rename installing a store entry.
+	StoreRename = "store.rename"
+
+	// HTTPLatency delays an HTTP response by a deterministic duration.
+	HTTPLatency = "http.latency"
+	// HTTPError replaces an HTTP response with a 500.
+	HTTPError = "http.error"
+	// HTTPDisconnect drops the HTTP connection mid-request.
+	HTTPDisconnect = "http.disconnect"
+
+	// RunnerStall delays a worker-pool job before it starts (long enough
+	// stalls trip the per-job timeout).
+	RunnerStall = "runner.stall"
+	// RunnerPanic panics inside a worker-pool job, exercising the pool's
+	// panic recovery.
+	RunnerPanic = "runner.panic"
+)
+
+// SiteStats reports one site's draw history.
+type SiteStats struct {
+	Rate  float64 // configured injection probability
+	Calls uint64  // draws taken at this site
+	Fired uint64  // draws that injected a fault
+}
+
+type site struct {
+	rate  float64
+	calls uint64
+	fired uint64
+}
+
+// Injector is a deterministic fault source, safe for concurrent use.
+// The zero value and the nil pointer never fire.
+type Injector struct {
+	seed uint64
+
+	mu       sync.Mutex
+	disabled bool
+	sites    map[string]*site
+}
+
+// New returns an Injector with the given seed and no configured sites
+// (every site defaults to rate 0).
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*site)}
+}
+
+// Seed reports the injector's seed.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Set configures site to inject with probability rate in [0, 1].
+func (in *Injector) Set(name string, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		s = &site{}
+		in.sites[name] = s
+	}
+	s.rate = rate
+}
+
+// Disable stops all injection until Enable. Draw counts keep advancing so a
+// disabled window does not shift later decisions.
+func (in *Injector) Disable() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.disabled = true
+	in.mu.Unlock()
+}
+
+// Enable re-arms injection after Disable.
+func (in *Injector) Enable() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.disabled = false
+	in.mu.Unlock()
+}
+
+// Fire reports whether the next invocation at site injects a fault.
+func (in *Injector) Fire(name string) bool {
+	fired, _ := in.Draw(name)
+	return fired
+}
+
+// Draw advances site's invocation counter and returns the injection verdict
+// plus an auxiliary deterministic random value (used by callers to pick a
+// corruption offset, a latency, etc.). The pair is a pure function of
+// (seed, site, invocation count).
+func (in *Injector) Draw(name string) (fired bool, aux uint64) {
+	if in == nil {
+		return false, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		s = &site{}
+		if in.sites == nil {
+			in.sites = make(map[string]*site)
+		}
+		in.sites[name] = s
+	}
+	n := s.calls
+	s.calls++
+	if in.disabled || s.rate <= 0 {
+		return false, 0
+	}
+	h := mix(in.seed ^ hashString(name) ^ n)
+	// Top 53 bits to a float in [0, 1): the standard uniform construction.
+	u := float64(h>>11) / (1 << 53)
+	if u >= s.rate {
+		return false, 0
+	}
+	s.fired++
+	return true, mix(h)
+}
+
+// Stats snapshots every site's draw history, keyed by site name.
+func (in *Injector) Stats() map[string]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.sites))
+	for name, s := range in.sites {
+		out[name] = SiteStats{Rate: s.rate, Calls: s.calls, Fired: s.fired}
+	}
+	return out
+}
+
+// String renders the injector in Parse's format, sites sorted by name.
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	parts := []string{fmt.Sprintf("seed=%d", in.seed)}
+	names := make([]string, 0, len(in.sites))
+	for name := range in.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, in.sites[name].rate))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds an Injector from a comma-separated spec of the form
+//
+//	seed=42,store.write=0.1,store.corrupt=0.05,http.error=0.05
+//
+// seed defaults to 1 when omitted. An empty spec returns (nil, nil): chaos
+// off.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := New(1)
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not site=rate", kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if k == "seed" {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			in.seed = seed
+			continue
+		}
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faults: bad rate %q for site %s (want [0,1])", v, k)
+		}
+		in.Set(k, rate)
+	}
+	return in, nil
+}
+
+// mix is splitmix64's finalizer: a bijective avalanche over uint64.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestDeterministicSequence: the verdict/aux sequence at a site is a pure
+// function of (seed, site, invocation count) — replaying the same seed
+// reproduces it exactly, and interleaving draws at other sites does not
+// shift it.
+func TestDeterministicSequence(t *testing.T) {
+	const n = 2000
+	type draw struct {
+		fired bool
+		aux   uint64
+	}
+	run := func(interleave bool) []draw {
+		in := New(42)
+		in.Set("store.write", 0.25)
+		in.Set("http.error", 0.5)
+		out := make([]draw, n)
+		for i := range out {
+			if interleave {
+				in.Fire("http.error") // foreign-site traffic must not matter
+			}
+			out[i].fired, out[i].aux = in.Draw("store.write")
+		}
+		return out
+	}
+	a, b, c := run(false), run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			t.Fatalf("draw %d shifted by foreign-site interleaving: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	fired := func(seed uint64) (n int) {
+		in := New(seed)
+		in.Set("s", 0.5)
+		pat := 0
+		for i := 0; i < 64; i++ {
+			pat <<= 1
+			if in.Fire("s") {
+				pat |= 1
+				n++
+			}
+		}
+		return pat
+	}
+	if fired(1) == fired(2) {
+		t.Fatal("seeds 1 and 2 produced identical 64-draw fire patterns")
+	}
+}
+
+// TestRate: over many draws the empirical injection rate tracks the
+// configured one.
+func TestRate(t *testing.T) {
+	in := New(7)
+	in.Set("s", 0.1)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Fire("s")
+	}
+	st := in.Stats()["s"]
+	if st.Calls != n {
+		t.Fatalf("calls = %d, want %d", st.Calls, n)
+	}
+	got := float64(st.Fired) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("empirical rate %.4f, want ~0.10", got)
+	}
+}
+
+func TestDisableKeepsCounting(t *testing.T) {
+	a := New(9)
+	a.Set("s", 1)
+	b := New(9)
+	b.Set("s", 1)
+
+	// a: 10 live draws. b: 5 live, 5 disabled, then both draw again — the
+	// 11th decision must agree because disabled draws still advance count.
+	for i := 0; i < 10; i++ {
+		if !a.Fire("s") {
+			t.Fatal("rate-1 site did not fire")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		b.Fire("s")
+	}
+	b.Disable()
+	for i := 0; i < 5; i++ {
+		if b.Fire("s") {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	b.Enable()
+	af, aa := a.Draw("s")
+	bf, ba := b.Draw("s")
+	if af != bf || aa != ba {
+		t.Fatalf("draw 11 diverged after a disabled window: (%v,%d) vs (%v,%d)", af, aa, bf, ba)
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire("s") {
+		t.Fatal("nil injector fired")
+	}
+	if f, aux := in.Draw("s"); f || aux != 0 {
+		t.Fatal("nil Draw returned a live value")
+	}
+	if in.Stats() != nil {
+		t.Fatal("nil Stats non-nil")
+	}
+	in.Disable()
+	in.Enable()
+	if in.String() != "" || in.Seed() != 0 {
+		t.Fatal("nil accessors returned live values")
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("seed=42, store.write=0.1 ,http.error=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Fatalf("seed = %d", in.Seed())
+	}
+	st := in.Stats()
+	if st["store.write"].Rate != 0.1 || st["http.error"].Rate != 0.05 {
+		t.Fatalf("rates = %+v", st)
+	}
+	if s := in.String(); s != "seed=42,http.error=0.05,store.write=0.1" {
+		t.Fatalf("String = %q", s)
+	}
+
+	if in, err := Parse("  "); err != nil || in != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", in, err)
+	}
+	if in, err := Parse("store.write=0.5"); err != nil || in.Seed() != 1 {
+		t.Fatalf("default seed: %v, %v", in, err)
+	}
+	for _, bad := range []string{"store.write", "seed=x", "s=1.5", "s=-0.1", "s=abc"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConcurrentDraws(t *testing.T) {
+	in := New(3)
+	in.Set("s", 0.5)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				in.Draw("s")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := in.Stats()["s"]; st.Calls != 8000 {
+		t.Fatalf("calls = %d, want 8000", st.Calls)
+	}
+}

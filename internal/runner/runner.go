@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"netcache/internal/faults"
 )
 
 // Package-wide gauges across every concurrent Map call, for service
@@ -51,6 +53,13 @@ type Options[T any] struct {
 	// jobs report once, on their leader). It runs on worker goroutines and
 	// must be safe for concurrent use.
 	OnDone func(Done[T])
+
+	// Inject, when non-nil, enables deterministic chaos inside the pool:
+	// the faults.RunnerStall site delays a job before it starts (stalls
+	// past Timeout surface as DeadlineExceeded) and faults.RunnerPanic
+	// panics inside the job, exercising the pool's recover-into-error
+	// path. Nil disables injection.
+	Inject *faults.Injector
 }
 
 // Done describes one finished job execution, for progress reporting.
@@ -132,7 +141,7 @@ func Map[T any](ctx context.Context, opt Options[T], jobs []Job[T]) []Result[T] 
 				} else {
 					inFlight.Add(1)
 					start := time.Now()
-					res.Value, res.Err = runOne(ctx, opt.Timeout, jobs[lead].Run)
+					res.Value, res.Err = runOne(ctx, opt.Timeout, opt.Inject, jobs[lead].Run)
 					inFlight.Add(-1)
 					if opt.OnDone != nil {
 						opt.OnDone(Done[T]{
@@ -152,9 +161,13 @@ func Map[T any](ctx context.Context, opt Options[T], jobs []Job[T]) []Result[T] 
 	return results
 }
 
+// maxInjectedStall bounds the chaos delay drawn at the faults.RunnerStall
+// site; the actual stall is the draw's aux value modulo this.
+const maxInjectedStall = 100 * time.Millisecond
+
 // runOne executes a single job with the per-job timeout applied and panics
-// recovered into errors.
-func runOne[T any](ctx context.Context, timeout time.Duration, run func(context.Context) (T, error)) (val T, err error) {
+// (real or injected) recovered into errors.
+func runOne[T any](ctx context.Context, timeout time.Duration, inject *faults.Injector, run func(context.Context) (T, error)) (val T, err error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -165,5 +178,17 @@ func runOne[T any](ctx context.Context, timeout time.Duration, run func(context.
 			err = fmt.Errorf("runner: job panicked: %v", r)
 		}
 	}()
+	if fired, aux := inject.Draw(faults.RunnerStall); fired {
+		d := time.Duration(aux % uint64(maxInjectedStall))
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop() // run observes the expired context and returns promptly
+		}
+	}
+	if inject.Fire(faults.RunnerPanic) {
+		panic("faults: injected panic at site " + faults.RunnerPanic)
+	}
 	return run(ctx)
 }

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"netcache/internal/faults"
 )
 
 // TestMapOrdering checks results land at their job's index regardless of
@@ -138,5 +141,77 @@ func TestOnDone(t *testing.T) {
 	}
 	if shared.Load() != 1 {
 		t.Fatalf("total shared = %d, want 1", shared.Load())
+	}
+}
+
+// TestInjectedPanicRecovered: faults.RunnerPanic fires inside the job and
+// must come back as an error on exactly the jobs the injector chose, while
+// untouched jobs succeed.
+func TestInjectedPanicRecovered(t *testing.T) {
+	inj := faults.New(5)
+	inj.Set(faults.RunnerPanic, 0.5)
+	jobs := make([]Job[int], 40)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(ctx context.Context) (int, error) { return i, nil }}
+	}
+	results := Map(context.Background(), Options[int]{Workers: 4, Inject: inj}, jobs)
+	var failed, ok int
+	for i, r := range results {
+		if r.Err != nil {
+			if !strings.Contains(r.Err.Error(), "injected panic") {
+				t.Fatalf("job %d failed with a non-injected error: %v", i, r.Err)
+			}
+			failed++
+		} else {
+			if r.Value != i {
+				t.Fatalf("job %d returned %d", i, r.Value)
+			}
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("want a mix of injected failures and successes, got %d/%d", failed, ok)
+	}
+	st := inj.Stats()[faults.RunnerPanic]
+	if int(st.Fired) != failed {
+		t.Fatalf("injector fired %d, %d jobs failed", st.Fired, failed)
+	}
+}
+
+// TestInjectedStallTripsTimeout: a stall drawn longer than the per-job
+// timeout surfaces as DeadlineExceeded on a context-observing job.
+func TestInjectedStallTripsTimeout(t *testing.T) {
+	inj := faults.New(5)
+	inj.Set(faults.RunnerStall, 1.0)
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func(ctx context.Context) (int, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}}
+	}
+	// Stalls are uniform in [0, 100ms); a 1ms timeout expires under almost
+	// all of them.
+	results := Map(context.Background(), Options[int]{Workers: 4, Timeout: time.Millisecond, Inject: inj}, jobs)
+	timedOut := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.DeadlineExceeded) {
+			timedOut++
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("no job observed an injected-stall timeout")
+	}
+}
+
+// TestNoInjectorNoChaos: the nil default changes nothing.
+func TestNoInjectorNoChaos(t *testing.T) {
+	jobs := []Job[string]{{Run: func(ctx context.Context) (string, error) { return "fine", nil }}}
+	res := Map(context.Background(), Options[string]{}, jobs)
+	if res[0].Err != nil || res[0].Value != "fine" {
+		t.Fatalf("result = %+v", res[0])
 	}
 }

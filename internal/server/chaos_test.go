@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"netcache"
+	"netcache/internal/faults"
+	"netcache/internal/store"
+)
+
+// TestChaosSweep is the resilience acceptance test: a full 12-app x
+// 4-system sweep driven through a stack with seeded fault injection at
+// every layer — >=10% store I/O errors plus corruption and short writes, 5%
+// HTTP errors plus dropped connections and latency, and injected panics in
+// both the batch worker pool and the simulation path — must complete
+// through the retrying client with results byte-identical to a fault-free
+// run, and the stack must converge to a clean, healthy state once the
+// faults stop.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep runs the full figure corpus; skipped in -short")
+	}
+	ctx := context.Background()
+	var specs []netcache.RunSpec
+	for _, app := range netcache.Apps() {
+		for _, sys := range netcache.Systems {
+			specs = append(specs, netcache.RunSpec{App: app, System: sys, Scale: 0.05})
+		}
+	}
+
+	// Fault-free baseline: the byte-exact JSON the service must reproduce.
+	baseline := make([][]byte, len(specs))
+	for i, br := range netcache.RunBatch(ctx, netcache.BatchOptions{}, specs) {
+		if br.Err != nil {
+			t.Fatalf("baseline %s/%s: %v", br.Spec.App, br.Spec.System, br.Err)
+		}
+		b, err := json.Marshal(br.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = b
+	}
+
+	inj := faults.New(20240806)
+	inj.Set(faults.StoreRead, 0.10)
+	inj.Set(faults.StoreCorrupt, 0.10)
+	inj.Set(faults.StoreWrite, 0.10)
+	inj.Set(faults.StoreShortWrite, 0.05)
+	inj.Set(faults.HTTPError, 0.05)
+	inj.Set(faults.HTTPDisconnect, 0.03)
+	inj.Set(faults.HTTPLatency, 0.05)
+	inj.Set(faults.RunnerPanic, 0.15)
+	inj.Set(faults.RunnerStall, 0.10)
+	const simPanic = "sim.panic" // fired inside RunFunc, recovered by lead
+	inj.Set(simPanic, 0.10)
+
+	st, err := store.OpenFS(t.TempDir(), 0, store.NewFaultFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := start(t, Config{
+		Store:         st,
+		Workers:       4,
+		QueueDepth:    256,
+		Inject:        inj,
+		DegradedAfter: 3,
+		DegradedProbe: time.Millisecond,
+		RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+			if inj.Fire(simPanic) {
+				panic("chaos: injected simulation panic")
+			}
+			return netcache.RunContext(ctx, spec)
+		},
+	})
+	c.Retry = RetryPolicy{MaxAttempts: 8, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 9}
+	c.Breaker = &Breaker{Window: 40, Threshold: 0.9, Cooldown: 20 * time.Millisecond}
+
+	entries, err := c.Batch(ctx, specs)
+	if err != nil {
+		t.Fatalf("chaos sweep failed outright: %v", err)
+	}
+	for i, e := range entries {
+		if e.Status != 200 {
+			t.Fatalf("spec %d (%s/%s) = %d %s after retries", i, specs[i].App, specs[i].System, e.Status, e.Error)
+		}
+		if !bytes.Equal(e.Result, baseline[i]) {
+			t.Fatalf("spec %d (%s/%s): chaos-run bytes differ from fault-free baseline", i, specs[i].App, specs[i].System)
+		}
+	}
+
+	// Individual requests through the same storm: the batch above is a
+	// single POST, so per-request HTTP chaos (errors, disconnects,
+	// latency) is exercised here, one wire round-trip per spec.
+	for i, s := range specs {
+		raw, err := c.RunRaw(ctx, s)
+		if err != nil {
+			t.Fatalf("single %s/%s failed after retries: %v", s.App, s.System, err)
+		}
+		if !bytes.Equal(raw, baseline[i]) {
+			t.Fatalf("single %s/%s: bytes differ from fault-free baseline", s.App, s.System)
+		}
+	}
+
+	// The storm must actually have stormed, or the test proves nothing.
+	stats := inj.Stats()
+	for _, site := range []string{faults.StoreRead, faults.StoreWrite, faults.HTTPError, faults.RunnerPanic} {
+		if stats[site].Fired == 0 {
+			t.Fatalf("site %s never fired (calls=%d) — chaos too quiet", site, stats[site].Calls)
+		}
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `netcached_chaos_injected_total{site="http.error"}`) {
+		t.Fatal("chaos injection counters missing from /metrics")
+	}
+
+	// Faults stop: one more sweep must be identical and cheap, and the
+	// server must report a healthy state (a fresh spec gives a degraded
+	// server the successful write it needs to recover).
+	inj.Disable()
+	entries, err = c.Batch(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if e.Status != 200 || !bytes.Equal(e.Result, baseline[i]) {
+			t.Fatalf("post-chaos spec %d (%s/%s) drifted: status %d", i, specs[i].App, specs[i].System, e.Status)
+		}
+	}
+	if _, err := c.RunRaw(ctx, netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.07}); err != nil {
+		t.Fatal(err)
+	}
+	state, err := c.Health(ctx)
+	if err != nil || state != "ok" {
+		t.Fatalf("post-chaos health = %q, %v; want ok", state, err)
+	}
+
+	// And the surviving store content is clean: a scrub finds nothing.
+	if _, quarantined := st.Scrub(); quarantined != 0 {
+		t.Fatalf("scrub quarantined %d entries after recovery", quarantined)
+	}
+}
+
+// TestChaosDegradedRecovery: when every store write fails, the server flips
+// to degraded (read-only) mode — still serving cached entries and
+// recomputing the rest — and /healthz transitions degraded -> ok once store
+// writes succeed again.
+func TestChaosDegradedRecovery(t *testing.T) {
+	ctx := context.Background()
+	inj := faults.New(99) // no sites armed yet: the first Put must succeed
+	st, err := store.OpenFS(t.TempDir(), 0, store.NewFaultFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := start(t, Config{
+		Store:         st,
+		Workers:       2,
+		DegradedAfter: 2,
+		DegradedProbe: time.Millisecond,
+		RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+			return netcache.Result{App: spec.App, Cycles: int64(spec.Scale * 1000)}, nil
+		},
+	})
+	spec := func(scale float64) netcache.RunSpec {
+		return netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: scale}
+	}
+
+	// Healthy: one result lands in the store.
+	if _, err := c.RunRaw(ctx, spec(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := c.Health(ctx); state != "ok" {
+		t.Fatalf("health = %q before faults", state)
+	}
+
+	// Store writes start failing; novel specs must still be served (200)
+	// while consecutive put failures push the server into degraded mode.
+	inj.Set(faults.StoreWrite, 1.0)
+	for i := 0; i < 3; i++ {
+		if _, err := c.RunRaw(ctx, spec(0.1*float64(i+1))); err != nil {
+			t.Fatalf("request %d failed during store outage: %v", i, err)
+		}
+	}
+	if !srv.Degraded() {
+		t.Fatal("server not degraded after repeated store write failures")
+	}
+	if state, _ := c.Health(ctx); state != "degraded" {
+		t.Fatalf("health = %q, want degraded", state)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricValue(t, text, "netcached_degraded") != 1 {
+		t.Fatal("netcached_degraded gauge not set")
+	}
+	if metricValue(t, text, "netcached_store_put_failures_total") < 2 {
+		t.Fatal("put failure counter too low")
+	}
+
+	// Degraded mode is read-only, not down: the previously cached entry is
+	// still served from the store.
+	before := metricValue(t, text, "netcached_store_served_total")
+	if _, err := c.RunRaw(ctx, spec(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	text, _ = c.Metrics(ctx)
+	if got := metricValue(t, text, "netcached_store_served_total"); got != before+1 {
+		t.Fatalf("cached entry not served while degraded: %d -> %d", before, got)
+	}
+
+	// Writes recover: the next novel spec's probe Put succeeds and the
+	// server transitions degraded -> ok.
+	inj.Disable()
+	time.Sleep(2 * time.Millisecond) // pass the probe interval
+	if _, err := c.RunRaw(ctx, spec(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Degraded() {
+		t.Fatal("server still degraded after store recovery")
+	}
+	if state, _ := c.Health(ctx); state != "ok" {
+		t.Fatalf("health = %q after recovery, want ok", state)
+	}
+}
+
+// TestChaosHTTPOnly: pure wire-level chaos (errors, disconnects, latency)
+// with a healthy backend — the retrying client must hide all of it, and the
+// breaker must stay closed at these rates.
+func TestChaosHTTPOnly(t *testing.T) {
+	ctx := context.Background()
+	inj := faults.New(31)
+	inj.Set(faults.HTTPError, 0.15)
+	inj.Set(faults.HTTPDisconnect, 0.10)
+	inj.Set(faults.HTTPLatency, 0.10)
+	_, c := start(t, Config{
+		Workers: 2,
+		Inject:  inj,
+		RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+			return netcache.Result{App: spec.App, Cycles: int64(spec.Scale * 10000)}, nil
+		},
+	})
+	c.Retry = RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 3}
+	c.Breaker = &Breaker{Window: 20, Threshold: 0.9, Cooldown: 10 * time.Millisecond}
+
+	for i := 0; i < 40; i++ {
+		res, err := c.Run(ctx, netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.01 * float64(i+1)})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if want := int64(float64(0.01*float64(i+1)) * 10000); res.Cycles != want {
+			t.Fatalf("request %d: cycles %d, want %d", i, res.Cycles, want)
+		}
+	}
+	if st := inj.Stats(); st[faults.HTTPError].Fired == 0 || st[faults.HTTPDisconnect].Fired == 0 {
+		t.Fatalf("HTTP chaos never fired: %+v", st)
+	}
+	if c.Breaker.State() != "closed" {
+		t.Fatalf("breaker %s after recoverable chaos", c.Breaker.State())
+	}
+}

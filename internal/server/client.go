@@ -8,20 +8,54 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"netcache"
 )
 
-// Client talks to a netcached server. The zero HTTPClient uses
-// http.DefaultClient.
+// defaultMaxBodyBytes caps response body reads when Client.MaxBodyBytes is
+// unset, so a misbehaving server cannot OOM the client.
+const defaultMaxBodyBytes = 64 << 20
+
+// Client talks to a netcached server. The zero value of every optional
+// field preserves the simple behavior: http.DefaultClient, a single attempt
+// per request, no circuit breaker, and a 64 MiB response-body cap.
+//
+// With Retry configured, transport errors, per-attempt timeouts, and
+// retryable statuses (429, 5xx except 501) are retried with exponential
+// backoff plus deterministic jitter; a 429's Retry-After header overrides
+// the computed backoff. Batch additionally re-posts just the failed entries
+// of a partially successful batch.
 type Client struct {
 	BaseURL    string // e.g. "http://127.0.0.1:8100"
 	HTTPClient *http.Client
+
+	// Retry configures transport-level retries; the zero value performs a
+	// single attempt.
+	Retry RetryPolicy
+
+	// Breaker, when non-nil, fail-fasts requests with ErrCircuitOpen while
+	// the recent error rate is above its threshold.
+	Breaker *Breaker
+
+	// MaxBodyBytes caps how much of a response body is read (default 64
+	// MiB). Responses that exceed it fail rather than exhaust memory.
+	MaxBodyBytes int64
+
+	mu  sync.Mutex
+	rng uint64 // jitter PRNG state, lazily seeded from Retry.Seed
 }
 
 // NewClient returns a Client for baseURL.
 func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// NewResilientClient returns a Client for baseURL with the default retry
+// policy and a default circuit breaker — the configuration sweeps should
+// use against a shared daemon.
+func NewResilientClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, Retry: DefaultRetryPolicy(), Breaker: &Breaker{}}
+}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -41,35 +75,97 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("netcached: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
 }
 
+// retryableStatus reports whether a status code is worth retrying: the
+// server may give a different answer next time (load shedding, transient
+// internal failures), unlike 4xx contract errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusRequestTimeout:
+		return true
+	}
+	return code >= 500 && code != http.StatusNotImplemented
+}
+
 func (c *Client) post(ctx context.Context, path string, in any) ([]byte, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req)
+	return c.do(ctx, http.MethodPost, path, body)
 }
 
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// do issues the request with the client's retry policy: up to
+// Retry.MaxAttempts tries, exponential backoff with deterministic jitter
+// between them, Retry-After honored on 429, and the circuit breaker (if
+// any) consulted before each attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	attempts := c.Retry.attempts()
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, last)); err != nil {
+				return nil, err
+			}
+		}
+		if !c.Breaker.Allow() {
+			if last != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, last)
+			}
+			return nil, ErrCircuitOpen
+		}
+		raw, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return raw, nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return nil, err // the caller's context ended; do not retry
+		}
+		if se, ok := err.(*StatusError); ok && !retryableStatus(se.Code) {
+			return nil, err
+		}
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("netcached: giving up after %d attempts: %w", attempts, last)
+	}
+	return nil, last
+}
+
+// attempt performs one HTTP exchange, with the per-attempt timeout applied
+// and the outcome recorded on the breaker. Server faults (transport errors,
+// 5xx, attempt timeouts) count as breaker failures; 4xx contract errors and
+// 429 load shedding count as successes — the server is responsive.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	actx := ctx
+	if c.Retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.Retry.AttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return nil, err
 	}
-	return c.do(req)
-}
-
-func (c *Client) do(req *http.Request) ([]byte, error) {
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		c.Breaker.Record(false)
 		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := c.readBody(resp.Body)
 	if err != nil {
+		c.Breaker.Record(false)
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -83,9 +179,78 @@ func (c *Client) do(req *http.Request) ([]byte, error) {
 		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
 			se.RetryAfter = time.Duration(sec) * time.Second
 		}
+		c.Breaker.Record(resp.StatusCode < 500)
 		return nil, se
 	}
+	c.Breaker.Record(true)
 	return raw, nil
+}
+
+// readBody reads at most MaxBodyBytes; a longer body is an error, not an
+// allocation.
+func (c *Client) readBody(r io.Reader) ([]byte, error) {
+	limit := c.MaxBodyBytes
+	if limit <= 0 {
+		limit = defaultMaxBodyBytes
+	}
+	raw, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) > limit {
+		return nil, fmt.Errorf("netcached: response body exceeds %d-byte cap", limit)
+	}
+	return raw, nil
+}
+
+// backoff computes the pre-attempt delay: a server-supplied Retry-After
+// when present, else exponential backoff with full jitter in the upper half
+// of the interval.
+func (c *Client) backoff(attempt int, last error) time.Duration {
+	if se, ok := last.(*StatusError); ok && se.RetryAfter > 0 {
+		if se.RetryAfter > retryAfterCap {
+			return retryAfterCap
+		}
+		return se.RetryAfter
+	}
+	d := c.Retry.baseDelay() << (attempt - 1)
+	if max := c.Retry.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	// Full jitter over [d/2, d): desynchronizes retry herds while keeping
+	// the schedule deterministic per seed.
+	return d/2 + time.Duration(c.rand()%uint64(d/2+1))
+}
+
+// rand steps the client's deterministic jitter PRNG (splitmix64).
+func (c *Client) rand() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == 0 {
+		c.rng = c.Retry.Seed
+		if c.rng == 0 {
+			c.rng = 1
+		}
+	}
+	c.rng += 0x9e3779b97f4a7c15
+	x := c.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // RunRaw posts spec to /v1/run and returns the raw result JSON — the bytes
@@ -108,7 +273,46 @@ func (c *Client) Run(ctx context.Context, spec netcache.RunSpec) (netcache.Resul
 }
 
 // Batch posts specs to /v1/batch and returns one entry per spec, in order.
+// With retries configured, entries that failed with a retryable status are
+// re-posted (as a smaller batch) with backoff until they succeed or the
+// attempt budget runs out; only the final outcomes are returned.
 func (c *Client) Batch(ctx context.Context, specs []netcache.RunSpec) ([]BatchEntry, error) {
+	entries, err := c.batchOnce(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 1; attempt < c.Retry.attempts(); attempt++ {
+		var retry []int
+		for i, e := range entries {
+			if e.Status != http.StatusOK && retryableStatus(e.Status) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 {
+			break
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, nil)); err != nil {
+			return nil, err
+		}
+		again := make([]netcache.RunSpec, len(retry))
+		for j, i := range retry {
+			again[j] = specs[i]
+		}
+		redone, err := c.batchOnce(ctx, again)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			continue // whole retry batch failed; spend another attempt
+		}
+		for j, i := range retry {
+			entries[i] = redone[j]
+		}
+	}
+	return entries, nil
+}
+
+func (c *Client) batchOnce(ctx context.Context, specs []netcache.RunSpec) ([]BatchEntry, error) {
 	raw, err := c.post(ctx, "/v1/batch", BatchRequest{Specs: specs})
 	if err != nil {
 		return nil, err
@@ -136,10 +340,14 @@ func (c *Client) Apps(ctx context.Context) ([]AppInfo, error) {
 	return infos, nil
 }
 
-// Health probes /healthz.
-func (c *Client) Health(ctx context.Context) error {
-	_, err := c.get(ctx, "/healthz")
-	return err
+// Health probes /healthz and returns the reported state: "ok" or
+// "degraded". A draining or unreachable server returns an error.
+func (c *Client) Health(ctx context.Context) (string, error) {
+	raw, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return "", err
+	}
+	return string(bytes.TrimSpace(raw)), nil
 }
 
 // Metrics fetches the Prometheus exposition text.

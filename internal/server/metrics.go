@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"netcache/internal/faults"
 	"netcache/internal/runner"
 	"netcache/internal/stats"
 	"netcache/internal/store"
@@ -19,13 +20,14 @@ import (
 type metrics struct {
 	inflight atomic.Int64 // simulations currently executing in this server
 
-	mu          sync.Mutex
-	requests    map[string]uint64 // "path|code" -> count
-	simulations uint64            // simulations actually executed
-	storeServed uint64            // requests answered from the store
-	coalesced   uint64            // requests that joined an in-flight leader
-	rejected    uint64            // requests refused by the admission queue
-	simDur      map[string]*stats.Histogram
+	mu            sync.Mutex
+	requests      map[string]uint64 // "path|code" -> count
+	simulations   uint64            // simulations actually executed
+	storeServed   uint64            // requests answered from the store
+	coalesced     uint64            // requests that joined an in-flight leader
+	rejected      uint64            // requests refused by the admission queue
+	storePutFails uint64            // store writes that failed (degraded-mode trigger)
+	simDur        map[string]*stats.Histogram
 }
 
 func newMetrics() *metrics {
@@ -59,8 +61,9 @@ func (m *metrics) add(field *uint64) {
 	m.mu.Unlock()
 }
 
-// render writes the exposition text. st may be nil (no persistent store).
-func (m *metrics) render(b *strings.Builder, st *store.Store) {
+// render writes the exposition text. st may be nil (no persistent store)
+// and inj may be nil (no chaos injection).
+func (m *metrics) render(b *strings.Builder, st *store.Store, degraded bool, inj *faults.Injector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -87,6 +90,12 @@ func (m *metrics) render(b *strings.Builder, st *store.Store) {
 	counter("netcached_store_served_total", "Requests answered from the result store.", m.storeServed)
 	counter("netcached_coalesced_total", "Requests that joined an identical in-flight simulation.", m.coalesced)
 	counter("netcached_admission_rejected_total", "Requests refused with 429 by the admission queue.", m.rejected)
+	counter("netcached_store_put_failures_total", "Store writes that failed; repeated failures trigger degraded mode.", m.storePutFails)
+	degradedVal := int64(0)
+	if degraded {
+		degradedVal = 1
+	}
+	gauge("netcached_degraded", "1 while in degraded (read-only) mode, else 0.", degradedVal)
 	gauge("netcached_inflight_simulations", "Simulations executing right now.", m.inflight.Load())
 	gauge("netcached_runner_inflight_jobs", "Job groups executing on the shared worker pool.", runner.InFlight())
 	gauge("netcached_runner_queued_jobs", "Job groups admitted to the worker pool but not yet started.", runner.Queued())
@@ -97,8 +106,25 @@ func (m *metrics) render(b *strings.Builder, st *store.Store) {
 		counter("netcached_store_misses_total", "Result-store misses (absent or corrupt entries).", s.Misses)
 		counter("netcached_store_corrupt_total", "Store entries dropped for failing checksum validation.", s.Corrupt)
 		counter("netcached_store_evictions_total", "Store entries evicted by the size bound.", s.Evictions)
+		counter("netcached_store_reaped_temps_total", "Stale put-* temp files reaped at store open.", s.ReapedTemps)
+		counter("netcached_store_scrubs_total", "Completed background scrub passes.", s.Scrubs)
+		counter("netcached_store_quarantined_total", "Corrupt entries quarantined by the scrubber.", s.Quarantined)
 		gauge("netcached_store_entries", "Entries resident in the store.", int64(s.Entries))
 		gauge("netcached_store_bytes", "Bytes resident in the store.", s.Bytes)
+	}
+
+	if inj != nil {
+		sites := inj.Stats()
+		names := make([]string, 0, len(sites))
+		for name := range sites {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(b, "# HELP netcached_chaos_injected_total Faults injected by the chaos injector, by site.\n")
+		fmt.Fprintf(b, "# TYPE netcached_chaos_injected_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(b, "netcached_chaos_injected_total{site=%q} %d\n", name, sites[name].Fired)
+		}
 	}
 
 	fmt.Fprintf(b, "# HELP netcached_sim_duration_seconds Wall-clock simulation latency by application.\n")

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"netcache"
+	"netcache/internal/faults"
 	"netcache/internal/runner"
 	"netcache/internal/store"
 )
@@ -61,6 +62,22 @@ type Config struct {
 
 	// Log receives request errors. Nil discards.
 	Log *log.Logger
+
+	// Inject, when non-nil, arms deterministic chaos: HTTP-layer faults
+	// (faults.HTTPLatency / HTTPError / HTTPDisconnect) fire on /v1/*
+	// requests, and the batch worker pool fires its runner.* sites. The
+	// health and metrics endpoints are exempt so chaos runs stay
+	// observable.
+	Inject *faults.Injector
+
+	// DegradedAfter is how many consecutive store Put failures flip the
+	// server into degraded (read-only) mode, where results are recomputed
+	// but not persisted and /healthz reports "degraded" (<= 0: 3).
+	DegradedAfter int
+
+	// DegradedProbe is how often a degraded server re-attempts a store
+	// write to detect recovery (<= 0: 5s).
+	DegradedProbe time.Duration
 }
 
 // Server is the netcached HTTP service.
@@ -84,6 +101,14 @@ type Server struct {
 	calls   map[string]*call
 	closing bool
 	sims    sync.WaitGroup
+
+	// Degraded (read-only) mode state, under mu: putFails counts
+	// consecutive store Put failures; degraded flips once it reaches
+	// DegradedAfter, after which at most one probe Put per DegradedProbe
+	// interval is attempted until one succeeds.
+	putFails  int
+	degraded  bool
+	lastProbe time.Time
 
 	validApps map[string]bool
 }
@@ -115,6 +140,12 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = log.New(io.Discard, "", 0)
 	}
+	if cfg.DegradedAfter <= 0 {
+		cfg.DegradedAfter = 3
+	}
+	if cfg.DegradedProbe <= 0 {
+		cfg.DegradedProbe = 5 * time.Second
+	}
 	base, abort := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -130,13 +161,40 @@ func New(cfg Config) *Server {
 		s.validApps[a] = true
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/run", s.handleRun)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/apps", s.handleApps)
+	mux.HandleFunc("/v1/run", s.chaos(s.handleRun))
+	mux.HandleFunc("/v1/batch", s.chaos(s.handleBatch))
+	mux.HandleFunc("/v1/apps", s.chaos(s.handleApps))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.http.Handler = mux
 	return s
+}
+
+// maxChaosLatency bounds the injected per-request delay at the
+// faults.HTTPLatency site.
+const maxChaosLatency = 100 * time.Millisecond
+
+// chaos wraps an API handler with the HTTP-layer fault sites. With no
+// injector configured it is the identity.
+func (s *Server) chaos(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Inject == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if fired, aux := s.cfg.Inject.Draw(faults.HTTPLatency); fired {
+			time.Sleep(time.Duration(aux % uint64(maxChaosLatency)))
+		}
+		if s.cfg.Inject.Fire(faults.HTTPDisconnect) {
+			// ErrAbortHandler makes net/http drop the connection without a
+			// response — the wire-level failure a flaky hop produces.
+			panic(http.ErrAbortHandler)
+		}
+		if s.cfg.Inject.Fire(faults.HTTPError) {
+			s.writeError(w, r.URL.Path, http.StatusInternalServerError, "chaos: injected server error")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler, for in-process tests.
@@ -282,7 +340,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return s.execute(ctx, spec), nil
 		}}
 	}
-	outs := runner.Map(r.Context(), runner.Options[outcome]{Workers: s.cfg.Workers}, jobs)
+	outs := runner.Map(r.Context(), runner.Options[outcome]{Workers: s.cfg.Workers, Inject: s.cfg.Inject}, jobs)
 	resp := BatchResponse{Results: make([]BatchEntry, len(outs))}
 	for i, o := range outs {
 		e := BatchEntry{Status: o.Value.code}
@@ -319,24 +377,86 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(infos)
 }
 
+// handleHealth reports the serving state: 200 "ok" (fully healthy), 200
+// "degraded" (serving, but the store is rejecting writes — results are
+// recomputed, not persisted), or 503 while draining.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	closing := s.closing
+	closing, degraded := s.closing, s.degraded
 	s.mu.Unlock()
 	if closing {
 		s.writeError(w, "/healthz", http.StatusServiceUnavailable, "draining")
 		return
 	}
 	s.m.request("/healthz", http.StatusOK)
+	if degraded {
+		w.Write([]byte("degraded\n"))
+		return
+	}
 	w.Write([]byte("ok\n"))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	degraded := s.degraded
+	s.mu.Unlock()
 	var b strings.Builder
-	s.m.render(&b, s.cfg.Store)
+	s.m.render(&b, s.cfg.Store, degraded, s.cfg.Inject)
 	s.m.request("/metrics", http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
+}
+
+// Degraded reports whether the server is in read-only degraded mode.
+func (s *Server) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// --- degraded (read-only) mode ----------------------------------------------
+
+// allowPut decides whether this simulation's result should be persisted.
+// Healthy servers always persist; degraded ones probe the store at most
+// once per DegradedProbe interval so recovery is detected without hammering
+// a failing disk.
+func (s *Server) allowPut() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.degraded {
+		return true
+	}
+	if time.Since(s.lastProbe) < s.cfg.DegradedProbe {
+		return false
+	}
+	s.lastProbe = time.Now()
+	return true
+}
+
+// putFailed records a store write failure and flips into degraded mode
+// after DegradedAfter consecutive ones.
+func (s *Server) putFailed(key string, err error) {
+	s.m.add(&s.m.storePutFails)
+	s.cfg.Log.Printf("store put %s: %v", key, err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putFails++
+	if !s.degraded && s.putFails >= s.cfg.DegradedAfter {
+		s.degraded = true
+		s.lastProbe = time.Now()
+		s.cfg.Log.Printf("entering degraded (read-only) mode after %d consecutive store write failures", s.putFails)
+	}
+}
+
+// putSucceeded records a store write success, leaving degraded mode if set.
+func (s *Server) putSucceeded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putFails = 0
+	if s.degraded {
+		s.degraded = false
+		s.cfg.Log.Printf("store writes recovered; leaving degraded mode")
+	}
 }
 
 // --- the keyed execution path ----------------------------------------------
@@ -420,7 +540,7 @@ func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec) ou
 	}
 	s.m.inflight.Add(1)
 	start := time.Now()
-	res, err := s.cfg.RunFunc(runCtx, spec)
+	res, err := s.runSim(runCtx, spec)
 	s.m.inflight.Add(-1)
 	s.m.simDone(spec.App, time.Since(start).Microseconds())
 	if err != nil {
@@ -439,9 +559,27 @@ func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec) ou
 		return outcome{code: http.StatusInternalServerError, errMsg: "encoding result: " + err.Error()}
 	}
 	if s.cfg.Store != nil {
-		if err := s.cfg.Store.Put(key, body); err != nil {
-			s.cfg.Log.Printf("store put %s: %v", key, err)
+		if s.allowPut() {
+			if err := s.cfg.Store.Put(key, body); err != nil {
+				s.putFailed(key, err)
+			} else {
+				s.putSucceeded()
+			}
 		}
 	}
 	return outcome{code: http.StatusOK, body: body}
+}
+
+// runSim invokes the simulation with panics contained: a panicking RunFunc
+// (a simulator bug, or injected chaos) becomes a retryable 500 for one
+// request instead of a torn-down connection — and, because the simulation
+// runs once per key, a deterministic panic cannot wedge the server in a
+// crash loop.
+func (s *Server) runSim(ctx context.Context, spec netcache.RunSpec) (res netcache.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulation panicked: %v", r)
+		}
+	}()
+	return s.cfg.RunFunc(ctx, spec)
 }

@@ -288,8 +288,8 @@ func TestBatch(t *testing.T) {
 func TestAppsAndHealth(t *testing.T) {
 	_, c := start(t, Config{Workers: 1})
 	ctx := context.Background()
-	if err := c.Health(ctx); err != nil {
-		t.Fatal(err)
+	if state, err := c.Health(ctx); err != nil || state != "ok" {
+		t.Fatalf("Health = %q, %v; want ok", state, err)
 	}
 	infos, err := c.Apps(ctx)
 	if err != nil {

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"netcache/internal/faults"
+)
+
+// TestChaosStoreRecompute drives the store through a seeded fault storm —
+// read errors, read corruption, write errors, silent short writes, rename
+// failures — with the service's recompute-on-miss discipline on top: every
+// failed Get is answered by recomputing the (deterministic) value and
+// re-Putting it. The store must never serve wrong bytes, never let
+// accounting drift from the directory, and converge to a fully healthy
+// state once faults stop.
+func TestChaosStoreRecompute(t *testing.T) {
+	inj := faults.New(1234)
+	inj.Set(faults.StoreRead, 0.10)
+	inj.Set(faults.StoreCorrupt, 0.10)
+	inj.Set(faults.StoreWrite, 0.10)
+	inj.Set(faults.StoreShortWrite, 0.05)
+	inj.Set(faults.StoreRename, 0.05)
+
+	dir := t.TempDir()
+	s, err := OpenFS(dir, 0, NewFaultFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i%26)}, 100+i*7)
+	}
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("chaos-%d", i))
+	}
+
+	var putFailures, badGets int
+	for round := 0; round < 200; round++ {
+		i := round % len(keys)
+		got, ok := s.Get(keys[i])
+		if ok {
+			if !bytes.Equal(got, value(i)) {
+				t.Fatalf("round %d: store served wrong bytes for key %d", round, i)
+			}
+			continue
+		}
+		badGets++
+		// Miss (real, injected, or corruption): recompute and persist.
+		// Persisting may itself fail under injection — that is allowed;
+		// the next Get just misses again.
+		if err := s.Put(keys[i], value(i)); err != nil {
+			putFailures++
+		}
+	}
+	if badGets == 0 || putFailures == 0 {
+		t.Fatalf("fault storm too quiet: %d misses, %d put failures (seed drift?)", badGets, putFailures)
+	}
+	st := s.Stats()
+	if st.Corrupt == 0 || st.PutErrors == 0 {
+		t.Fatalf("expected corruption and put errors under injection: %+v", st)
+	}
+
+	// Faults stop: every key must converge to a clean, correct hit.
+	inj.Disable()
+	for i, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			if err := s.Put(k, value(i)); err != nil {
+				t.Fatalf("fault-free Put(%d): %v", i, err)
+			}
+		}
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, value(i)) {
+			t.Fatalf("key %d failed to converge after faults stopped", i)
+		}
+	}
+	checkAccounting(t, s)
+
+	// A scrub over the recovered store finds nothing left to quarantine.
+	if checked, quarantined := s.Scrub(); checked != len(keys) || quarantined != 0 {
+		t.Fatalf("post-recovery Scrub = (%d, %d), want (%d, 0)", checked, quarantined, len(keys))
+	}
+}
+
+// TestChaosStoreEvictionBound: injection must not break the size bound —
+// under write/rename faults the store still never exceeds maxBytes by more
+// than one in-flight entry.
+func TestChaosStoreEvictionBound(t *testing.T) {
+	inj := faults.New(77)
+	inj.Set(faults.StoreWrite, 0.15)
+	inj.Set(faults.StoreRename, 0.10)
+	inj.Set(faults.StoreShortWrite, 0.10)
+
+	val := bytes.Repeat([]byte("e"), 256)
+	entryBytes := int64(headerSize + len(val))
+	maxBytes := 4 * entryBytes
+	s, err := OpenFS(t.TempDir(), maxBytes, NewFaultFS(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		_ = s.Put(keyOf(fmt.Sprintf("bound-%d", i)), val)
+		if got := s.Stats().Bytes; got > maxBytes {
+			t.Fatalf("put %d: store at %d bytes exceeds bound %d", i, got, maxBytes)
+		}
+	}
+	checkAccounting(t, s)
+}

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"time"
+
+	"netcache/internal/faults"
+)
+
+// FS is the store's filesystem seam: every per-entry file operation on the
+// hot path goes through it, so tests and chaos runs can substitute a
+// fault-injecting implementation (NewFaultFS) without touching the store
+// logic. Directory-level operations (MkdirAll, ReadDir) stay on the os
+// package directly — they run at Open/evict/scrub time and are not fault
+// sites in the failure model.
+type FS interface {
+	// ReadFile reads an entry file whole.
+	ReadFile(name string) ([]byte, error)
+	// WriteTemp stages data in a fresh temp file in dir (name pattern
+	// tempPattern) and returns its path. It is the write half of the
+	// store's write-then-rename protocol.
+	WriteTemp(dir string, data []byte) (string, error)
+	// Rename atomically installs a staged temp file as an entry.
+	Rename(oldpath, newpath string) error
+	// Remove deletes an entry or temp file.
+	Remove(name string) error
+	// Stat stats an entry file.
+	Stat(name string) (fs.FileInfo, error)
+	// Chtimes refreshes an entry's mtime (the LRU clock).
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+// tempPattern names staged entries; Open reaps stale leftovers matching it.
+const tempPattern = "put-*"
+
+// osFS is the production FS: plain os calls.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteTemp(dir string, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, tempPattern)
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+// ErrInjected marks faults manufactured by a FaultFS, so tests and logs can
+// tell injected failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// faultFS wraps an FS with deterministic fault injection driven by a
+// faults.Injector: read errors and single-bit read corruption
+// (faults.StoreRead / faults.StoreCorrupt), write errors and silent short
+// writes (faults.StoreWrite / faults.StoreShortWrite), and rename failures
+// (faults.StoreRename). A nil injector makes it a transparent passthrough.
+type faultFS struct {
+	inner FS
+	inj   *faults.Injector
+}
+
+// NewFaultFS returns an FS that injects faults from inj in front of the
+// real filesystem.
+func NewFaultFS(inj *faults.Injector) FS { return faultFS{inner: osFS{}, inj: inj} }
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if f.inj.Fire(faults.StoreRead) {
+		return nil, injectedErr("read", name)
+	}
+	b, err := f.inner.ReadFile(name)
+	if err != nil {
+		return b, err
+	}
+	if fired, aux := f.inj.Draw(faults.StoreCorrupt); fired && len(b) > 0 {
+		mut := append([]byte(nil), b...)
+		mut[aux%uint64(len(mut))] ^= 1 << (aux >> 32 % 8)
+		return mut, nil
+	}
+	return b, nil
+}
+
+func (f faultFS) WriteTemp(dir string, data []byte) (string, error) {
+	if f.inj.Fire(faults.StoreWrite) {
+		return "", injectedErr("write", dir)
+	}
+	if fired, aux := f.inj.Draw(faults.StoreShortWrite); fired && len(data) > 0 {
+		// The insidious case: fewer bytes land than were written, and no
+		// error says so (a crash between write and fsync). The checksum
+		// header exists to catch exactly this.
+		data = data[:aux%uint64(len(data))]
+	}
+	return f.inner.WriteTemp(dir, data)
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if f.inj.Fire(faults.StoreRename) {
+		return injectedErr("rename", oldpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error              { return f.inner.Remove(name) }
+func (f faultFS) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+func (f faultFS) Chtimes(name string, atime, mtime time.Time) error {
+	return f.inner.Chtimes(name, atime, mtime)
+}
+
+func injectedErr(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: ErrInjected}
+}

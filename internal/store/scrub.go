@@ -1,0 +1,104 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Scrub revalidates the checksum of every resident entry and quarantines
+// corrupt files: a bad entry is moved into the quarantine/ subdirectory
+// (preserving the bytes for forensics) instead of waiting for a Get to trip
+// over it. It returns how many entries were checked and how many were
+// quarantined. Scrub holds the store lock only per-entry, so it can run
+// concurrently with serving traffic.
+func (s *Store) Scrub() (checked, quarantined int) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), suffix)
+		if !validKey(key) {
+			continue
+		}
+		checked++
+		if s.scrubOne(key) {
+			quarantined++
+		}
+	}
+	s.mu.Lock()
+	s.st.Scrubs++
+	s.st.Scrubbed += uint64(checked)
+	s.st.Quarantined += uint64(quarantined)
+	s.mu.Unlock()
+	return checked, quarantined
+}
+
+// scrubOne validates one entry, quarantining it if corrupt. The first read
+// runs unlocked; a failure is re-checked under mu (serialized with Put's
+// rename) so a concurrent rewrite racing the read cannot get a fresh valid
+// entry quarantined.
+func (s *Store) scrubOne(key string) bool {
+	path := s.path(key)
+	b, err := s.fsys.ReadFile(path)
+	if err == nil {
+		if _, ok := decode(b); ok {
+			return false
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err = s.fsys.ReadFile(path)
+	if err != nil {
+		return false // vanished (evicted or dropped) — nothing to quarantine
+	}
+	if _, ok := decode(b); ok {
+		return false // rewritten healthy while we were looking
+	}
+	info, err := s.fsys.Stat(path)
+	if err != nil {
+		return false
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return false
+	}
+	if err := s.fsys.Rename(path, filepath.Join(qdir, key+suffix)); err != nil {
+		return false
+	}
+	s.size -= info.Size()
+	s.count--
+	return true
+}
+
+// StartScrubber runs Scrub every interval on a background goroutine until
+// Close. A second call replaces the previous scrubber.
+func (s *Store) StartScrubber(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.Close() // stop any previous scrubber
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.mu.Lock()
+	s.scrubStop, s.scrubDone = stop, done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Scrub()
+			}
+		}
+	}()
+}

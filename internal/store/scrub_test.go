@@ -1,0 +1,133 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestScrubQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	good, bad := keyOf("healthy"), keyOf("rotting")
+	for _, k := range []string{good, bad} {
+		if err := s.Put(k, []byte("payload-"+k[:8])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot one entry on disk (a bit flip the next Get would otherwise eat).
+	raw, err := os.ReadFile(filepath.Join(dir, bad+suffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, bad+suffix), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	checked, quarantined := s.Scrub()
+	if checked != 2 || quarantined != 1 {
+		t.Fatalf("Scrub = (%d, %d), want (2, 1)", checked, quarantined)
+	}
+	// The corrupt file moved to quarantine/ — preserved, not deleted.
+	qpath := filepath.Join(dir, quarantineDir, bad+suffix)
+	if qb, err := os.ReadFile(qpath); err != nil || !bytes.Equal(qb, raw) {
+		t.Fatalf("quarantined bytes missing or altered: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, bad+suffix)); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still resident after scrub")
+	}
+	if _, ok := s.Get(good); !ok {
+		t.Fatal("healthy entry lost to scrub")
+	}
+	if _, ok := s.Get(bad); ok {
+		t.Fatal("quarantined entry still served")
+	}
+	st := s.Stats()
+	if st.Scrubs != 1 || st.Scrubbed != 2 || st.Quarantined != 1 {
+		t.Fatalf("scrub stats = %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after quarantine, want 1", st.Entries)
+	}
+	checkAccounting(t, s)
+
+	// Reopen must not count quarantined files as resident entries.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopened entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestScrubConcurrentWithTraffic(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	val := bytes.Repeat([]byte("p"), 300)
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("scrub-traffic-%d", i))
+		if err := s.Put(keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			k := keys[i%len(keys)]
+			if i%2 == 0 {
+				s.Put(k, val)
+			} else if got, ok := s.Get(k); ok && !bytes.Equal(got, val) {
+				panic("scrub corrupted a live read")
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, quarantined := s.Scrub(); quarantined != 0 {
+			t.Fatal("scrub quarantined a healthy rewritten entry")
+		}
+	}
+	<-done
+	checkAccounting(t, s)
+}
+
+func TestStartScrubberRunsAndStops(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	bad := keyOf("background-rot")
+	if err := s.Put(bad, []byte("to-be-rotted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, bad+suffix), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.StartScrubber(5 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Quarantined >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.Stats().Quarantined == 0 {
+		t.Fatal("background scrubber never quarantined the rotten entry")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and a closed store scrubs no more.
+	passes := s.Stats().Scrubs
+	time.Sleep(20 * time.Millisecond)
+	if got := s.Stats().Scrubs; got != passes {
+		t.Fatalf("scrubber still running after Close: %d -> %d passes", passes, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

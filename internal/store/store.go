@@ -9,6 +9,13 @@
 // length+checksum header and treat any corruption (truncation, bit flips,
 // garbage) as a miss to be recomputed, and a size bound is enforced by
 // evicting least-recently-used entries (file mtime, refreshed on hit).
+//
+// Crash recovery: Open reaps stale put-* temp files left by writers that
+// died between write and rename, and a background scrubber (StartScrubber)
+// revalidates entry checksums, moving corrupt files into a quarantine/
+// subdirectory before a read ever sees them. Every per-entry file operation
+// goes through the FS seam, so chaos tests drive the same code through
+// deterministic fault injection (NewFaultFS).
 package store
 
 import (
@@ -32,15 +39,28 @@ const headerSize = 5 + 8 + sha256.Size
 
 const suffix = ".res"
 
+// quarantineDir is the subdirectory corrupt entries are moved into by the
+// scrubber, preserving the evidence instead of deleting it.
+const quarantineDir = "quarantine"
+
+// tempMaxAge is how old a put-* temp file must be before Open treats it as
+// a crash leftover rather than a concurrent writer's staging file.
+const tempMaxAge = time.Hour
+
 // Stats are the store's monotonic counters plus current occupancy.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64 // absent, corrupt, or unreadable entries
-	Corrupt   uint64 // subset of Misses that failed header/checksum validation
-	Puts      uint64
-	Evictions uint64
-	Entries   int
-	Bytes     int64
+	Hits        uint64
+	Misses      uint64 // absent, corrupt, or unreadable entries
+	Corrupt     uint64 // subset of Misses that failed header/checksum validation
+	Puts        uint64
+	PutErrors   uint64 // Put calls that failed (write/rename errors)
+	Evictions   uint64
+	ReapedTemps uint64 // stale put-* temp files deleted by Open
+	Scrubs      uint64 // completed scrub passes
+	Scrubbed    uint64 // entries checksum-validated by the scrubber
+	Quarantined uint64 // corrupt entries moved to quarantine/ by the scrubber
+	Entries     int
+	Bytes       int64
 }
 
 // Store is a size-bounded content-addressed cache directory. It is safe for
@@ -48,34 +68,79 @@ type Stats struct {
 type Store struct {
 	dir      string
 	maxBytes int64 // <= 0 means unbounded
+	fsys     FS
 
 	mu    sync.Mutex
 	size  int64
 	count int
 	st    Stats
+
+	scrubStop chan struct{} // non-nil while a background scrubber runs
+	scrubDone chan struct{}
 }
 
 // Open creates (if needed) and scans dir. maxBytes <= 0 disables eviction.
+// Stale put-* temp files (crash leftovers older than an hour) are reaped so
+// they cannot accumulate unbounded, uncounted and unevictable.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenFS(dir, maxBytes, osFS{})
+}
+
+// OpenFS is Open with an explicit filesystem seam — chaos tests pass
+// NewFaultFS to drive the store through deterministic fault injection.
+// A nil fsys means the real filesystem.
+func OpenFS(dir string, maxBytes int64, fsys FS) (*Store, error) {
+	if fsys == nil {
+		fsys = osFS{}
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes}
+	s := &Store{dir: dir, maxBytes: maxBytes, fsys: fsys}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+		if e.IsDir() {
 			continue
 		}
-		if info, err := e.Info(); err == nil {
-			s.size += info.Size()
-			s.count++
+		if strings.HasSuffix(e.Name(), suffix) {
+			if info, err := e.Info(); err == nil {
+				s.size += info.Size()
+				s.count++
+			}
+			continue
+		}
+		// A put-* temp file is a writer that died between write and
+		// rename. It will never be renamed, counted, or evicted — reap it
+		// once it is old enough that it cannot belong to a live Put.
+		if ok, _ := filepath.Match(tempPattern, e.Name()); ok {
+			info, err := e.Info()
+			if err != nil || time.Since(info.ModTime()) < tempMaxAge {
+				continue
+			}
+			if os.Remove(filepath.Join(dir, e.Name())) == nil {
+				s.st.ReapedTemps++
+			}
 		}
 	}
 	s.evictLocked("")
 	return s, nil
+}
+
+// Close stops the background scrubber, if one was started. The store itself
+// holds no other resources.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	stop, done := s.scrubStop, s.scrubDone
+	s.scrubStop, s.scrubDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return nil
 }
 
 // Dir returns the store directory.
@@ -98,14 +163,15 @@ func validKey(key string) bool {
 }
 
 // Get returns the stored value for key. Any failure — absent file, short
-// file, header or checksum mismatch — is a miss: the caller recomputes and
-// Puts, and a corrupt entry is deleted so it cannot shadow the rewrite.
+// file, injected read error, header or checksum mismatch — is a miss: the
+// caller recomputes and Puts, and a corrupt entry is deleted so it cannot
+// shadow the rewrite.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		s.miss(false)
 		return nil, false
 	}
-	b, err := os.ReadFile(s.path(key))
+	b, err := s.fsys.ReadFile(s.path(key))
 	if err != nil {
 		s.miss(false)
 		return nil, false
@@ -115,19 +181,35 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Lock()
 		s.st.Misses++
 		s.st.Corrupt++
-		if err := os.Remove(s.path(key)); err == nil {
-			s.size -= int64(len(b))
-			s.count--
-		}
+		s.dropLocked(key)
 		s.mu.Unlock()
 		return nil, false
 	}
 	now := time.Now()
-	_ = os.Chtimes(s.path(key), now, now) // refresh LRU position
 	s.mu.Lock()
+	// Refresh the LRU clock under mu so the mtime write is serialized with
+	// Put's rename and evict's scan.
+	_ = s.fsys.Chtimes(s.path(key), now, now)
 	s.st.Hits++
 	s.mu.Unlock()
 	return payload, true
+}
+
+// dropLocked removes key's entry file with accounting. It re-stats under mu
+// — never trusting sizes observed outside the lock — so a concurrent Put
+// that replaced the file between our read and now cannot make size/count
+// drift (the old unlocked path could go negative under exactly that race).
+func (s *Store) dropLocked(key string) {
+	path := s.path(key)
+	info, err := s.fsys.Stat(path)
+	if err != nil {
+		return // already removed (or replaced and removed) by someone else
+	}
+	if s.fsys.Remove(path) != nil {
+		return
+	}
+	s.size -= info.Size()
+	s.count--
 }
 
 func (s *Store) miss(corrupt bool) {
@@ -147,34 +229,46 @@ func (s *Store) Put(key string, value []byte) error {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
 	enc := encode(value)
-	tmp, err := os.CreateTemp(s.dir, "put-*")
+	tmp, err := s.fsys.WriteTemp(s.dir, enc)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := tmp.Write(enc); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.putError()
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if prev, err := os.Stat(s.path(key)); err == nil {
+	if prev, err := s.fsys.Stat(s.path(key)); err == nil {
 		s.size -= prev.Size()
 		s.count--
 	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fsys.Rename(tmp, s.path(key)); err != nil {
+		// The previous entry may or may not still exist; restat so the
+		// accounting matches whatever is actually on disk.
+		if prev, serr := s.fsys.Stat(s.path(key)); serr == nil {
+			s.size += prev.Size()
+			s.count++
+		}
+		s.fsys.Remove(tmp)
+		s.st.PutErrors++
 		return fmt.Errorf("store: %w", err)
 	}
-	s.size += int64(len(enc))
+	// The temp file may have landed short (crash or injected short write);
+	// account what is on disk, not what we asked for. Reads catch the
+	// corruption via the checksum header.
+	n := int64(len(enc))
+	if info, err := s.fsys.Stat(s.path(key)); err == nil {
+		n = info.Size()
+	}
+	s.size += n
 	s.count++
 	s.st.Puts++
 	s.evictLocked(key)
 	return nil
+}
+
+func (s *Store) putError() {
+	s.mu.Lock()
+	s.st.PutErrors++
+	s.mu.Unlock()
 }
 
 // evictLocked removes oldest-mtime entries until the store fits maxBytes.
@@ -216,7 +310,7 @@ func (s *Store) evictLocked(keep string) {
 		if keep != "" && e.name == keep+suffix {
 			continue
 		}
-		if err := os.Remove(filepath.Join(s.dir, e.name)); err != nil {
+		if err := s.fsys.Remove(filepath.Join(s.dir, e.name)); err != nil {
 			continue
 		}
 		s.size -= e.size

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -225,5 +227,211 @@ func TestInvalidKeyRejected(t *testing.T) {
 		if _, ok := s.Get(k); ok {
 			t.Fatalf("Get(%q) hit", k)
 		}
+	}
+}
+
+// TestOpenReapsStaleTemps: put-* files older than tempMaxAge are crash
+// leftovers — Open must delete them; fresh temps (a live writer's staging
+// file) and real entries must survive.
+func TestOpenReapsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	key := keyOf("survivor")
+	if err := s.Put(key, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "put-123456")
+	fresh := filepath.Join(dir, "put-789abc")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not reaped: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp reaped: %v", err)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != "kept" {
+		t.Fatalf("entry lost across reap: %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.ReapedTemps != 1 {
+		t.Fatalf("ReapedTemps = %d, want 1", st.ReapedTemps)
+	}
+}
+
+// TestDecodeBoundaries truncates an encoded entry at every offset through
+// the header and into the payload, and bit-flips every byte position: only
+// the intact encoding may decode.
+func TestDecodeBoundaries(t *testing.T) {
+	payload := []byte("boundary-test payload")
+	enc := encode(payload)
+	if got, ok := decode(enc); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("intact encoding failed to decode")
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, ok := decode(enc[:n]); ok {
+			t.Fatalf("truncation to %d bytes decoded (header is %d)", n, headerSize)
+		}
+	}
+	for off := 0; off < len(enc); off++ {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x01
+		if _, ok := decode(mut); ok {
+			t.Fatalf("bit flip at offset %d decoded", off)
+		}
+	}
+	// Appended garbage must fail too (length header mismatch).
+	if _, ok := decode(append(append([]byte(nil), enc...), 'x')); ok {
+		t.Fatal("trailing garbage decoded")
+	}
+	// Zero-length payloads round-trip.
+	empty := encode(nil)
+	if got, ok := decode(empty); !ok || len(got) != 0 {
+		t.Fatal("empty payload failed to round-trip")
+	}
+}
+
+// rescan totals the entry files actually on disk, for accounting checks.
+func rescan(t *testing.T, dir string) (size int64, count int) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		size += info.Size()
+		count++
+	}
+	return size, count
+}
+
+func checkAccounting(t *testing.T, s *Store) {
+	t.Helper()
+	s.mu.Lock()
+	size, count := s.size, s.count
+	s.mu.Unlock()
+	if size < 0 || count < 0 {
+		t.Fatalf("accounting went negative: size=%d count=%d", size, count)
+	}
+	diskSize, diskCount := rescan(t, s.Dir())
+	if size != diskSize || count != diskCount {
+		t.Fatalf("accounting drifted: store says size=%d count=%d, disk has size=%d count=%d",
+			size, count, diskSize, diskCount)
+	}
+}
+
+// TestConcurrentGetPutEviction hammers a small LRU-bounded store from
+// concurrent readers and writers: eviction, LRU refresh, and rewrites must
+// keep size/count exactly equal to a fresh rescan of the directory.
+func TestConcurrentGetPutEviction(t *testing.T) {
+	dir := t.TempDir()
+	val := bytes.Repeat([]byte("v"), 200)
+	entryBytes := int64(headerSize + len(val))
+	s, _ := Open(dir, 6*entryBytes) // deep enough to hold some, shallow enough to evict constantly
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("concurrent-%d", i))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := keys[(g*7+i)%len(keys)]
+				if i%3 == 0 {
+					if err := s.Put(k, val); err != nil {
+						t.Errorf("Put(%s): %v", k, err)
+						return
+					}
+				} else if got, ok := s.Get(k); ok && !bytes.Equal(got, val) {
+					t.Errorf("Get(%s) returned wrong bytes", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	checkAccounting(t, s)
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions under a 6-entry bound with 16 keys: %+v", st)
+	}
+}
+
+// TestConcurrentCorruptDrop targets the drop race the unlocked remove path
+// used to lose: a Get that found a corrupt entry would remove the file and
+// subtract the *previously read* byte count, even when a concurrent Put had
+// just replaced the file with a different-sized valid entry. Alternating
+// value sizes per key makes that stale-size subtraction visible; the fixed
+// path restats under mu, so accounting must end exactly consistent.
+func TestConcurrentCorruptDrop(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	vals := [][]byte{bytes.Repeat([]byte("s"), 50), bytes.Repeat([]byte("L"), 3000)}
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("droprace-%d", i))
+		if err := s.Put(keys[i], vals[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					if err := s.Put(k, vals[(g+i)%2]); err != nil {
+						t.Errorf("Put(%s): %v", k, err)
+						return
+					}
+				case 1:
+					// Flip a payload byte in place, never creating the file
+					// (no O_CREATE): a Get must drop it with restat-accurate
+					// accounting even while Puts race the removal.
+					f, err := os.OpenFile(filepath.Join(dir, k+suffix), os.O_WRONLY, 0)
+					if err == nil {
+						f.WriteAt([]byte{0xff}, headerSize)
+						f.Close()
+					}
+					s.Get(k)
+				case 2:
+					s.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Drop any still-corrupt leftovers so the rescan sees a settled store.
+	for _, k := range keys {
+		s.Get(k)
+	}
+	checkAccounting(t, s)
+	if st := s.Stats(); st.Corrupt == 0 {
+		t.Fatalf("corrupters never tripped a drop: %+v", st)
 	}
 }

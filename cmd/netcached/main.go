@@ -8,6 +8,8 @@
 //
 //	netcached -addr :8100 -store /var/cache/netcached \
 //	          -store-max-bytes 1073741824 -j 8 -timeout 10m \
+//	          [-hot-max-bytes 268435456] [-cold-age 1h] \
+//	          [-compact-interval 10m] [-cold-compression flate] \
 //	          [-scrub-interval 1h] [-pprof localhost:6060] \
 //	          [-chaos "seed=42,store.write=0.1,http.error=0.05"]
 //
@@ -16,6 +18,7 @@
 //	POST /v1/run     one RunSpec -> Result JSON
 //	POST /v1/batch   {"specs":[...]} -> {"results":[...]} in spec order
 //	GET  /v1/apps    the Table 4 application list
+//	GET  /v1/stats   per-tier store occupancy and maintenance counters
 //	GET  /healthz    liveness (503 while draining)
 //	GET  /metrics    Prometheus text format
 //
@@ -63,6 +66,11 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		scrub    = flag.Duration("scrub-interval", 0, "background store scrub period (0 = disabled)")
 		chaos    = flag.String("chaos", "", `fault injection spec, e.g. "seed=42,store.write=0.1,http.error=0.05" (testing only)`)
+
+		hotMax      = flag.Int64("hot-max-bytes", 0, "hot-tier size bound; older entries compact into cold segments beyond it (0 = store-max-bytes/4)")
+		coldAge     = flag.Duration("cold-age", time.Hour, "idle age after which a hot entry migrates to the cold tier")
+		compactIvl  = flag.Duration("compact-interval", 10*time.Minute, "background compaction period (0 = disabled)")
+		compression = flag.String("cold-compression", "flate", `cold-tier per-record compression: "flate" or "none"`)
 	)
 	flag.Parse()
 
@@ -98,16 +106,26 @@ func main() {
 			fsys = store.NewFaultFS(inj)
 		}
 		var err error
-		st, err = store.OpenFS(*storeDir, *maxBytes, fsys)
+		st, err = store.OpenOptions(*storeDir, store.Options{
+			MaxBytes:    *maxBytes,
+			HotMaxBytes: *hotMax,
+			ColdAge:     *coldAge,
+			Compression: *compression,
+			FS:          fsys,
+		})
 		if err != nil {
 			logger.Fatal(err)
 		}
 		s := st.Stats()
-		logger.Printf("store %s (%d entries, %d bytes, %d stale temps reaped)",
-			*storeDir, s.Entries, s.Bytes, s.ReapedTemps)
+		logger.Printf("store %s (%d hot + %d cold entries in %d segments, %d bytes, %d stale temps reaped, %d segments salvaged)",
+			*storeDir, s.HotEntries, s.ColdEntries, s.Segments, s.Bytes, s.ReapedTemps, s.SalvagedSegments)
 		if *scrub > 0 {
 			st.StartScrubber(*scrub)
 			logger.Printf("scrubbing store every %v", *scrub)
+		}
+		if *compactIvl > 0 {
+			st.StartCompactor(*compactIvl)
+			logger.Printf("compacting store every %v (cold-age %v, compression %s)", *compactIvl, *coldAge, *compression)
 		}
 		defer st.Close()
 	}

@@ -37,6 +37,17 @@ const (
 	// StoreRename fails the atomic rename installing a store entry.
 	StoreRename = "store.rename"
 
+	// SegmentWrite fails the temp-file write stage of a cold-tier segment.
+	SegmentWrite = "store.segwrite"
+	// SegmentTorn silently truncates a segment write (reported as success —
+	// the crash-mid-compaction case: the index and trailer never land).
+	SegmentTorn = "store.segtorn"
+	// SegmentRead fails a cold-tier random-access read (record or footer).
+	SegmentRead = "store.segread"
+	// SegmentCorrupt flips one bit of a successfully read segment range,
+	// corrupting record data and footer index bytes alike.
+	SegmentCorrupt = "store.segcorrupt"
+
 	// HTTPLatency delays an HTTP response by a deterministic duration.
 	HTTPLatency = "http.latency"
 	// HTTPError replaces an HTTP response with a 500.

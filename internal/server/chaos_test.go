@@ -51,6 +51,10 @@ func TestChaosSweep(t *testing.T) {
 	inj.Set(faults.StoreCorrupt, 0.10)
 	inj.Set(faults.StoreWrite, 0.10)
 	inj.Set(faults.StoreShortWrite, 0.05)
+	inj.Set(faults.SegmentRead, 0.10)
+	inj.Set(faults.SegmentCorrupt, 0.10)
+	inj.Set(faults.SegmentWrite, 0.10)
+	inj.Set(faults.SegmentTorn, 0.10)
 	inj.Set(faults.HTTPError, 0.05)
 	inj.Set(faults.HTTPDisconnect, 0.03)
 	inj.Set(faults.HTTPLatency, 0.05)
@@ -59,10 +63,19 @@ func TestChaosSweep(t *testing.T) {
 	const simPanic = "sim.panic" // fired inside RunFunc, recovered by lead
 	inj.Set(simPanic, 0.10)
 
-	st, err := store.OpenFS(t.TempDir(), 0, store.NewFaultFS(inj))
+	// ColdAge of a nanosecond makes every stored result a migration victim,
+	// so the background compactor constantly moves entries into cold
+	// segments (and Gets promote them back) while segment faults tear
+	// writes and corrupt reads mid-compaction.
+	st, err := store.OpenOptions(t.TempDir(), store.Options{
+		ColdAge: time.Nanosecond,
+		FS:      store.NewFaultFS(inj),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.StartCompactor(2 * time.Millisecond)
+	defer st.Close()
 	_, c := start(t, Config{
 		Store:         st,
 		Workers:       4,
@@ -106,9 +119,14 @@ func TestChaosSweep(t *testing.T) {
 		}
 	}
 
-	// The storm must actually have stormed, or the test proves nothing.
+	// The storm must actually have stormed, or the test proves nothing —
+	// including the segment sites, which only fire if compaction really ran
+	// mid-sweep.
 	stats := inj.Stats()
-	for _, site := range []string{faults.StoreRead, faults.StoreWrite, faults.HTTPError, faults.RunnerPanic} {
+	for _, site := range []string{
+		faults.StoreRead, faults.StoreWrite, faults.HTTPError, faults.RunnerPanic,
+		faults.SegmentWrite, faults.SegmentTorn, faults.SegmentRead,
+	} {
 		if stats[site].Fired == 0 {
 			t.Fatalf("site %s never fired (calls=%d) — chaos too quiet", site, stats[site].Calls)
 		}
@@ -142,9 +160,115 @@ func TestChaosSweep(t *testing.T) {
 		t.Fatalf("post-chaos health = %q, %v; want ok", state, err)
 	}
 
-	// And the surviving store content is clean: a scrub finds nothing.
+	// And the surviving store content is clean: a fault-free compaction
+	// pass completes, a scrub finds nothing, and /v1/stats shows a live
+	// two-tier store whose entries flowed through the cold tier.
+	st.Compact()
 	if _, quarantined := st.Scrub(); quarantined != 0 {
 		t.Fatalf("scrub quarantined %d entries after recovery", quarantined)
+	}
+	sr, err := c.StoreStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.HasStore || sr.Degraded {
+		t.Fatalf("post-chaos /v1/stats = %+v", sr)
+	}
+	if sr.Store.Migrated == 0 || sr.Store.Compactions == 0 {
+		t.Fatalf("compactor never moved anything during the sweep: %+v", sr.Store)
+	}
+	if sr.Store.Entries == 0 || sr.Store.HotEntries+sr.Store.ColdEntries != sr.Store.Entries {
+		t.Fatalf("per-tier occupancy inconsistent: %+v", sr.Store)
+	}
+}
+
+// TestChaosColdTierOnlyFailure: when only the cold tier fails — every
+// segment read and write erroring — the server must stay fully healthy,
+// never degraded: hot writes still succeed, cold-resident results are
+// recomputed and re-persisted hot, and every response stays correct.
+func TestChaosColdTierOnlyFailure(t *testing.T) {
+	ctx := context.Background()
+	inj := faults.New(777) // sites armed only after the setup compaction
+	st, err := store.OpenOptions(t.TempDir(), store.Options{
+		ColdAge: time.Nanosecond,
+		FS:      store.NewFaultFS(inj),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, c := start(t, Config{
+		Store:         st,
+		Workers:       2,
+		DegradedAfter: 2,
+		DegradedProbe: time.Millisecond,
+		RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+			return netcache.Result{App: spec.App, Cycles: int64(spec.Scale * 1000)}, nil
+		},
+	})
+	spec := func(scale float64) netcache.RunSpec {
+		return netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: scale}
+	}
+
+	// Seed results and compact them into the cold tier, fault-free.
+	baseline := make([][]byte, 5)
+	for i := range baseline {
+		raw, err := c.RunRaw(ctx, spec(0.1*float64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = raw
+	}
+	time.Sleep(20 * time.Millisecond) // age past ColdAge
+	if migrated, _ := st.Compact(); migrated == 0 {
+		t.Fatalf("setup compaction moved nothing: %+v", st.Stats())
+	}
+
+	// The cold tier dies wholesale; the hot tier stays perfect.
+	inj.Set(faults.SegmentRead, 1.0)
+	inj.Set(faults.SegmentWrite, 1.0)
+	for i := range baseline {
+		raw, err := c.RunRaw(ctx, spec(0.1*float64(i+1)))
+		if err != nil {
+			t.Fatalf("request %d during cold-tier outage: %v", i, err)
+		}
+		if !bytes.Equal(raw, baseline[i]) {
+			t.Fatalf("request %d: bytes drifted during cold-tier outage", i)
+		}
+	}
+	// Recomputes re-landed hot, so the hot writes all succeeded: the server
+	// must not have counted them toward degraded mode.
+	if srv.Degraded() {
+		t.Fatal("cold-tier-only failure flipped the server degraded")
+	}
+	if state, _ := c.Health(ctx); state != "ok" {
+		t.Fatalf("health = %q during cold-tier outage, want ok", state)
+	}
+	sr, err := c.StoreStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Store.HotEntries == 0 {
+		t.Fatalf("recomputed results not resident hot: %+v", sr.Store)
+	}
+	// Compaction attempts during the outage fail without losing the hot
+	// copies.
+	time.Sleep(20 * time.Millisecond)
+	st.Compact()
+	if after := st.Stats(); after.HotEntries != sr.Store.HotEntries {
+		t.Fatalf("failed compaction lost hot entries: %d -> %d", sr.Store.HotEntries, after.HotEntries)
+	}
+	// Cold tier recovers: the next pass migrates and everything still reads
+	// back byte-identically.
+	inj.Disable()
+	time.Sleep(20 * time.Millisecond)
+	if migrated, _ := st.Compact(); migrated == 0 {
+		t.Fatalf("post-recovery compaction moved nothing: %+v", st.Stats())
+	}
+	for i := range baseline {
+		raw, err := c.RunRaw(ctx, spec(0.1*float64(i+1)))
+		if err != nil || !bytes.Equal(raw, baseline[i]) {
+			t.Fatalf("request %d after recovery: %v", i, err)
+		}
 	}
 }
 

@@ -350,6 +350,20 @@ func (c *Client) Health(ctx context.Context) (string, error) {
 	return string(bytes.TrimSpace(raw)), nil
 }
 
+// StoreStats fetches /v1/stats: the storage engine's per-tier occupancy
+// and maintenance counters, plus the server's degraded flag.
+func (c *Client) StoreStats(ctx context.Context) (StatsResponse, error) {
+	raw, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return StatsResponse{}, fmt.Errorf("netcached: decoding stats: %w", err)
+	}
+	return resp, nil
+}
+
 // Metrics fetches the Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	raw, err := c.get(ctx, "/metrics")

@@ -103,14 +103,29 @@ func (m *metrics) render(b *strings.Builder, st *store.Store, degraded bool, inj
 	if st != nil {
 		s := st.Stats()
 		counter("netcached_store_hits_total", "Result-store hits.", s.Hits)
+		counter("netcached_store_hot_hits_total", "Store hits served from the hot (per-key file) tier.", s.HotHits)
+		counter("netcached_store_cold_hits_total", "Store hits served from cold segment files.", s.ColdHits)
 		counter("netcached_store_misses_total", "Result-store misses (absent or corrupt entries).", s.Misses)
 		counter("netcached_store_corrupt_total", "Store entries dropped for failing checksum validation.", s.Corrupt)
 		counter("netcached_store_evictions_total", "Store entries evicted by the size bound.", s.Evictions)
-		counter("netcached_store_reaped_temps_total", "Stale put-* temp files reaped at store open.", s.ReapedTemps)
+		counter("netcached_store_promotions_total", "Cold hits rewritten back into the hot tier.", s.Promotions)
+		counter("netcached_store_reaped_temps_total", "Stale put-* and seg-*.tmp temp files reaped at store open.", s.ReapedTemps)
 		counter("netcached_store_scrubs_total", "Completed background scrub passes.", s.Scrubs)
-		counter("netcached_store_quarantined_total", "Corrupt entries quarantined by the scrubber.", s.Quarantined)
-		gauge("netcached_store_entries", "Entries resident in the store.", int64(s.Entries))
-		gauge("netcached_store_bytes", "Bytes resident in the store.", s.Bytes)
+		counter("netcached_store_quarantined_total", "Corrupt entries / segment regions quarantined.", s.Quarantined)
+		counter("netcached_store_compactions_total", "Completed compaction passes.", s.Compactions)
+		counter("netcached_store_migrated_total", "Entries migrated from the hot tier into cold segments.", s.Migrated)
+		counter("netcached_store_segment_rewrites_total", "Sparse segments rewritten to reclaim dead space.", s.SegmentRewrites)
+		counter("netcached_store_segments_dropped_total", "Whole segments evicted by the size bound.", s.SegmentsDropped)
+		counter("netcached_store_salvaged_segments_total", "Segments whose index was rebuilt by scan at open.", s.SalvagedSegments)
+		counter("netcached_store_compact_errors_total", "Failed migration batches or segment rewrites.", s.CompactErrors)
+		gauge("netcached_store_entries", "Live entries across both store tiers.", int64(s.Entries))
+		gauge("netcached_store_bytes", "Physical bytes on disk across both store tiers.", s.Bytes)
+		gauge("netcached_store_hot_entries", "Entries resident in the hot tier.", int64(s.HotEntries))
+		gauge("netcached_store_hot_bytes", "Bytes resident in the hot tier.", s.HotBytes)
+		gauge("netcached_store_cold_entries", "Live entries resident in cold segments.", int64(s.ColdEntries))
+		gauge("netcached_store_cold_bytes", "Live record bytes inside cold segments.", s.ColdBytes)
+		gauge("netcached_store_cold_dead_bytes", "Dead segment space awaiting compaction.", s.ColdDeadBytes)
+		gauge("netcached_store_segments", "Resident cold segment files.", int64(s.Segments))
 	}
 
 	if inj != nil {

@@ -17,8 +17,9 @@
 // until the deadline, and past it the server's base context is cancelled,
 // which aborts the simulation engines through their Interrupt path.
 //
-// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/apps, GET /healthz,
-// GET /metrics (Prometheus text format).
+// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/apps, GET /v1/stats
+// (per-tier store occupancy and maintenance counters as JSON), GET
+// /healthz, GET /metrics (Prometheus text format).
 package server
 
 import (
@@ -164,6 +165,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/run", s.chaos(s.handleRun))
 	mux.HandleFunc("/v1/batch", s.chaos(s.handleBatch))
 	mux.HandleFunc("/v1/apps", s.chaos(s.handleApps))
+	// Like /healthz and /metrics, /v1/stats is exempt from chaos injection
+	// so fault storms stay observable.
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.http.Handler = mux
@@ -375,6 +379,30 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	s.m.request("/v1/apps", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(infos)
+}
+
+// StatsResponse is the GET /v1/stats body: the storage engine's per-tier
+// occupancy and maintenance counters, plus the server's serving state. With
+// no store configured, HasStore is false and Store is all zeros.
+type StatsResponse struct {
+	Degraded bool        `json:"degraded"`
+	HasStore bool        `json:"has_store"`
+	Store    store.Stats `json:"store"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "/v1/stats", http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := StatsResponse{Degraded: s.Degraded()}
+	if s.cfg.Store != nil {
+		resp.HasStore = true
+		resp.Store = s.cfg.Store.Stats()
+	}
+	s.m.request("/v1/stats", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleHealth reports the serving state: 200 "ok" (fully healthy), 200

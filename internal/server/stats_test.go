@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"netcache"
+	"netcache/internal/store"
+)
+
+// TestStatsEndpoint: /v1/stats reports per-tier occupancy and compaction
+// counters that track the engine's actual state, and the same numbers are
+// mirrored as netcached_store_* gauges on /metrics.
+func TestStatsEndpoint(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.OpenOptions(t.TempDir(), store.Options{ColdAge: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := start(t, Config{
+		Store:   st,
+		Workers: 2,
+		RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+			return netcache.Result{App: spec.App, Cycles: int64(spec.Scale * 1000)}, nil
+		},
+	})
+
+	sr, err := c.StoreStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.HasStore || sr.Degraded || sr.Store.Entries != 0 {
+		t.Fatalf("empty-store stats = %+v", sr)
+	}
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.RunRaw(ctx, netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.1 * float64(i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, _ = c.StoreStats(ctx)
+	if sr.Store.HotEntries != 4 || sr.Store.ColdEntries != 0 {
+		t.Fatalf("pre-compaction stats = %+v", sr.Store)
+	}
+
+	time.Sleep(20 * time.Millisecond) // age entries past ColdAge
+	if migrated, _ := st.Compact(); migrated != 4 {
+		t.Fatalf("compaction migrated %d of 4", migrated)
+	}
+	sr, _ = c.StoreStats(ctx)
+	s := sr.Store
+	if s.HotEntries != 0 || s.ColdEntries != 4 || s.Segments == 0 {
+		t.Fatalf("post-compaction stats = %+v", s)
+	}
+	if s.Compactions != 1 || s.Migrated != 4 {
+		t.Fatalf("compaction counters = %+v", s)
+	}
+	if s.Bytes <= 0 || s.ColdBytes <= 0 {
+		t.Fatalf("byte counts = %+v", s)
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"netcached_store_hot_entries":       0,
+		"netcached_store_cold_entries":      4,
+		"netcached_store_segments":          int64(s.Segments),
+		"netcached_store_migrated_total":    4,
+		"netcached_store_compactions_total": 1,
+	} {
+		if got := metricValue(t, text, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// A cold hit bumps the cold counters and promotes.
+	if _, err := c.RunRaw(ctx, netcache.RunSpec{App: "sor", System: netcache.SystemNetCache, Scale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	sr, _ = c.StoreStats(ctx)
+	if sr.Store.ColdHits != 1 || sr.Store.Promotions != 1 || sr.Store.HotEntries != 1 {
+		t.Fatalf("post-promotion stats = %+v", sr.Store)
+	}
+
+	// Contract checks: GET only, and no store means zeros, not errors.
+	if _, err := c.post(ctx, "/v1/stats", struct{}{}); err == nil {
+		t.Fatal("POST /v1/stats accepted")
+	}
+	_, c2 := start(t, Config{Workers: 1, RunFunc: func(ctx context.Context, spec netcache.RunSpec) (netcache.Result, error) {
+		return netcache.Result{}, nil
+	}})
+	sr2, err := c2.StoreStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.HasStore || sr2.Store.Entries != 0 {
+		t.Fatalf("storeless stats = %+v", sr2)
+	}
+}

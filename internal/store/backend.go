@@ -1,0 +1,47 @@
+package store
+
+import "errors"
+
+// ErrNotFound reports a key with no live entry in a tier.
+var ErrNotFound = errors.New("store: not found")
+
+// ErrCorrupt reports an entry whose on-disk bytes failed validation —
+// truncation, bit rot, a torn segment write, or index corruption. The
+// engine treats it as a miss (the value is recomputable by construction)
+// and drops or quarantines the damaged bytes so they cannot shadow a
+// rewrite. Corruption is never a panic and never served.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// TierStats is one tier's occupancy snapshot.
+type TierStats struct {
+	Entries   int   // live entries
+	Bytes     int64 // live payload + per-entry overhead resident in files
+	DiskBytes int64 // physical bytes on disk (includes dead segment space)
+	Files     int   // entry files (hot) or segment files (cold)
+	DeadBytes int64 // bytes owned by dead records awaiting compaction (cold)
+}
+
+// Backend is one storage tier of the engine. Implementations are safe for
+// concurrent use; the engine composes two of them (hot per-key files, cold
+// compacted segments) and owns every cross-tier invariant — the shared LRU
+// budget, hot→cold migration, cold→hot promotion — so a Backend only
+// answers for its own files.
+//
+// Get returns ErrNotFound for absent keys and ErrCorrupt for entries whose
+// bytes fail validation (the implementation drops or dead-marks such
+// entries so the engine's recompute-and-Put can land cleanly). PutBatch
+// stores a group of entries as one durable unit: the hot tier writes one
+// file per entry, the cold tier packs the batch into a single segment.
+// Delete removes a key's live entry; deleting an absent key is a no-op.
+type Backend interface {
+	Get(key string) ([]byte, error)
+	PutBatch(entries []segEntry) error
+	Delete(key string) bool
+	Contains(key string) bool
+	Stats() TierStats
+}
+
+var (
+	_ Backend = (*hotTier)(nil)
+	_ Backend = (*coldTier)(nil)
+)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 
 	"netcache/internal/faults"
 )
@@ -80,6 +81,84 @@ func TestChaosStoreRecompute(t *testing.T) {
 	// A scrub over the recovered store finds nothing left to quarantine.
 	if checked, quarantined := s.Scrub(); checked != len(keys) || quarantined != 0 {
 		t.Fatalf("post-recovery Scrub = (%d, %d), want (%d, 0)", checked, quarantined, len(keys))
+	}
+}
+
+// TestChaosTieredRecompute extends the fault storm across both tiers: on
+// top of the hot-tier sites, segment reads fail and corrupt bits, segment
+// writes fail and tear, while an explicit Compact between rounds keeps
+// entries flowing hot → cold → (promotion) → hot through the storm. The
+// recompute-on-miss discipline must still never observe wrong bytes, and
+// the store must converge once faults stop.
+func TestChaosTieredRecompute(t *testing.T) {
+	inj := faults.New(4242)
+	inj.Set(faults.StoreRead, 0.05)
+	inj.Set(faults.StoreCorrupt, 0.05)
+	inj.Set(faults.StoreWrite, 0.05)
+	inj.Set(faults.StoreRename, 0.05)
+	inj.Set(faults.SegmentRead, 0.10)
+	inj.Set(faults.SegmentCorrupt, 0.10)
+	inj.Set(faults.SegmentWrite, 0.10)
+	inj.Set(faults.SegmentTorn, 0.10)
+
+	dir := t.TempDir()
+	opt := Options{ColdAge: time.Nanosecond, FS: NewFaultFS(inj)}
+	s, err := OpenOptions(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('A' + i%26)}, 150+i*13)
+	}
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = keyOf(fmt.Sprintf("tier-chaos-%d", i))
+	}
+
+	var misses int
+	for round := 0; round < 150; round++ {
+		i := round % len(keys)
+		got, ok := s.Get(keys[i])
+		if ok {
+			if !bytes.Equal(got, value(i)) {
+				t.Fatalf("round %d: wrong bytes for key %d", round, i)
+			}
+		} else {
+			misses++
+			_ = s.Put(keys[i], value(i))
+		}
+		if round%10 == 9 {
+			time.Sleep(2 * time.Millisecond) // age entries past ColdAge
+			s.Compact()                      // faults fire mid-compaction
+		}
+	}
+	if misses == 0 {
+		t.Fatal("fault storm too quiet (seed drift?)")
+	}
+
+	// Faults stop: converge every key, then force one more full cycle
+	// through the cold tier and back.
+	inj.Disable()
+	for i, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			if err := s.Put(k, value(i)); err != nil {
+				t.Fatalf("fault-free Put(%d): %v", i, err)
+			}
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if migrated, _ := s.Compact(); migrated == 0 {
+		t.Fatalf("fault-free compaction moved nothing: %+v", s.Stats())
+	}
+	for i, k := range keys {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, value(i)) {
+			t.Fatalf("key %d failed to converge through the cold tier", i)
+		}
+	}
+	checkAccounting(t, s)
+	if _, quarantined := s.Scrub(); quarantined != 0 {
+		t.Fatalf("post-recovery scrub quarantined %d", quarantined)
 	}
 }
 

@@ -1,0 +1,470 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// coldDir is the subdirectory (under the store root) holding segment files.
+const coldDir = "cold"
+
+const segSuffix = ".seg"
+
+// segment is one cold-tier file's live/dead accounting. Segments are
+// immutable once installed: records die in the in-memory index (and via
+// tombstones in later segments), and dead space is reclaimed by rewriting
+// the survivors into a fresh segment.
+type segment struct {
+	id        uint64
+	size      int64 // file size on disk
+	dataBytes int64 // record + index bytes (size - header - trailer)
+	liveBytes int64 // record + index bytes owned by live records
+	liveCount int
+}
+
+// coldRef locates a key's live record.
+type coldRef struct {
+	segID uint64
+	rec   segRecord
+}
+
+// coldTier packs evicted hot entries into append-only, compressed,
+// checksummed segment files under <dir>/cold, keyed by an in-memory index
+// (key → segment, offset, length) rebuilt on open from segment footers —
+// or, when a footer fails validation, salvaged by a forward scan. It
+// implements Backend; PutBatch writes one segment per call.
+type coldTier struct {
+	dir      string // <store>/cold
+	fsys     FS
+	compress bool
+
+	mu     sync.Mutex
+	segs   map[uint64]*segment
+	index  map[string]coldRef
+	nextID uint64
+	// pendingTombs are keys deleted from the index whose records still sit
+	// in some resident segment; the next PutBatch prepends tombstone records
+	// for them so the deletion survives a reopen-before-compaction. (For a
+	// content-addressed store resurrection is only a budget leak, never a
+	// correctness bug — values are immutable — so the set is bounded, not
+	// durable on its own.)
+	pendingTombs map[string]struct{}
+
+	// open-time recovery counters, read by the engine once after open.
+	salvaged    int // segments whose index was rebuilt by scanning records
+	quarantined int // segment files moved to quarantine/ (unreadable outright)
+	reaped      int // stale seg-*.tmp compaction leftovers deleted
+}
+
+// maxPendingTombs bounds the tombstone backlog; beyond it oldest deletions
+// simply risk (harmless, byte-identical) resurrection on reopen.
+const maxPendingTombs = 16384
+
+func newColdTier(storeDir string, fsys FS, compress bool) *coldTier {
+	return &coldTier{
+		dir:          filepath.Join(storeDir, coldDir),
+		fsys:         fsys,
+		compress:     compress,
+		segs:         make(map[uint64]*segment),
+		index:        make(map[string]coldRef),
+		pendingTombs: make(map[string]struct{}),
+	}
+}
+
+func (c *coldTier) segPath(id uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("seg-%08d%s", id, segSuffix))
+}
+
+// open loads every resident segment: reap stale compaction temps, parse
+// each segment's footer index (falling back to a salvage scan on torn or
+// corrupted footers, and to quarantine when even the header is gone), then
+// replay records in segment order so the newest record or tombstone for a
+// key wins.
+func (c *coldTier) open() error {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // no cold tier yet; created on first segment write
+		}
+		return err
+	}
+	var ids []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if ok, _ := filepath.Match(segTempPattern, name); ok {
+			// A seg-*.tmp is a compactor that died before rename; its batch
+			// is still fully present in the hot tier (or recomputable), so
+			// the temp is pure garbage once old enough to not be live.
+			info, err := e.Info()
+			if err != nil || time.Since(info.ModTime()) < tempMaxAge {
+				continue
+			}
+			if os.Remove(filepath.Join(c.dir, name)) == nil {
+				c.reaped++
+			}
+			continue
+		}
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.openSegment(id)
+		if id >= c.nextID {
+			c.nextID = id + 1
+		}
+	}
+	return nil
+}
+
+// openSegment loads one segment's index, salvaging or quarantining on
+// damage, and replays its records into the tier index.
+func (c *coldTier) openSegment(id uint64) {
+	path := c.segPath(id)
+	info, err := c.fsys.Stat(path)
+	if err != nil {
+		return
+	}
+	size := info.Size()
+	recs, err := parseSegmentIndex(size, func(off, n int64) ([]byte, error) {
+		return c.fsys.ReadRange(path, off, n)
+	})
+	if err != nil {
+		// Torn write or index corruption: salvage the valid record prefix.
+		b, rerr := c.fsys.ReadFile(path)
+		if rerr == nil {
+			recs = scanSegment(b)
+		}
+		if len(recs) == 0 {
+			// Nothing recoverable — preserve the evidence out of band.
+			qdir := filepath.Join(c.dir, "..", quarantineDir)
+			if os.MkdirAll(qdir, 0o755) == nil &&
+				c.fsys.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+				c.quarantined++
+			}
+			return
+		}
+		c.salvaged++
+	}
+	seg := &segment{id: id, size: size, dataBytes: size - segHeaderSize - segTrailerSize}
+	if seg.dataBytes < 0 {
+		seg.dataBytes = 0
+	}
+	c.segs[id] = seg
+	for _, rec := range recs {
+		c.replayLocked(id, rec)
+	}
+}
+
+// replayLocked applies one record in replay order: a tombstone kills the
+// key's live record, a value record supersedes any older one. Caller holds
+// mu (or is single-threaded during open).
+func (c *coldTier) replayLocked(id uint64, rec segRecord) {
+	if prev, ok := c.index[rec.key]; ok {
+		c.markDeadLocked(prev)
+		delete(c.index, rec.key)
+	}
+	if rec.tombstone() {
+		return
+	}
+	// A value record supersedes any deletion queued before it — without
+	// this, a key deleted and then re-migrated would get a tombstone written
+	// after its new record and be killed on the next replay.
+	delete(c.pendingTombs, rec.key)
+	c.index[rec.key] = coldRef{segID: id, rec: rec}
+	if seg := c.segs[id]; seg != nil {
+		seg.liveBytes += rec.diskSize() + idxEntrySize
+		seg.liveCount++
+	}
+}
+
+func (c *coldTier) markDeadLocked(ref coldRef) {
+	if seg := c.segs[ref.segID]; seg != nil {
+		seg.liveBytes -= ref.rec.diskSize() + idxEntrySize
+		seg.liveCount--
+	}
+}
+
+// lookup snapshots a key's ref under the lock.
+func (c *coldTier) lookup(key string) (coldRef, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.index[key]
+	return ref, ok
+}
+
+// Get implements Backend: random-access read of the key's record, verified
+// against the index entry and its CRC. A corrupt record is dead-marked so
+// the engine's recompute lands cleanly; an I/O failure leaves the record in
+// place (the next read may succeed).
+func (c *coldTier) Get(key string) ([]byte, error) {
+	ref, ok := c.lookup(key)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	raw, err := c.fsys.ReadRange(c.segPath(ref.segID), ref.rec.off, ref.rec.diskSize())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	payload, err := decodeRecord(ref.rec, raw)
+	if err != nil {
+		c.mu.Lock()
+		// Only dead-mark if the index still points at the same record; a
+		// concurrent rewrite may have re-homed the key.
+		if cur, ok := c.index[key]; ok && cur == ref {
+			c.markDeadLocked(cur)
+			delete(c.index, key)
+		}
+		c.mu.Unlock()
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// PutBatch implements Backend: pack entries (plus any pending tombstones)
+// into one new segment, stage it in a temp file, rename it into place, and
+// verify the installed footer before indexing it. A batch that fails to
+// write or verify installs nothing — the caller's source copies are still
+// live, so a failed compaction loses no data.
+func (c *coldTier) PutBatch(entries []segEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	// Tombstones ride along in front of the batch (replay is offset-ordered,
+	// so a record later in this segment supersedes its own tombstone).
+	inBatch := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		inBatch[e.key] = true
+	}
+	tombs := make([]segEntry, 0, len(c.pendingTombs))
+	for key := range c.pendingTombs {
+		if !inBatch[key] {
+			tombs = append(tombs, segEntry{key: key, tomb: true})
+		}
+	}
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i].key < tombs[j].key })
+	c.mu.Unlock()
+
+	img, recs, err := encodeSegment(append(tombs, entries...), c.compress)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := c.fsys.WriteSegment(c.dir, img)
+	if err != nil {
+		return err
+	}
+	path := c.segPath(id)
+	if err := c.fsys.Rename(tmp, path); err != nil {
+		c.fsys.Remove(tmp)
+		return err
+	}
+	// Verify-after-write: re-read the installed footer through the FS seam.
+	// A torn write (crash, injected fault) is detected here, the damaged
+	// segment removed, and the batch reported failed while its source
+	// entries are still safely resident in the hot tier.
+	info, err := c.fsys.Stat(path)
+	if err == nil {
+		_, err = parseSegmentIndex(info.Size(), func(off, n int64) ([]byte, error) {
+			return c.fsys.ReadRange(path, off, n)
+		})
+	}
+	if err != nil {
+		c.fsys.Remove(path)
+		return fmt.Errorf("store: segment %d failed post-write verification: %w", id, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seg := &segment{id: id, size: info.Size(), dataBytes: info.Size() - segHeaderSize - segTrailerSize}
+	c.segs[id] = seg
+	for _, rec := range recs {
+		c.replayLocked(id, rec)
+	}
+	for _, t := range tombs {
+		delete(c.pendingTombs, t.key) // now durable in this segment
+	}
+	return nil
+}
+
+// Delete implements Backend: dead-mark the key's record and queue a durable
+// tombstone for the next segment write.
+func (c *coldTier) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.markDeadLocked(ref)
+	delete(c.index, key)
+	if len(c.pendingTombs) < maxPendingTombs {
+		c.pendingTombs[key] = struct{}{}
+	}
+	return true
+}
+
+// Contains implements Backend.
+func (c *coldTier) Contains(key string) bool {
+	_, ok := c.lookup(key)
+	return ok
+}
+
+// Stats implements Backend.
+func (c *coldTier) Stats() TierStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := TierStats{Entries: len(c.index), Files: len(c.segs)}
+	for _, seg := range c.segs {
+		st.DiskBytes += seg.size
+		st.Bytes += seg.liveBytes
+		st.DeadBytes += seg.dataBytes - seg.liveBytes
+	}
+	return st
+}
+
+// liveRefs snapshots segment seg's live records, oldest offset first.
+func (c *coldTier) liveRefs(segID uint64) []coldRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []coldRef
+	for _, ref := range c.index {
+		if ref.segID == segID {
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rec.off < out[j].rec.off })
+	return out
+}
+
+// sparseSegments returns ids of segments whose live fraction of the record
+// region is below frac (fully-dead segments included), sparsest first.
+func (c *coldTier) sparseSegments(frac float64) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type cand struct {
+		id   uint64
+		live float64
+	}
+	var cands []cand
+	for id, seg := range c.segs {
+		if seg.dataBytes <= 0 {
+			cands = append(cands, cand{id, 0})
+			continue
+		}
+		lf := float64(seg.liveBytes) / float64(seg.dataBytes)
+		if lf < frac {
+			cands = append(cands, cand{id, lf})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].live != cands[j].live {
+			return cands[i].live < cands[j].live
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]uint64, len(cands))
+	for i, cd := range cands {
+		ids[i] = cd.id
+	}
+	return ids
+}
+
+// oldestSegment returns the lowest-id resident segment, ok=false when the
+// tier is empty.
+func (c *coldTier) oldestSegment() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var min uint64
+	found := false
+	for id := range c.segs {
+		if !found || id < min {
+			min, found = id, true
+		}
+	}
+	return min, found
+}
+
+// dropSegment evicts one whole segment: every live record in it is evicted
+// (recomputable on demand), the file removed. Returns freed disk bytes and
+// how many live entries were evicted.
+func (c *coldTier) dropSegment(id uint64) (freed int64, evicted int) {
+	c.mu.Lock()
+	seg, ok := c.segs[id]
+	if !ok {
+		c.mu.Unlock()
+		return 0, 0
+	}
+	for key, ref := range c.index {
+		if ref.segID == id {
+			delete(c.index, key)
+			// No tombstone: the record's only copy dies with the file.
+			delete(c.pendingTombs, key)
+			evicted++
+		}
+	}
+	delete(c.segs, id)
+	freed = seg.size
+	path := c.segPath(id)
+	c.mu.Unlock()
+	c.fsys.Remove(path)
+	return freed, evicted
+}
+
+// rewrite compacts one segment: its live records are re-read, re-packed
+// into a fresh segment via PutBatch, and the old file removed. A fully-dead
+// segment is simply dropped. Records that fail their read or CRC during the
+// rewrite are dead-marked and skipped — the damage stays behind in the old
+// segment's grave, not copied forward.
+//
+// Concurrency: a key deleted (e.g. promoted to hot) between the snapshot
+// and the install is briefly resurrected by the replay — harmless, because
+// values are content-addressed and immutable, and the hot copy shadows it.
+func (c *coldTier) rewrite(id uint64) error {
+	refs := c.liveRefs(id)
+	entries := make([]segEntry, 0, len(refs))
+	for _, ref := range refs {
+		raw, err := c.fsys.ReadRange(c.segPath(id), ref.rec.off, ref.rec.diskSize())
+		if err != nil {
+			continue // unreadable now; leave it dead-marked by the next Get
+		}
+		payload, err := decodeRecord(ref.rec, raw)
+		if err != nil {
+			c.mu.Lock()
+			if cur, ok := c.index[ref.rec.key]; ok && cur == ref {
+				c.markDeadLocked(cur)
+				delete(c.index, ref.rec.key)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		entries = append(entries, segEntry{key: ref.rec.key, value: payload})
+	}
+	if len(entries) > 0 {
+		if err := c.PutBatch(entries); err != nil {
+			return err
+		}
+	}
+	c.dropSegment(id)
+	return nil
+}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// rewriteLiveFrac: a segment whose record region is less than this fraction
+// live is sparse enough to be worth rewriting.
+const rewriteLiveFrac = 0.5
+
+// Compact runs one compaction pass: migrate aged-out hot entries into cold
+// segments, rewrite sparse segments to reclaim dead space, then re-enforce
+// the size budget. It returns how many entries were migrated and how many
+// segments were rewritten. Compact holds no store-wide lock — it batches
+// work tier-side and runs concurrently with serving traffic.
+func (s *Store) Compact() (migrated, rewritten int) {
+	migrated = s.migrate()
+	for _, id := range s.cold.sparseSegments(rewriteLiveFrac) {
+		if err := s.cold.rewrite(id); err != nil {
+			s.count(&s.st.CompactErrors)
+			break
+		}
+		rewritten++
+		s.count(&s.st.SegmentRewrites)
+	}
+	s.enforceBudget("")
+	s.count(&s.st.Compactions)
+	return migrated, rewritten
+}
+
+// migrate packs hot entries that aged past ColdAge (plus the oldest
+// overflow beyond HotMaxBytes) into cold segments, batched near
+// SegmentTargetBytes of entry data per segment, and removes the hot files
+// only after the segment is installed and verified. A failed batch leaves
+// its entries in the hot tier — migration can lose a fault race, never
+// data.
+func (s *Store) migrate() (migrated int) {
+	vics := s.hot.victims(time.Now().Add(-s.opt.ColdAge), s.opt.HotMaxBytes)
+	if len(vics) == 0 {
+		return 0
+	}
+	batch := make([]segEntry, 0, 64)
+	var batchBytes int64
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := s.cold.PutBatch(batch); err != nil {
+			s.count(&s.st.CompactErrors)
+		} else {
+			for _, e := range batch {
+				s.hot.Delete(e.key)
+				migrated++
+			}
+			s.mu.Lock()
+			s.st.Migrated += uint64(len(batch))
+			s.mu.Unlock()
+		}
+		batch = batch[:0]
+		batchBytes = 0
+	}
+	for _, v := range vics {
+		// peek, not get: reading for migration must not refresh the LRU
+		// clock and re-heat the entry.
+		payload, err := s.hot.get(v.key, false)
+		if err != nil {
+			continue // vanished or corrupt (already dropped); nothing to move
+		}
+		batch = append(batch, segEntry{key: v.key, value: payload})
+		batchBytes += int64(len(payload))
+		if batchBytes >= s.opt.SegmentTargetBytes {
+			flush()
+		}
+	}
+	flush()
+	return migrated
+}
+
+// StartCompactor runs Compact about every interval (jittered ±25% so N
+// daemons sharing a filesystem don't compact in lockstep) on a background
+// goroutine until Close. A second call replaces the previous compactor.
+func (s *Store) StartCompactor(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.mu.Lock()
+	prevStop, prevDone := s.compactStop, s.compactDone
+	s.compactStop, s.compactDone = stop, done
+	s.mu.Unlock()
+	if prevStop != nil {
+		close(prevStop)
+		<-prevDone
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTimer(jitter(interval))
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Compact()
+				t.Reset(jitter(interval))
+			}
+		}
+	}()
+}
+
+// jitter spreads a maintenance interval uniformly over [0.75d, 1.25d]:
+// enough spread that a fleet of daemons started together (or sharing one
+// filesystem) desynchronizes within a few periods, while the mean period
+// stays d. Unlike the simulation path, maintenance timing is free to be
+// nondeterministic.
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Microsecond {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(int64(d) - half/2 + rand.Int64N(half+1))
+}

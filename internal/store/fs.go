@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"io"
 	"io/fs"
 	"os"
 	"time"
@@ -9,39 +10,64 @@ import (
 	"netcache/internal/faults"
 )
 
-// FS is the store's filesystem seam: every per-entry file operation on the
-// hot path goes through it, so tests and chaos runs can substitute a
-// fault-injecting implementation (NewFaultFS) without touching the store
-// logic. Directory-level operations (MkdirAll, ReadDir) stay on the os
-// package directly — they run at Open/evict/scrub time and are not fault
-// sites in the failure model.
+// FS is the store's filesystem seam: every per-entry and per-segment file
+// operation on the hot path goes through it, so tests and chaos runs can
+// substitute a fault-injecting implementation (NewFaultFS) without touching
+// the store logic. Directory-level operations (MkdirAll, ReadDir) stay on
+// the os package directly — they run at Open/evict/scrub time and are not
+// fault sites in the failure model.
 type FS interface {
-	// ReadFile reads an entry file whole.
+	// ReadFile reads an entry or segment file whole.
 	ReadFile(name string) ([]byte, error)
+	// ReadRange reads n bytes at offset off of a segment file — the cold
+	// tier's record and footer random-access path.
+	ReadRange(name string, off, n int64) ([]byte, error)
 	// WriteTemp stages data in a fresh temp file in dir (name pattern
 	// tempPattern) and returns its path. It is the write half of the
-	// store's write-then-rename protocol.
+	// store's write-then-rename protocol for hot entries.
 	WriteTemp(dir string, data []byte) (string, error)
-	// Rename atomically installs a staged temp file as an entry.
+	// WriteSegment stages a whole segment image in a fresh temp file in dir
+	// (name pattern segTempPattern) and returns its path.
+	WriteSegment(dir string, data []byte) (string, error)
+	// Rename atomically installs a staged temp file as an entry or segment.
 	Rename(oldpath, newpath string) error
-	// Remove deletes an entry or temp file.
+	// Remove deletes an entry, segment, or temp file.
 	Remove(name string) error
-	// Stat stats an entry file.
+	// Stat stats an entry or segment file.
 	Stat(name string) (fs.FileInfo, error)
 	// Chtimes refreshes an entry's mtime (the LRU clock).
 	Chtimes(name string, atime, mtime time.Time) error
 }
 
-// tempPattern names staged entries; Open reaps stale leftovers matching it.
-const tempPattern = "put-*"
+// tempPattern names staged hot entries; Open reaps stale leftovers
+// matching it. segTempPattern does the same for staged segments.
+const (
+	tempPattern    = "put-*"
+	segTempPattern = "seg-*.tmp"
+)
 
 // osFS is the production FS: plain os calls.
 type osFS struct{}
 
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 
-func (osFS) WriteTemp(dir string, data []byte) (string, error) {
-	tmp, err := os.CreateTemp(dir, tempPattern)
+func (osFS) ReadRange(name string, off, n int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return nil, err
+	} else if err == io.EOF {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf, nil
+}
+
+func writeTempPattern(dir, pattern string, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, pattern)
 	if err != nil {
 		return "", err
 	}
@@ -55,6 +81,14 @@ func (osFS) WriteTemp(dir string, data []byte) (string, error) {
 		return "", err
 	}
 	return tmp.Name(), nil
+}
+
+func (osFS) WriteTemp(dir string, data []byte) (string, error) {
+	return writeTempPattern(dir, tempPattern, data)
+}
+
+func (osFS) WriteSegment(dir string, data []byte) (string, error) {
+	return writeTempPattern(dir, segTempPattern, data)
 }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
@@ -73,8 +107,12 @@ var ErrInjected = errors.New("injected fault")
 // faultFS wraps an FS with deterministic fault injection driven by a
 // faults.Injector: read errors and single-bit read corruption
 // (faults.StoreRead / faults.StoreCorrupt), write errors and silent short
-// writes (faults.StoreWrite / faults.StoreShortWrite), and rename failures
-// (faults.StoreRename). A nil injector makes it a transparent passthrough.
+// writes (faults.StoreWrite / faults.StoreShortWrite), rename failures
+// (faults.StoreRename), and the segment-level sites — failed or silently
+// torn segment writes (faults.SegmentWrite / faults.SegmentTorn) and
+// segment read errors or bit flips, which corrupt record data and footer
+// index bytes alike (faults.SegmentRead / faults.SegmentCorrupt). A nil
+// injector makes it a transparent passthrough.
 type faultFS struct {
 	inner FS
 	inj   *faults.Injector
@@ -100,6 +138,22 @@ func (f faultFS) ReadFile(name string) ([]byte, error) {
 	return b, nil
 }
 
+func (f faultFS) ReadRange(name string, off, n int64) ([]byte, error) {
+	if f.inj.Fire(faults.SegmentRead) {
+		return nil, injectedErr("readrange", name)
+	}
+	b, err := f.inner.ReadRange(name, off, n)
+	if err != nil {
+		return b, err
+	}
+	if fired, aux := f.inj.Draw(faults.SegmentCorrupt); fired && len(b) > 0 {
+		mut := append([]byte(nil), b...)
+		mut[aux%uint64(len(mut))] ^= 1 << (aux >> 32 % 8)
+		return mut, nil
+	}
+	return b, nil
+}
+
 func (f faultFS) WriteTemp(dir string, data []byte) (string, error) {
 	if f.inj.Fire(faults.StoreWrite) {
 		return "", injectedErr("write", dir)
@@ -111,6 +165,19 @@ func (f faultFS) WriteTemp(dir string, data []byte) (string, error) {
 		data = data[:aux%uint64(len(data))]
 	}
 	return f.inner.WriteTemp(dir, data)
+}
+
+func (f faultFS) WriteSegment(dir string, data []byte) (string, error) {
+	if f.inj.Fire(faults.SegmentWrite) {
+		return "", injectedErr("segwrite", dir)
+	}
+	if fired, aux := f.inj.Draw(faults.SegmentTorn); fired && len(data) > 0 {
+		// A torn segment write: the tail — index and trailer included —
+		// silently never lands, exactly what a crash mid-compaction leaves.
+		// Post-write verification or open-time salvage must cope.
+		data = data[:aux%uint64(len(data))]
+	}
+	return f.inner.WriteSegment(dir, data)
 }
 
 func (f faultFS) Rename(oldpath, newpath string) error {

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// magic heads every hot-tier entry file; the trailing byte versions the
+// layout. This is the original one-file-per-key format, which is also why
+// pre-engine stores open transparently: their directory IS a hot tier.
+var magic = []byte("NCRS\x01")
+
+// headerSize = magic + 8-byte big-endian payload length + 32-byte SHA-256.
+const headerSize = 5 + 8 + sha256.Size
+
+const suffix = ".res"
+
+// hotTier is the engine's recency tier: one checksummed file per key,
+// written via temp-file-then-rename, mtime doubling as the LRU clock. It is
+// byte-compatible with the pre-engine store layout.
+type hotTier struct {
+	dir  string
+	fsys FS
+
+	mu    sync.Mutex
+	size  int64
+	count int
+}
+
+func (h *hotTier) path(key string) string { return filepath.Join(h.dir, key+suffix) }
+
+// scan counts resident entries and reaps stale put-* temp files (crash
+// leftovers older than tempMaxAge). Temp files and subdirectories
+// (quarantine/, cold/) are never counted: the LRU budget tracks only live
+// entry files.
+func (h *hotTier) scan() (reaped int) {
+	ents, err := os.ReadDir(h.dir)
+	if err != nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), suffix) {
+			if info, err := e.Info(); err == nil {
+				h.size += info.Size()
+				h.count++
+			}
+			continue
+		}
+		// A put-* temp file is a writer that died between write and rename.
+		// It will never be renamed, counted, or evicted — reap it once it is
+		// old enough that it cannot belong to a live Put.
+		if ok, _ := filepath.Match(tempPattern, e.Name()); ok {
+			info, err := e.Info()
+			if err != nil || time.Since(info.ModTime()) < tempMaxAge {
+				continue
+			}
+			if os.Remove(filepath.Join(h.dir, e.Name())) == nil {
+				reaped++
+			}
+		}
+	}
+	return reaped
+}
+
+// get returns the entry's payload. touch refreshes the entry's mtime (the
+// LRU clock) — the serving path touches, compaction's peek does not. A
+// corrupt entry is deleted (so it cannot shadow the recompute) and reported
+// as ErrCorrupt; an absent or unreadable one as ErrNotFound wrapping the
+// cause.
+func (h *hotTier) get(key string, touch bool) ([]byte, error) {
+	b, err := h.fsys.ReadFile(h.path(key))
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	payload, ok := decode(b)
+	if !ok {
+		h.mu.Lock()
+		h.dropLocked(key)
+		h.mu.Unlock()
+		return nil, ErrCorrupt
+	}
+	if touch {
+		now := time.Now()
+		h.mu.Lock()
+		// Refresh the LRU clock under mu so the mtime write is serialized
+		// with put's rename and evict's scan.
+		_ = h.fsys.Chtimes(h.path(key), now, now)
+		h.mu.Unlock()
+	}
+	return payload, nil
+}
+
+// Get implements Backend.
+func (h *hotTier) Get(key string) ([]byte, error) { return h.get(key, true) }
+
+// put stores value under key atomically: staged in a temp file and renamed
+// into place, so readers (and crashes) observe either nothing or the
+// complete checksummed entry.
+func (h *hotTier) put(key string, value []byte) error {
+	enc := encode(value)
+	tmp, err := h.fsys.WriteTemp(h.dir, enc)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if prev, err := h.fsys.Stat(h.path(key)); err == nil {
+		h.size -= prev.Size()
+		h.count--
+	}
+	if err := h.fsys.Rename(tmp, h.path(key)); err != nil {
+		// The previous entry may or may not still exist; restat so the
+		// accounting matches whatever is actually on disk.
+		if prev, serr := h.fsys.Stat(h.path(key)); serr == nil {
+			h.size += prev.Size()
+			h.count++
+		}
+		h.fsys.Remove(tmp)
+		return err
+	}
+	// The temp file may have landed short (crash or injected short write);
+	// account what is on disk, not what we asked for. Reads catch the
+	// corruption via the checksum header.
+	n := int64(len(enc))
+	if info, err := h.fsys.Stat(h.path(key)); err == nil {
+		n = info.Size()
+	}
+	h.size += n
+	h.count++
+	return nil
+}
+
+// PutBatch implements Backend: per-key files, one put per entry.
+func (h *hotTier) PutBatch(entries []segEntry) error {
+	for _, e := range entries {
+		if e.tomb {
+			h.Delete(e.key)
+			continue
+		}
+		if err := h.put(e.key, e.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete implements Backend, reporting whether an entry was removed.
+func (h *hotTier) Delete(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropLocked(key)
+}
+
+// dropLocked removes key's entry file with accounting. It re-stats under mu
+// — never trusting sizes observed outside the lock — so a concurrent put
+// that replaced the file between a read and now cannot make size/count
+// drift.
+func (h *hotTier) dropLocked(key string) bool {
+	path := h.path(key)
+	info, err := h.fsys.Stat(path)
+	if err != nil {
+		return false // already removed (or replaced and removed) by someone else
+	}
+	if h.fsys.Remove(path) != nil {
+		return false
+	}
+	h.size -= info.Size()
+	h.count--
+	return true
+}
+
+// Contains implements Backend.
+func (h *hotTier) Contains(key string) bool {
+	_, err := h.fsys.Stat(h.path(key))
+	return err == nil
+}
+
+// Stats implements Backend.
+func (h *hotTier) Stats() TierStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return TierStats{Entries: h.count, Bytes: h.size, DiskBytes: h.size, Files: h.count}
+}
+
+// hotEntry is one resident entry observed by a directory scan.
+type hotEntry struct {
+	key   string
+	size  int64
+	mtime time.Time
+}
+
+// scanLRU lists resident entries oldest-mtime first.
+func (h *hotTier) scanLRU() []hotEntry {
+	ents, err := os.ReadDir(h.dir)
+	if err != nil {
+		return nil
+	}
+	var all []hotEntry
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), suffix)
+		if !validKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, hotEntry{key, info.Size(), info.ModTime()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].mtime.Equal(all[j].mtime) {
+			return all[i].mtime.Before(all[j].mtime)
+		}
+		return all[i].key < all[j].key
+	})
+	return all
+}
+
+// evict removes oldest-mtime entries until the tier's resident size is at
+// most target. keep (the key just written, if any) is never evicted.
+func (h *hotTier) evict(target int64, keep string) (evicted int) {
+	h.mu.Lock()
+	over := h.size > target
+	h.mu.Unlock()
+	if !over {
+		return 0
+	}
+	for _, e := range h.scanLRU() {
+		h.mu.Lock()
+		if h.size <= target {
+			h.mu.Unlock()
+			return evicted
+		}
+		if e.key != keep && h.dropLocked(e.key) {
+			evicted++
+		}
+		h.mu.Unlock()
+	}
+	return evicted
+}
+
+// victims picks migration candidates for the compactor, oldest first: every
+// entry whose mtime predates cutoff, plus — when maxResident > 0 — enough
+// additional oldest entries to bring the tier under maxResident bytes.
+func (h *hotTier) victims(cutoff time.Time, maxResident int64) []hotEntry {
+	all := h.scanLRU()
+	var resident int64
+	for _, e := range all {
+		resident += e.size
+	}
+	var out []hotEntry
+	for _, e := range all {
+		overAge := e.mtime.Before(cutoff)
+		overBytes := maxResident > 0 && resident > maxResident
+		if !overAge && !overBytes {
+			break // entries are oldest-first; the rest are younger and within budget
+		}
+		out = append(out, e)
+		resident -= e.size
+	}
+	return out
+}
+
+// quarantine moves key's entry into quarantineDir, preserving the bytes for
+// forensics. The caller has already determined the entry is corrupt; the
+// move is re-verified under mu so a concurrent rewrite cannot get a fresh
+// valid entry quarantined.
+func (h *hotTier) quarantine(key string) bool {
+	path := h.path(key)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, err := h.fsys.ReadFile(path)
+	if err != nil {
+		return false // vanished (evicted or dropped) — nothing to quarantine
+	}
+	if _, ok := decode(b); ok {
+		return false // rewritten healthy while we were looking
+	}
+	info, err := h.fsys.Stat(path)
+	if err != nil {
+		return false
+	}
+	qdir := filepath.Join(h.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return false
+	}
+	if err := h.fsys.Rename(path, filepath.Join(qdir, key+suffix)); err != nil {
+		return false
+	}
+	h.size -= info.Size()
+	h.count--
+	return true
+}
+
+func encode(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, magic...)
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
+	out = append(out, lenb[:]...)
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// decode validates the header and checksum; any mismatch returns ok=false.
+func decode(b []byte) ([]byte, bool) {
+	if len(b) < headerSize || !bytes.Equal(b[:len(magic)], magic) {
+		return nil, false
+	}
+	n := binary.BigEndian.Uint64(b[len(magic) : len(magic)+8])
+	payload := b[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	var want [sha256.Size]byte
+	copy(want[:], b[len(magic)+8:headerSize])
+	if sha256.Sum256(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}

@@ -1,36 +1,25 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"time"
 )
 
-// Scrub revalidates the checksum of every resident entry and quarantines
-// corrupt files: a bad entry is moved into the quarantine/ subdirectory
-// (preserving the bytes for forensics) instead of waiting for a Get to trip
-// over it. It returns how many entries were checked and how many were
-// quarantined. Scrub holds the store lock only per-entry, so it can run
-// concurrently with serving traffic.
+// Scrub revalidates checksums in both tiers and quarantines what fails:
+// a corrupt hot entry is moved whole into the quarantine/ subdirectory
+// (preserving the bytes for forensics) instead of waiting for a Get to
+// trip over it; a corrupt cold record gets only its damaged segment region
+// copied into quarantine/ and dead-marked — the segment's healthy records
+// stay live, and the dead space is reclaimed by the next compaction. It
+// returns how many entries were checked and how many were quarantined.
+// Scrub holds locks only per-entry, so it runs concurrently with serving
+// traffic.
 func (s *Store) Scrub() (checked, quarantined int) {
-	ents, err := os.ReadDir(s.dir)
-	if err != nil {
-		return 0, 0
-	}
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
-			continue
-		}
-		key := strings.TrimSuffix(e.Name(), suffix)
-		if !validKey(key) {
-			continue
-		}
-		checked++
-		if s.scrubOne(key) {
-			quarantined++
-		}
-	}
+	hc, hq := s.scrubHot()
+	cc, cq := s.scrubCold()
+	checked, quarantined = hc+cc, hq+cq
 	s.mu.Lock()
 	s.st.Scrubs++
 	s.st.Scrubbed += uint64(checked)
@@ -39,58 +28,101 @@ func (s *Store) Scrub() (checked, quarantined int) {
 	return checked, quarantined
 }
 
-// scrubOne validates one entry, quarantining it if corrupt. The first read
-// runs unlocked; a failure is re-checked under mu (serialized with Put's
-// rename) so a concurrent rewrite racing the read cannot get a fresh valid
-// entry quarantined.
-func (s *Store) scrubOne(key string) bool {
-	path := s.path(key)
-	b, err := s.fsys.ReadFile(path)
+func (s *Store) scrubHot() (checked, quarantined int) {
+	for _, e := range s.hot.scanLRU() {
+		checked++
+		if s.scrubHotOne(e.key) {
+			quarantined++
+		}
+	}
+	return checked, quarantined
+}
+
+// scrubHotOne validates one hot entry, quarantining it if corrupt. The
+// first read runs unlocked; a failure is re-checked under the tier lock
+// (serialized with put's rename) so a concurrent rewrite racing the read
+// cannot get a fresh valid entry quarantined.
+func (s *Store) scrubHotOne(key string) bool {
+	b, err := s.hot.fsys.ReadFile(s.hot.path(key))
 	if err == nil {
 		if _, ok := decode(b); ok {
 			return false
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, err = s.fsys.ReadFile(path)
-	if err != nil {
-		return false // vanished (evicted or dropped) — nothing to quarantine
+	return s.hot.quarantine(key)
+}
+
+// scrubCold CRC-checks every live record of every segment. A record that
+// fails has exactly its byte range copied to quarantine/ and is
+// dead-marked; injected or transient read errors are skipped, not
+// quarantined (the bytes on disk may be fine).
+func (s *Store) scrubCold() (checked, quarantined int) {
+	s.cold.mu.Lock()
+	ids := make([]uint64, 0, len(s.cold.segs))
+	for id := range s.cold.segs {
+		ids = append(ids, id)
 	}
-	if _, ok := decode(b); ok {
-		return false // rewritten healthy while we were looking
+	s.cold.mu.Unlock()
+	for _, id := range ids {
+		for _, ref := range s.cold.liveRefs(id) {
+			checked++
+			if s.scrubColdOne(ref) {
+				quarantined++
+			}
+		}
 	}
-	info, err := s.fsys.Stat(path)
+	return checked, quarantined
+}
+
+func (s *Store) scrubColdOne(ref coldRef) bool {
+	path := s.cold.segPath(ref.segID)
+	raw, err := s.cold.fsys.ReadRange(path, ref.rec.off, ref.rec.diskSize())
 	if err != nil {
+		return false // unreadable now ≠ corrupt on disk; leave it for Get to adjudicate
+	}
+	if _, err := decodeRecord(ref.rec, raw); err == nil {
 		return false
 	}
+	s.cold.mu.Lock()
+	cur, ok := s.cold.index[ref.rec.key]
+	if !ok || cur != ref {
+		s.cold.mu.Unlock()
+		return false // re-homed by a rewrite while we were looking
+	}
+	s.cold.markDeadLocked(cur)
+	delete(s.cold.index, ref.rec.key)
+	s.cold.mu.Unlock()
+	// Quarantine only the damaged region: segment files are shared by many
+	// keys, so the healthy neighbors must stay serveable in place.
 	qdir := filepath.Join(s.dir, quarantineDir)
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
-		return false
+		return true
 	}
-	if err := s.fsys.Rename(path, filepath.Join(qdir, key+suffix)); err != nil {
-		return false
-	}
-	s.size -= info.Size()
-	s.count--
+	name := fmt.Sprintf("%s@%d.bad", filepath.Base(path), ref.rec.off)
+	_ = os.WriteFile(filepath.Join(qdir, name), raw, 0o644)
 	return true
 }
 
-// StartScrubber runs Scrub every interval on a background goroutine until
+// StartScrubber runs Scrub about every interval (jittered ±25%, like the
+// compactor, so fleets desynchronize) on a background goroutine until
 // Close. A second call replaces the previous scrubber.
 func (s *Store) StartScrubber(interval time.Duration) {
 	if interval <= 0 {
 		return
 	}
-	s.Close() // stop any previous scrubber
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	s.mu.Lock()
+	prevStop, prevDone := s.scrubStop, s.scrubDone
 	s.scrubStop, s.scrubDone = stop, done
 	s.mu.Unlock()
+	if prevStop != nil {
+		close(prevStop)
+		<-prevDone
+	}
 	go func() {
 		defer close(done)
-		t := time.NewTicker(interval)
+		t := time.NewTimer(jitter(interval))
 		defer t.Stop()
 		for {
 			select {
@@ -98,6 +130,7 @@ func (s *Store) StartScrubber(interval time.Duration) {
 				return
 			case <-t.C:
 				s.Scrub()
+				t.Reset(jitter(interval))
 			}
 		}
 	}()

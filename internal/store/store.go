@@ -1,144 +1,227 @@
-// Package store is a content-addressed, on-disk result store for the
-// netcached service: key = hex SHA-256 of the canonical JSON encoding of a
-// RunSpec, value = the serialized Result.
+// Package store is a content-addressed, tiered, on-disk result store for
+// the netcached service: key = hex SHA-256 of the canonical JSON encoding
+// of a RunSpec, value = the serialized Result.
 //
 // Because every simulation is bit-deterministic, the store never needs
 // invalidation — a key's value can only ever be one byte string. The store
-// therefore optimizes for crash-safety and bounded size instead: entries are
-// written to a temp file and atomically renamed into place, reads validate a
-// length+checksum header and treat any corruption (truncation, bit flips,
-// garbage) as a miss to be recomputed, and a size bound is enforced by
-// evicting least-recently-used entries (file mtime, refreshed on hit).
+// therefore optimizes for crash-safety and bounded size instead, as a
+// two-tier engine behind the Backend seam:
 //
-// Crash recovery: Open reaps stale put-* temp files left by writers that
-// died between write and rename, and a background scrubber (StartScrubber)
-// revalidates entry checksums, moving corrupt files into a quarantine/
-// subdirectory before a read ever sees them. Every per-entry file operation
-// goes through the FS seam, so chaos tests drive the same code through
-// deterministic fault injection (NewFaultFS).
+//   - The hot tier keeps the original one-file-per-key layout for recent
+//     and active results: entries are written to a temp file and atomically
+//     renamed, reads validate a length+checksum header, and the file mtime
+//     is the LRU clock. A pre-engine store directory IS a hot tier, so old
+//     stores open and migrate transparently.
+//   - The cold tier packs aged-out entries into append-only, per-record
+//     compressed, CRC-checksummed segment files under cold/, located by an
+//     in-memory index rebuilt on open from segment footers (or salvaged by
+//     a forward scan when a footer is torn or corrupt).
+//
+// A background compactor (StartCompactor) migrates cold keys into
+// segments, rewrites sparse segments, and makes deletions durable via
+// tombstone records; a background scrubber (StartScrubber) revalidates
+// checksums in both tiers, quarantining corrupt hot entries whole and only
+// the damaged region of a damaged segment. The LRU budget spans both
+// tiers: over budget, dead segment space is compacted away first, then the
+// oldest segments are evicted (by compaction, not per-key unlink), then
+// hot entries go in mtime order. Any read failure in either tier is a miss
+// to be recomputed — corruption is never served and never panics.
+//
+// Crash recovery on open: stale put-* and seg-*.tmp temps are reaped,
+// segment footers re-validated (salvaging what a torn write left valid),
+// and keys resident in both tiers collapse to the hot copy. Every per-entry
+// and per-segment file operation goes through the FS seam, so chaos tests
+// drive the same code through deterministic fault injection (NewFaultFS).
 package store
 
 import (
-	"bytes"
 	"crypto/sha256"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 	"time"
 )
 
-// magic heads every entry file; the trailing byte versions the layout.
-var magic = []byte("NCRS\x01")
-
-// headerSize = magic + 8-byte big-endian payload length + 32-byte SHA-256.
-const headerSize = 5 + 8 + sha256.Size
-
-const suffix = ".res"
-
 // quarantineDir is the subdirectory corrupt entries are moved into by the
-// scrubber, preserving the evidence instead of deleting it.
+// scrubber, preserving the evidence instead of deleting it. Its contents
+// never count against the LRU budget.
 const quarantineDir = "quarantine"
 
-// tempMaxAge is how old a put-* temp file must be before Open treats it as
-// a crash leftover rather than a concurrent writer's staging file.
+// tempMaxAge is how old a put-* or seg-*.tmp temp file must be before Open
+// treats it as a crash leftover rather than a concurrent writer's staging
+// file.
 const tempMaxAge = time.Hour
 
 // Stats are the store's monotonic counters plus current occupancy.
 type Stats struct {
 	Hits        uint64
+	HotHits     uint64 // subset of Hits served from the hot tier
+	ColdHits    uint64 // subset of Hits served from cold segments
 	Misses      uint64 // absent, corrupt, or unreadable entries
-	Corrupt     uint64 // subset of Misses that failed header/checksum validation
+	Corrupt     uint64 // subset of Misses that failed validation in either tier
 	Puts        uint64
 	PutErrors   uint64 // Put calls that failed (write/rename errors)
-	Evictions   uint64
-	ReapedTemps uint64 // stale put-* temp files deleted by Open
+	Evictions   uint64 // entries evicted by the size bound, both tiers
+	Promotions  uint64 // cold hits rewritten into the hot tier
+	ReapedTemps uint64 // stale put-* and seg-*.tmp files deleted by Open
+
 	Scrubs      uint64 // completed scrub passes
-	Scrubbed    uint64 // entries checksum-validated by the scrubber
-	Quarantined uint64 // corrupt entries moved to quarantine/ by the scrubber
-	Entries     int
-	Bytes       int64
+	Scrubbed    uint64 // hot entries + cold records checksum-validated by the scrubber
+	Quarantined uint64 // corrupt entries / segment regions quarantined
+
+	Compactions      uint64 // completed compactor passes
+	Migrated         uint64 // entries migrated hot → cold
+	SegmentRewrites  uint64 // sparse segments rewritten to reclaim dead space
+	SegmentsDropped  uint64 // whole segments evicted by the size bound
+	SalvagedSegments uint64 // segments whose index was rebuilt by scan on open
+	CompactErrors    uint64 // failed migration batches or rewrites
+
+	Entries int   // live entries across both tiers
+	Bytes   int64 // physical bytes on disk across both tiers
+
+	HotEntries    int
+	HotBytes      int64
+	ColdEntries   int
+	ColdBytes     int64 // live record bytes inside segments
+	ColdDeadBytes int64 // dead segment space awaiting compaction
+	Segments      int   // resident segment files
 }
 
-// Store is a size-bounded content-addressed cache directory. It is safe for
-// concurrent use.
+// Options configures OpenOptions beyond the plain Open/OpenFS signatures.
+type Options struct {
+	// MaxBytes bounds the store's total on-disk size across both tiers
+	// (<= 0: unbounded).
+	MaxBytes int64
+
+	// HotMaxBytes bounds the hot tier: beyond it, compaction migrates the
+	// oldest entries into cold segments (<= 0: MaxBytes/4, or unbounded
+	// when MaxBytes is).
+	HotMaxBytes int64
+
+	// ColdAge is how long a hot entry may sit unread before a compaction
+	// pass migrates it to the cold tier (<= 0: 1h).
+	ColdAge time.Duration
+
+	// Compression selects the cold tier's per-record codec: "flate"
+	// (default) or "none".
+	Compression string
+
+	// SegmentTargetBytes is the compactor's per-segment batch target
+	// (<= 0: 4 MiB of uncompressed entry data).
+	SegmentTargetBytes int64
+
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS FS
+}
+
+// Store is a size-bounded, two-tier, content-addressed cache directory. It
+// is safe for concurrent use.
 type Store struct {
-	dir      string
-	maxBytes int64 // <= 0 means unbounded
-	fsys     FS
+	dir  string
+	opt  Options
+	fsys FS
+	hot  *hotTier
+	cold *coldTier
 
-	mu    sync.Mutex
-	size  int64
-	count int
-	st    Stats
+	mu sync.Mutex
+	st Stats // counters only; occupancy is derived from the tiers
 
-	scrubStop chan struct{} // non-nil while a background scrubber runs
-	scrubDone chan struct{}
+	// budgetMu serializes budget enforcement (eviction + reclaim), which
+	// walks directories and rewrites segments — one enforcer at a time.
+	budgetMu sync.Mutex
+
+	scrubStop   chan struct{} // non-nil while a background scrubber runs
+	scrubDone   chan struct{}
+	compactStop chan struct{} // non-nil while a background compactor runs
+	compactDone chan struct{}
 }
 
 // Open creates (if needed) and scans dir. maxBytes <= 0 disables eviction.
-// Stale put-* temp files (crash leftovers older than an hour) are reaped so
-// they cannot accumulate unbounded, uncounted and unevictable.
 func Open(dir string, maxBytes int64) (*Store, error) {
-	return OpenFS(dir, maxBytes, osFS{})
+	return OpenOptions(dir, Options{MaxBytes: maxBytes})
 }
 
 // OpenFS is Open with an explicit filesystem seam — chaos tests pass
 // NewFaultFS to drive the store through deterministic fault injection.
 // A nil fsys means the real filesystem.
 func OpenFS(dir string, maxBytes int64, fsys FS) (*Store, error) {
-	if fsys == nil {
-		fsys = osFS{}
+	return OpenOptions(dir, Options{MaxBytes: maxBytes, FS: fsys})
+}
+
+// OpenOptions opens the tiered engine. Stale temp files (crash leftovers
+// older than an hour) are reaped so they cannot accumulate unbounded,
+// uncounted and unevictable; segment indexes are rebuilt from footers,
+// salvaged by scan when damaged.
+func OpenOptions(dir string, opt Options) (*Store, error) {
+	if opt.FS == nil {
+		opt.FS = osFS{}
+	}
+	if opt.HotMaxBytes <= 0 && opt.MaxBytes > 0 {
+		opt.HotMaxBytes = opt.MaxBytes / 4
+	}
+	if opt.ColdAge <= 0 {
+		opt.ColdAge = time.Hour
+	}
+	if opt.SegmentTargetBytes <= 0 {
+		opt.SegmentTargetBytes = 4 << 20
+	}
+	switch opt.Compression {
+	case "", "flate", "none":
+	default:
+		return nil, fmt.Errorf("store: unknown compression %q (want flate or none)", opt.Compression)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, maxBytes: maxBytes, fsys: fsys}
-	ents, err := os.ReadDir(dir)
-	if err != nil {
+	s := &Store{
+		dir:  dir,
+		opt:  opt,
+		fsys: opt.FS,
+		hot:  &hotTier{dir: dir, fsys: opt.FS},
+		cold: newColdTier(dir, opt.FS, opt.Compression != "none"),
+	}
+	s.st.ReapedTemps += uint64(s.hot.scan())
+	if err := s.cold.open(); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	for _, e := range ents {
-		if e.IsDir() {
-			continue
-		}
-		if strings.HasSuffix(e.Name(), suffix) {
-			if info, err := e.Info(); err == nil {
-				s.size += info.Size()
-				s.count++
-			}
-			continue
-		}
-		// A put-* temp file is a writer that died between write and
-		// rename. It will never be renamed, counted, or evicted — reap it
-		// once it is old enough that it cannot belong to a live Put.
-		if ok, _ := filepath.Match(tempPattern, e.Name()); ok {
-			info, err := e.Info()
-			if err != nil || time.Since(info.ModTime()) < tempMaxAge {
-				continue
-			}
-			if os.Remove(filepath.Join(dir, e.Name())) == nil {
-				s.st.ReapedTemps++
-			}
+	s.st.ReapedTemps += uint64(s.cold.reaped)
+	s.st.SalvagedSegments += uint64(s.cold.salvaged)
+	s.st.Quarantined += uint64(s.cold.quarantined)
+	// A crash between segment install and hot-file deletion leaves keys in
+	// both tiers; the copies are byte-identical (content addressing), so
+	// collapse to the hot one and dead-mark the cold record.
+	s.cold.mu.Lock()
+	var dups []string
+	for key := range s.cold.index {
+		if s.hot.Contains(key) {
+			dups = append(dups, key)
 		}
 	}
-	s.evictLocked("")
+	s.cold.mu.Unlock()
+	for _, key := range dups {
+		s.cold.Delete(key)
+	}
+	s.enforceBudget("")
 	return s, nil
 }
 
-// Close stops the background scrubber, if one was started. The store itself
-// holds no other resources.
+// Close stops the background scrubber and compactor, if started. The store
+// itself holds no other resources.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	stop, done := s.scrubStop, s.scrubDone
+	stops := [][2]chan struct{}{
+		{s.scrubStop, s.scrubDone},
+		{s.compactStop, s.compactDone},
+	}
 	s.scrubStop, s.scrubDone = nil, nil
+	s.compactStop, s.compactDone = nil, nil
 	s.mu.Unlock()
-	if stop != nil {
-		close(stop)
-		<-done
+	for _, sd := range stops {
+		if sd[0] != nil {
+			close(sd[0])
+			<-sd[1]
+		}
 	}
 	return nil
 }
@@ -146,7 +229,9 @@ func (s *Store) Close() error {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-func (s *Store) path(key string) string { return filepath.Join(s.dir, key+suffix) }
+// Hot and Cold expose the tiers as Backends, for tests and tooling.
+func (s *Store) Hot() Backend  { return s.hot }
+func (s *Store) Cold() Backend { return s.cold }
 
 // validKey accepts hex SHA-256 strings only, so keys can never escape dir.
 func validKey(key string) bool {
@@ -162,54 +247,50 @@ func validKey(key string) bool {
 	return true
 }
 
-// Get returns the stored value for key. Any failure — absent file, short
-// file, injected read error, header or checksum mismatch — is a miss: the
-// caller recomputes and Puts, and a corrupt entry is deleted so it cannot
-// shadow the rewrite.
+// Get returns the stored value for key, trying the hot tier first, then
+// cold segments. A cold hit is promoted back into the hot tier (the entry
+// is active again). Any failure — absent, injected read error, header,
+// checksum, or index mismatch — is a miss: the caller recomputes and Puts,
+// and corrupt bytes are dropped or dead-marked so they cannot shadow the
+// rewrite.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		s.miss(false)
 		return nil, false
 	}
-	b, err := s.fsys.ReadFile(s.path(key))
-	if err != nil {
-		s.miss(false)
-		return nil, false
-	}
-	payload, ok := decode(b)
-	if !ok {
+	v, herr := s.hot.get(key, true)
+	if herr == nil {
 		s.mu.Lock()
-		s.st.Misses++
-		s.st.Corrupt++
-		s.dropLocked(key)
+		s.st.Hits++
+		s.st.HotHits++
 		s.mu.Unlock()
-		return nil, false
+		return v, true
 	}
-	now := time.Now()
-	s.mu.Lock()
-	// Refresh the LRU clock under mu so the mtime write is serialized with
-	// Put's rename and evict's scan.
-	_ = s.fsys.Chtimes(s.path(key), now, now)
-	s.st.Hits++
-	s.mu.Unlock()
-	return payload, true
+	v, cerr := s.cold.Get(key)
+	if cerr == nil {
+		s.mu.Lock()
+		s.st.Hits++
+		s.st.ColdHits++
+		s.mu.Unlock()
+		s.promote(key, v)
+		return v, true
+	}
+	s.miss(errors.Is(herr, ErrCorrupt) || errors.Is(cerr, ErrCorrupt))
+	return nil, false
 }
 
-// dropLocked removes key's entry file with accounting. It re-stats under mu
-// — never trusting sizes observed outside the lock — so a concurrent Put
-// that replaced the file between our read and now cannot make size/count
-// drift (the old unlocked path could go negative under exactly that race).
-func (s *Store) dropLocked(key string) {
-	path := s.path(key)
-	info, err := s.fsys.Stat(path)
-	if err != nil {
-		return // already removed (or replaced and removed) by someone else
-	}
-	if s.fsys.Remove(path) != nil {
+// promote rewrites a cold hit into the hot tier and retires the cold
+// record. Promotion failing (full disk, injected fault) is harmless — the
+// value was already served, and the cold record stays live.
+func (s *Store) promote(key string, value []byte) {
+	if err := s.hot.put(key, value); err != nil {
 		return
 	}
-	s.size -= info.Size()
-	s.count--
+	s.cold.Delete(key)
+	s.mu.Lock()
+	s.st.Promotions++
+	s.mu.Unlock()
+	s.enforceBudget(key)
 }
 
 func (s *Store) miss(corrupt bool) {
@@ -221,139 +302,97 @@ func (s *Store) miss(corrupt bool) {
 	s.mu.Unlock()
 }
 
-// Put stores value under key atomically: the entry is staged in a temp file
-// and renamed into place, so readers (and crashes) observe either nothing or
-// the complete checksummed entry. Oversized stores evict LRU entries.
+// Put stores value under key in the hot tier. Oversized stores evict per
+// the cross-tier LRU budget.
 func (s *Store) Put(key string, value []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
 	}
-	enc := encode(value)
-	tmp, err := s.fsys.WriteTemp(s.dir, enc)
-	if err != nil {
-		s.putError()
+	if err := s.hot.put(key, value); err != nil {
+		s.mu.Lock()
+		s.st.PutErrors++
+		s.mu.Unlock()
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, err := s.fsys.Stat(s.path(key)); err == nil {
-		s.size -= prev.Size()
-		s.count--
-	}
-	if err := s.fsys.Rename(tmp, s.path(key)); err != nil {
-		// The previous entry may or may not still exist; restat so the
-		// accounting matches whatever is actually on disk.
-		if prev, serr := s.fsys.Stat(s.path(key)); serr == nil {
-			s.size += prev.Size()
-			s.count++
-		}
-		s.fsys.Remove(tmp)
-		s.st.PutErrors++
-		return fmt.Errorf("store: %w", err)
-	}
-	// The temp file may have landed short (crash or injected short write);
-	// account what is on disk, not what we asked for. Reads catch the
-	// corruption via the checksum header.
-	n := int64(len(enc))
-	if info, err := s.fsys.Stat(s.path(key)); err == nil {
-		n = info.Size()
-	}
-	s.size += n
-	s.count++
 	s.st.Puts++
-	s.evictLocked(key)
+	s.mu.Unlock()
+	// Keep the one-live-copy invariant: the fresh hot entry supersedes any
+	// cold record (same bytes by construction).
+	s.cold.Delete(key)
+	s.enforceBudget(key)
 	return nil
 }
 
-func (s *Store) putError() {
+// enforceBudget brings the store's total on-disk size under MaxBytes:
+// first reclaim dead segment space (rewrite sparse segments), then evict
+// the oldest cold segments whole — compaction, not per-key unlink — and
+// finally evict hot entries in LRU (mtime) order. keep, the key just
+// written, is never evicted from the hot tier.
+func (s *Store) enforceBudget(keep string) {
+	max := s.opt.MaxBytes
+	if max <= 0 {
+		return
+	}
+	s.budgetMu.Lock()
+	defer s.budgetMu.Unlock()
+
+	total := func() int64 { return s.hot.Stats().DiskBytes + s.cold.Stats().DiskBytes }
+	if total() <= max {
+		return
+	}
+	// 1. Reclaim: rewriting a sparse segment frees its dead space without
+	// losing any live entry.
+	for _, id := range s.cold.sparseSegments(rewriteLiveFrac) {
+		if total() <= max {
+			return
+		}
+		if err := s.cold.rewrite(id); err != nil {
+			s.count(&s.st.CompactErrors)
+			break
+		}
+		s.count(&s.st.SegmentRewrites)
+	}
+	// 2. Evict cold: segments are time-ordered, so the oldest segment holds
+	// the least-recently-useful entries (anything hot was promoted out).
+	for total() > max {
+		id, ok := s.cold.oldestSegment()
+		if !ok {
+			break
+		}
+		_, evicted := s.cold.dropSegment(id)
+		s.mu.Lock()
+		s.st.SegmentsDropped++
+		s.st.Evictions += uint64(evicted)
+		s.mu.Unlock()
+	}
+	// 3. Evict hot LRU down to whatever budget the cold tier leaves.
+	coldDisk := s.cold.Stats().DiskBytes
+	if evicted := s.hot.evict(max-coldDisk, keep); evicted > 0 {
+		s.mu.Lock()
+		s.st.Evictions += uint64(evicted)
+		s.mu.Unlock()
+	}
+}
+
+// count bumps one counter under mu.
+func (s *Store) count(f *uint64) {
 	s.mu.Lock()
-	s.st.PutErrors++
+	*f++
 	s.mu.Unlock()
 }
 
-// evictLocked removes oldest-mtime entries until the store fits maxBytes.
-// keep (the key just written, if any) is never evicted.
-func (s *Store) evictLocked(keep string) {
-	if s.maxBytes <= 0 || s.size <= s.maxBytes {
-		return
-	}
-	type entry struct {
-		name  string
-		size  int64
-		mtime time.Time
-	}
-	ents, err := os.ReadDir(s.dir)
-	if err != nil {
-		return
-	}
-	var all []entry
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), suffix) {
-			continue
-		}
-		info, err := e.Info()
-		if err != nil {
-			continue
-		}
-		all = append(all, entry{e.Name(), info.Size(), info.ModTime()})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if !all[i].mtime.Equal(all[j].mtime) {
-			return all[i].mtime.Before(all[j].mtime)
-		}
-		return all[i].name < all[j].name
-	})
-	for _, e := range all {
-		if s.size <= s.maxBytes {
-			return
-		}
-		if keep != "" && e.name == keep+suffix {
-			continue
-		}
-		if err := s.fsys.Remove(filepath.Join(s.dir, e.name)); err != nil {
-			continue
-		}
-		s.size -= e.size
-		s.count--
-		s.st.Evictions++
-	}
-}
-
-// Stats snapshots the counters.
+// Stats snapshots the counters and occupancy of both tiers.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.st
-	st.Entries = s.count
-	st.Bytes = s.size
+	s.mu.Unlock()
+	h := s.hot.Stats()
+	c := s.cold.Stats()
+	st.HotEntries, st.HotBytes = h.Entries, h.DiskBytes
+	st.ColdEntries, st.ColdBytes = c.Entries, c.Bytes
+	st.ColdDeadBytes, st.Segments = c.DeadBytes, c.Files
+	st.Entries = h.Entries + c.Entries
+	st.Bytes = h.DiskBytes + c.DiskBytes
 	return st
-}
-
-func encode(payload []byte) []byte {
-	out := make([]byte, 0, headerSize+len(payload))
-	out = append(out, magic...)
-	var lenb [8]byte
-	binary.BigEndian.PutUint64(lenb[:], uint64(len(payload)))
-	out = append(out, lenb[:]...)
-	sum := sha256.Sum256(payload)
-	out = append(out, sum[:]...)
-	return append(out, payload...)
-}
-
-// decode validates the header and checksum; any mismatch returns ok=false.
-func decode(b []byte) ([]byte, bool) {
-	if len(b) < headerSize || !bytes.Equal(b[:len(magic)], magic) {
-		return nil, false
-	}
-	n := binary.BigEndian.Uint64(b[len(magic) : len(magic)+8])
-	payload := b[headerSize:]
-	if uint64(len(payload)) != n {
-		return nil, false
-	}
-	var want [sha256.Size]byte
-	copy(want[:], b[len(magic)+8:headerSize])
-	if sha256.Sum256(payload) != want {
-		return nil, false
-	}
-	return payload, true
 }

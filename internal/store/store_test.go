@@ -302,7 +302,9 @@ func TestDecodeBoundaries(t *testing.T) {
 	}
 }
 
-// rescan totals the entry files actually on disk, for accounting checks.
+// rescan totals the hot-tier entry files actually on disk, for accounting
+// checks. Temp files, quarantine/, and cold/ are excluded — exactly what
+// the LRU budget must exclude.
 func rescan(t *testing.T, dir string) (size int64, count int) {
 	t.Helper()
 	ents, err := os.ReadDir(dir)
@@ -323,18 +325,48 @@ func rescan(t *testing.T, dir string) (size int64, count int) {
 	return size, count
 }
 
+// rescanCold totals the installed segment files on disk.
+func rescanCold(t *testing.T, dir string) (size int64, count int) {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, coldDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0
+		}
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), segSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		size += info.Size()
+		count++
+	}
+	return size, count
+}
+
+// checkAccounting asserts both tiers' accounting matches a fresh rescan of
+// the directory: hot bytes/entries against the per-key files, cold disk
+// bytes/segment count against the segment files.
 func checkAccounting(t *testing.T, s *Store) {
 	t.Helper()
-	s.mu.Lock()
-	size, count := s.size, s.count
-	s.mu.Unlock()
-	if size < 0 || count < 0 {
-		t.Fatalf("accounting went negative: size=%d count=%d", size, count)
+	st := s.Stats()
+	if st.HotBytes < 0 || st.HotEntries < 0 || st.ColdBytes < 0 {
+		t.Fatalf("accounting went negative: %+v", st)
 	}
-	diskSize, diskCount := rescan(t, s.Dir())
-	if size != diskSize || count != diskCount {
-		t.Fatalf("accounting drifted: store says size=%d count=%d, disk has size=%d count=%d",
-			size, count, diskSize, diskCount)
+	hotSize, hotCount := rescan(t, s.Dir())
+	if st.HotBytes != hotSize || st.HotEntries != hotCount {
+		t.Fatalf("hot accounting drifted: store says size=%d count=%d, disk has size=%d count=%d",
+			st.HotBytes, st.HotEntries, hotSize, hotCount)
+	}
+	coldSize, segCount := rescanCold(t, s.Dir())
+	if coldDisk := st.Bytes - st.HotBytes; coldDisk != coldSize || st.Segments != segCount {
+		t.Fatalf("cold accounting drifted: store says disk=%d segments=%d, disk has size=%d segments=%d",
+			coldDisk, st.Segments, coldSize, segCount)
 	}
 }
 

@@ -11,16 +11,28 @@
 //	          [-hot-max-bytes 268435456] [-cold-age 1h] \
 //	          [-compact-interval 10m] [-cold-compression flate] \
 //	          [-scrub-interval 1h] [-pprof localhost:6060] \
-//	          [-chaos "seed=42,store.write=0.1,http.error=0.05"]
+//	          [-chaos "seed=42,store.write=0.1,http.error=0.05"] \
+//	          [-peers http://a:8100,http://b:8100 -self http://a:8100] \
+//	          [-vnodes 64] [-replication 1] [-upstream http://hub:8100] \
+//	          [-probe-interval 2s] [-repair-interval 5s]
 //
 // Endpoints:
 //
-//	POST /v1/run     one RunSpec -> Result JSON
-//	POST /v1/batch   {"specs":[...]} -> {"results":[...]} in spec order
-//	GET  /v1/apps    the Table 4 application list
-//	GET  /v1/stats   per-tier store occupancy and maintenance counters
-//	GET  /healthz    liveness (503 while draining)
-//	GET  /metrics    Prometheus text format
+//	POST /v1/run          one RunSpec -> Result JSON
+//	POST /v1/batch        {"specs":[...]} -> {"results":[...]} in spec order
+//	GET  /v1/apps         the Table 4 application list
+//	GET  /v1/stats        per-tier store occupancy and maintenance counters
+//	GET  /v1/result/{key} store-only lookup (PUT: hinted-handoff push target)
+//	GET  /v1/cluster      ring parameters, per-peer health, handoff backlog
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         Prometheus text format
+//
+// Clustering: -peers turns N daemons into one logical store. Every node
+// gets the same -peers list plus its own entry as -self; a consistent-hash
+// ring assigns each result key an owner, non-owners proxy misses to it, and
+// when the owner is unreachable they recompute locally and hand the result
+// off once it returns. -upstream chains a read-through parent cache that is
+// consulted (store-only) before simulating.
 //
 // Example:
 //
@@ -46,9 +58,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"netcache/internal/cluster"
 	"netcache/internal/faults"
 	"netcache/internal/server"
 	"netcache/internal/store"
@@ -71,6 +85,14 @@ func main() {
 		coldAge     = flag.Duration("cold-age", time.Hour, "idle age after which a hot entry migrates to the cold tier")
 		compactIvl  = flag.Duration("compact-interval", 10*time.Minute, "background compaction period (0 = disabled)")
 		compression = flag.String("cold-compression", "flate", `cold-tier per-record compression: "flate" or "none"`)
+
+		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster member, self included (empty = standalone)")
+		self        = flag.String("self", "", "this node's entry in -peers (its advertised base URL)")
+		vnodes      = flag.Int("vnodes", 64, "virtual nodes per peer on the consistent-hash ring")
+		replication = flag.Int("replication", 1, "distinct peers per key (owner first); clamped to the peer count")
+		upstream    = flag.String("upstream", "", "base URL of a read-through parent cache consulted before simulating (empty = none)")
+		probeIvl    = flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
+		repairIvl   = flag.Duration("repair-interval", 5*time.Second, "hinted-handoff repair period")
 	)
 	flag.Parse()
 
@@ -130,13 +152,46 @@ func main() {
 		defer st.Close()
 	}
 
+	var cl *cluster.Cluster
+	if *peers != "" {
+		list := strings.Split(*peers, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:          *self,
+			Peers:         list,
+			VNodes:        *vnodes,
+			Replication:   *replication,
+			ProbeInterval: *probeIvl,
+			Log:           logger,
+		})
+		if err != nil {
+			logger.Fatalf("-peers: %v", err)
+		}
+		logger.Printf("cluster: %d peers, %d vnodes, replication %d, self %s",
+			len(cl.Peers()), cl.Ring().VNodes(), cl.Replication(), cl.Self())
+	} else if *self != "" {
+		logger.Fatal("-self requires -peers")
+	}
+
+	var up *server.Client
+	if *upstream != "" {
+		up = server.NewResilientClient(*upstream)
+		logger.Printf("upstream read-through tier: %s", *upstream)
+	}
+
 	srv := server.New(server.Config{
-		Store:      st,
-		Workers:    *jobs,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
-		Log:        logger,
-		Inject:     inj,
+		Store:          st,
+		Workers:        *jobs,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		Log:            logger,
+		Inject:         inj,
+		Cluster:        cl,
+		Upstream:       up,
+		RepairInterval: *repairIvl,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+)
+
+// Config wires a Cluster.
+type Config struct {
+	// Self is this node's own entry in Peers (its advertised base URL).
+	Self string
+
+	// Peers is the full static peer set, Self included.
+	Peers []string
+
+	// VNodes is the virtual-node count per peer (<= 0: 64).
+	VNodes int
+
+	// Replication is how many distinct peers each key maps to (<= 0: 1;
+	// clamped to the peer count). The first replica is the owner.
+	Replication int
+
+	// Probe health-checks one peer; a nil error marks it up. Nil disables
+	// active probing (passive observations still apply). The server wires
+	// this to the inter-node client's /healthz check.
+	Probe func(ctx context.Context, peer string) error
+
+	// ProbeInterval is the active probe period (<= 0: 2s).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout bounds one probe attempt (<= 0: 2s).
+	ProbeTimeout time.Duration
+
+	// Log receives peer up/down transitions. Nil discards.
+	Log *log.Logger
+}
+
+// PeerStatus is one peer's health snapshot.
+type PeerStatus struct {
+	URL   string    `json:"url"`
+	Self  bool      `json:"self"`
+	Up    bool      `json:"up"`
+	Since time.Time `json:"since"` // last up/down transition (zero: never probed down)
+}
+
+// peerState is one remote peer's mutable health record.
+type peerState struct {
+	up    bool
+	since time.Time
+}
+
+// Cluster is the node-local view of the peer set: the (immutable) ring
+// plus (mutable) per-peer health. Safe for concurrent use.
+type Cluster struct {
+	ring *Ring
+	self string
+	rf   int
+	cfg  Config
+
+	mu    sync.Mutex
+	peers map[string]*peerState // remote peers only; Self is always up
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	probing  bool // StartProbes launched the loop; Close must join it
+}
+
+// New validates cfg and builds a Cluster. Every peer starts optimistically
+// up: the first failed exchange or probe marks it down.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	found := false
+	for _, p := range ring.Peers() {
+		if p == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer set %v", cfg.Self, ring.Peers())
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(ring.Peers()) {
+		cfg.Replication = len(ring.Peers())
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	c := &Cluster{
+		ring:  ring,
+		self:  cfg.Self,
+		rf:    cfg.Replication,
+		cfg:   cfg,
+		peers: make(map[string]*peerState),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			c.peers[p] = &peerState{up: true}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's peer URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring exposes the underlying ring, for tests and tooling.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Peers returns the full sorted peer set, Self included.
+func (c *Cluster) Peers() []string { return c.ring.Peers() }
+
+// Replication reports the configured replication factor.
+func (c *Cluster) Replication() int { return c.rf }
+
+// Owner returns the peer owning key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Replicas returns key's replica set, owner first.
+func (c *Cluster) Replicas(key string) []string { return c.ring.Replicas(key, c.rf) }
+
+// IsReplica reports whether this node is in key's replica set — i.e.
+// whether it should serve the key authoritatively instead of proxying.
+func (c *Cluster) IsReplica(key string) bool {
+	for _, p := range c.Replicas(key) {
+		if p == c.self {
+			return true
+		}
+	}
+	return false
+}
+
+// Up reports peer's health. Self is always up; unknown peers are down.
+func (c *Cluster) Up(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.peers[peer]
+	return s != nil && s.up
+}
+
+// MarkUp records a successful exchange with peer (passive detection).
+func (c *Cluster) MarkUp(peer string) { c.mark(peer, true) }
+
+// MarkDown records a failed exchange with peer (passive detection), so the
+// proxy path stops routing to it without waiting for the next probe pass.
+func (c *Cluster) MarkDown(peer string) { c.mark(peer, false) }
+
+func (c *Cluster) mark(peer string, up bool) {
+	c.mu.Lock()
+	s := c.peers[peer]
+	changed := s != nil && s.up != up
+	if changed {
+		s.up = up
+		s.since = time.Now()
+	}
+	c.mu.Unlock()
+	if changed {
+		if up {
+			c.cfg.Log.Printf("cluster: peer %s up", peer)
+		} else {
+			c.cfg.Log.Printf("cluster: peer %s down", peer)
+		}
+	}
+}
+
+// Status snapshots every peer's health, sorted by URL (Self included).
+func (c *Cluster) Status() []PeerStatus {
+	out := make([]PeerStatus, 0, len(c.peers)+1)
+	c.mu.Lock()
+	for _, p := range c.ring.Peers() {
+		if p == c.self {
+			out = append(out, PeerStatus{URL: p, Self: true, Up: true})
+			continue
+		}
+		s := c.peers[p]
+		out = append(out, PeerStatus{URL: p, Up: s.up, Since: s.since})
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// SetProbe installs f as the health probe when none was configured at New.
+// It must be called before StartProbes; a configured probe wins.
+func (c *Cluster) SetProbe(f func(ctx context.Context, peer string) error) {
+	if c.cfg.Probe == nil {
+		c.cfg.Probe = f
+	}
+}
+
+// Member reports whether peer is part of the static peer set.
+func (c *Cluster) Member(peer string) bool {
+	if peer == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peers[peer] != nil
+}
+
+// ProbeNow runs one synchronous probe pass over every remote peer,
+// updating health state. It is the probe loop's body, exported so tests
+// and operators can force an immediate pass.
+func (c *Cluster) ProbeNow(ctx context.Context) {
+	if c.cfg.Probe == nil {
+		return
+	}
+	for peer := range c.peers {
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+		err := c.cfg.Probe(pctx, peer)
+		cancel()
+		c.mark(peer, err == nil)
+	}
+}
+
+// StartProbes launches the background probe loop. It is a no-op without a
+// Probe function. Close stops it.
+func (c *Cluster) StartProbes() {
+	if c.cfg.Probe == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.probing {
+		c.mu.Unlock()
+		return
+	}
+	c.probing = true
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-c.stop
+			cancel()
+		}()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.ProbeNow(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop, if started. Idempotent.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	probing := c.probing
+	c.mu.Unlock()
+	if probing {
+		<-c.done
+	}
+}

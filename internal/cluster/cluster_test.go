@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, probe func(ctx context.Context, peer string) error) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:          "http://n1",
+		Peers:         []string{"http://n1", "http://n2", "http://n3"},
+		VNodes:        32,
+		Replication:   1,
+		Probe:         probe,
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{Self: "http://x", Peers: []string{"http://a"}}); err == nil {
+		t.Fatal("self outside peer set accepted")
+	}
+	if _, err := New(Config{Peers: []string{"http://a"}}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	c, err := New(Config{Self: "http://a", Peers: []string{"http://a", "http://b"}, Replication: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Replication() != 2 {
+		t.Fatalf("replication clamped to %d, want 2", c.Replication())
+	}
+}
+
+func TestClusterHealthMarking(t *testing.T) {
+	c := newTestCluster(t, nil)
+	if !c.Up("http://n2") || !c.Up("http://n1") {
+		t.Fatal("peers must start up")
+	}
+	if c.Up("http://stranger") {
+		t.Fatal("unknown peer reported up")
+	}
+	c.MarkDown("http://n2")
+	if c.Up("http://n2") {
+		t.Fatal("n2 still up after MarkDown")
+	}
+	c.MarkDown("http://n1") // self: must stay up
+	if !c.Up("http://n1") {
+		t.Fatal("self went down")
+	}
+	c.MarkUp("http://n2")
+	if !c.Up("http://n2") {
+		t.Fatal("n2 still down after MarkUp")
+	}
+	st := c.Status()
+	if len(st) != 3 || !st[0].Self || st[0].URL != "http://n1" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestClusterProbeLoop(t *testing.T) {
+	var mu sync.Mutex
+	dead := map[string]bool{"http://n3": true}
+	probe := func(ctx context.Context, peer string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if dead[peer] {
+			return errors.New("unreachable")
+		}
+		return nil
+	}
+	c := newTestCluster(t, probe)
+	c.ProbeNow(context.Background())
+	if c.Up("http://n3") || !c.Up("http://n2") {
+		t.Fatalf("probe pass: n2=%v n3=%v, want up/down", c.Up("http://n2"), c.Up("http://n3"))
+	}
+	// The background loop notices recovery.
+	c.StartProbes()
+	mu.Lock()
+	dead["http://n3"] = false
+	mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Up("http://n3") {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never marked n3 up")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Close()
+	c.Close() // idempotent
+}
+
+// TestClusterOwnershipAgreement: every node of the same static config
+// computes identical ownership — the property that makes internode proxying
+// loop-free without any coordination protocol.
+func TestClusterOwnershipAgreement(t *testing.T) {
+	peers := []string{"http://n1", "http://n2", "http://n3"}
+	views := make([]*Cluster, len(peers))
+	for i, self := range peers {
+		c, err := New(Config{Self: self, Peers: peers, VNodes: 32, Replication: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		views[i] = c
+	}
+	selfReplicas := 0
+	for _, k := range testKeys(300) {
+		owner := views[0].Owner(k)
+		for _, v := range views[1:] {
+			if v.Owner(k) != owner {
+				t.Fatalf("ring views disagree on %s: %s vs %s", k[:8], owner, v.Owner(k))
+			}
+		}
+		for i, v := range views {
+			want := false
+			for _, r := range views[0].Replicas(k) {
+				if r == peers[i] {
+					want = true
+				}
+			}
+			if got := v.IsReplica(k); got != want {
+				t.Fatalf("node %s IsReplica(%s) = %v, want %v", peers[i], k[:8], got, want)
+			}
+			if v.IsReplica(k) {
+				selfReplicas++
+			}
+		}
+	}
+	// RF=2 over 3 nodes: each key has exactly 2 replicas cluster-wide.
+	if selfReplicas != 2*300 {
+		t.Fatalf("replica census = %d, want %d", selfReplicas, 2*300)
+	}
+}

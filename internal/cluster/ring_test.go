@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n deterministic hex-SHA-256 keys — the same shape real
+// RunSpec keys have.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func peerSet(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8100", i+1)
+	}
+	return out
+}
+
+// TestRingDistributionUniformity: 1k keys over 4 peers with 128 vnodes must
+// land near-uniformly. The chi-square statistic over the four bins (df=3)
+// stays below 16.27 (p = 0.001) for a sound hash; the test is deterministic,
+// so this either holds forever or flags a real placement regression.
+func TestRingDistributionUniformity(t *testing.T) {
+	peers := peerSet(4)
+	r, err := NewRing(peers, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	keys := testKeys(1000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	exp := float64(len(keys)) / float64(len(peers))
+	var chi2 float64
+	for _, p := range peers {
+		d := float64(counts[p]) - exp
+		chi2 += d * d / exp
+	}
+	t.Logf("owner counts = %v, chi-square = %.2f", counts, chi2)
+	if chi2 > 16.27 {
+		t.Fatalf("chi-square %.2f exceeds the p=0.001 bound 16.27 for df=3: distribution too skewed (%v)", chi2, counts)
+	}
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns no keys out of %d", p, len(keys))
+		}
+	}
+}
+
+// TestRingMinimalRemapOnRemove: removing one peer must reassign exactly the
+// keys it owned — every key owned by a surviving peer keeps its owner. This
+// is the defining consistent-hashing property (vnode positions depend only
+// on the peer name), not a statistical bound.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	peers := peerSet(5)
+	before, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := peers[2]
+	after, err := NewRing(append(append([]string{}, peers[:2]...), peers[3:]...), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(1000)
+	moved := 0
+	for _, k := range keys {
+		o1, o2 := before.Owner(k), after.Owner(k)
+		if o1 == removed {
+			moved++
+			continue // must move somewhere; any survivor is legal
+		}
+		if o1 != o2 {
+			t.Fatalf("key %s moved %s -> %s though its owner %s survived", k[:8], o1, o2, o1)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned no keys; test proves nothing")
+	}
+	t.Logf("removing 1 of 5 peers moved %d/%d keys (~%d expected)", moved, len(keys), len(keys)/5)
+}
+
+// TestRingMinimalRemapOnAdd: adding a peer steals keys only for itself —
+// every key that changes owner moves TO the new peer — and the stolen
+// fraction is near 1/N.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	peers := peerSet(4)
+	before, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := "http://10.0.0.99:8100"
+	after, err := NewRing(append(append([]string{}, peers...), added), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(1000)
+	moved := 0
+	for _, k := range keys {
+		o1, o2 := before.Owner(k), after.Owner(k)
+		if o1 == o2 {
+			continue
+		}
+		if o2 != added {
+			t.Fatalf("key %s moved %s -> %s, not to the new peer", k[:8], o1, o2)
+		}
+		moved++
+	}
+	// The new peer should own ~1/5 of the space; allow a wide but
+	// meaningful band (deterministic, so this is a regression tripwire).
+	if moved < len(keys)/10 || moved > len(keys)/2 {
+		t.Fatalf("new peer stole %d/%d keys; want roughly %d", moved, len(keys), len(keys)/5)
+	}
+	t.Logf("adding a 5th peer moved %d/%d keys (~%d expected)", moved, len(keys), len(keys)/5)
+}
+
+// TestRingReplicaSets: replica sets contain exactly n distinct live peers,
+// owner first, deterministically.
+func TestRingReplicaSets(t *testing.T) {
+	peers := peerSet(5)
+	r, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %s: %d replicas, want 3", k[:8], len(reps))
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("key %s: first replica %s is not the owner %s", k[:8], reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range reps {
+			if seen[p] {
+				t.Fatalf("key %s: duplicate replica %s in %v", k[:8], p, reps)
+			}
+			seen[p] = true
+		}
+	}
+	// Clamped to the peer count when over-asked.
+	if got := len(r.Replicas(testKeys(1)[0], 99)); got != len(peers) {
+		t.Fatalf("Replicas(99) returned %d peers, want %d", got, len(peers))
+	}
+}
+
+// TestRingReplicaStabilityUnderVNodeGrowth: vnode positions depend only on
+// (peer, index), so growing the per-peer vnode count preserves every
+// existing ring point. A key's replica set then changes only when one of
+// the *new* points lands inside its replica window — a bounded fraction —
+// rather than the wholesale reshuffle a count-dependent hash would cause.
+func TestRingReplicaStabilityUnderVNodeGrowth(t *testing.T) {
+	peers := peerSet(4)
+	small, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(peers, 96) // +50% vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(1000)
+	const rf = 2
+	ownerMoved, setChanged := 0, 0
+	for _, k := range keys {
+		if small.Owner(k) != big.Owner(k) {
+			ownerMoved++
+		}
+		a, b := small.Replicas(k, rf), big.Replicas(k, rf)
+		same := len(a) == len(b)
+		for i := 0; same && i < len(a); i++ {
+			same = a[i] == b[i]
+		}
+		if !same {
+			setChanged++
+		}
+	}
+	t.Logf("vnodes 64->96: owner moved %d/1000, replica set changed %d/1000", ownerMoved, setChanged)
+	// 1/3 of points are new, so ~1/3 of owner lookups may hit a new point
+	// (and a fraction of those land on the same peer anyway). Anything far
+	// beyond that means positions are not count-independent.
+	if ownerMoved > 450 {
+		t.Fatalf("owner remap %d/1000 after +50%% vnodes: positions are not vnode-count independent", ownerMoved)
+	}
+	if setChanged > 600 {
+		t.Fatalf("replica-set churn %d/1000 after +50%% vnodes is wholesale reshuffling", setChanged)
+	}
+	// And identical configuration must be bit-stable.
+	again, _ := NewRing(peers, 64)
+	for _, k := range keys[:50] {
+		a, b := small.Replicas(k, rf), again.Replicas(k, rf)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same config, different replica sets for %s: %v vs %v", k[:8], a, b)
+			}
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty peer set accepted")
+	}
+	if _, err := NewRing([]string{""}, 64); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+	r, err := NewRing([]string{"b", "a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("peers not deduped+sorted: %v", got)
+	}
+	if r.VNodes() != 64 {
+		t.Fatalf("default vnodes = %d, want 64", r.VNodes())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -42,6 +43,11 @@ type Client struct {
 	// MaxBodyBytes caps how much of a response body is read (default 64
 	// MiB). Responses that exceed it fail rather than exhaust memory.
 	MaxBodyBytes int64
+
+	// Headers are added to every request. The cluster proxy path uses this
+	// to mark inter-node traffic so the receiving peer serves it
+	// authoritatively instead of re-proxying.
+	Headers map[string]string
 
 	mu  sync.Mutex
 	rng uint64 // jitter PRNG state, lazily seeded from Retry.Seed
@@ -156,6 +162,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range c.Headers {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -325,6 +334,68 @@ func (c *Client) batchOnce(ctx context.Context, specs []netcache.RunSpec) ([]Bat
 		return nil, fmt.Errorf("netcached: batch returned %d results for %d specs", len(resp.Results), len(specs))
 	}
 	return resp.Results, nil
+}
+
+// RunMany streams specs through /v1/batch in bounded-size chunks (default
+// 256 per request when chunk <= 0) and returns one entry per spec, in
+// order. It lets sweeps of arbitrary size ride the batch endpoint without
+// building a single enormous request body; each chunk gets the client's
+// full retry treatment via Batch. A chunk whose transport fails outright
+// aborts the call — partial results are not returned.
+func (c *Client) RunMany(ctx context.Context, specs []netcache.RunSpec, chunk int) ([]BatchEntry, error) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	out := make([]BatchEntry, 0, len(specs))
+	for start := 0; start < len(specs); start += chunk {
+		end := start + chunk
+		if end > len(specs) {
+			end = len(specs)
+		}
+		entries, err := c.Batch(ctx, specs[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("netcached: chunk [%d:%d): %w", start, end, err)
+		}
+		out = append(out, entries...)
+	}
+	return out, nil
+}
+
+// Lookup performs a store-only fetch of key (GET /v1/result/{key}): a hit
+// returns the cached bytes, a 404 reports a clean miss, and anything else
+// is an error. It never triggers a simulation on the server — the
+// primitive behind upstream read-through chaining.
+func (c *Client) Lookup(ctx context.Context, key string) ([]byte, bool, error) {
+	raw, err := c.get(ctx, "/v1/result/"+key)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return raw, true, nil
+}
+
+// PushResult hands a locally stored result to the server (PUT
+// /v1/result/{key}) — the hinted-handoff push used by the repair loop.
+func (c *Client) PushResult(ctx context.Context, key string, body []byte) error {
+	_, err := c.do(ctx, http.MethodPut, "/v1/result/"+key, body)
+	return err
+}
+
+// ClusterStatus fetches /v1/cluster: ring parameters, per-peer health, and
+// the handoff backlog.
+func (c *Client) ClusterStatus(ctx context.Context) (ClusterResponse, error) {
+	raw, err := c.get(ctx, "/v1/cluster")
+	if err != nil {
+		return ClusterResponse{}, err
+	}
+	var resp ClusterResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return ClusterResponse{}, fmt.Errorf("netcached: decoding cluster status: %w", err)
+	}
+	return resp, nil
 }
 
 // Apps fetches the Table 4 application list.

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"netcache"
+	"netcache/internal/cluster"
+)
+
+// internodeHeader marks a request proxied from a peer. The receiving node
+// serves it authoritatively — never re-proxies — so disagreeing ring views
+// can cost an extra hop but never a loop.
+const internodeHeader = "X-Netcached-Internode"
+
+func isInternode(r *http.Request) bool { return r.Header.Get(internodeHeader) != "" }
+
+// peerClient returns the inter-node client for peer, lazily built. The
+// default is a resilient client (3 attempts, breaker, internode header);
+// Config.Internode substitutes test or custom transports.
+func (s *Server) peerClient(peer string) *Client {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if c, ok := s.peerClients[peer]; ok {
+		return c
+	}
+	var c *Client
+	if s.cfg.Internode != nil {
+		c = s.cfg.Internode(peer)
+	} else {
+		c = &Client{
+			BaseURL: peer,
+			Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second},
+			Breaker: &Breaker{},
+		}
+	}
+	if c.Headers == nil {
+		c.Headers = map[string]string{}
+	}
+	if _, ok := c.Headers[internodeHeader]; !ok {
+		self := ""
+		if s.cfg.Cluster != nil {
+			self = s.cfg.Cluster.Self()
+		}
+		c.Headers[internodeHeader] = self
+	}
+	if s.peerClients == nil {
+		s.peerClients = make(map[string]*Client)
+	}
+	s.peerClients[peer] = c
+	return c
+}
+
+// proxy forwards a missed key to its replicas in ring order, owner first.
+// It returns (outcome, true) when some replica gave an authoritative answer
+// — success or a non-retryable contract error — and (zero, false) when
+// every replica is unreachable or shedding, in which case the caller falls
+// back to recomputing locally.
+func (s *Server) proxy(ctx context.Context, key string, spec netcache.RunSpec) (outcome, bool) {
+	cl := s.cfg.Cluster
+	for _, peer := range cl.Replicas(key) {
+		if peer == cl.Self() {
+			continue // unreachable in practice: the caller checked IsReplica
+		}
+		if !cl.Up(peer) {
+			continue // known down; don't burn the retry budget on it
+		}
+		raw, err := s.peerClient(peer).RunRaw(ctx, spec)
+		if err == nil {
+			cl.MarkUp(peer)
+			s.m.peerAdd(s.m.clusterProxied, peer)
+			// Read-through fill: the proxied bytes are content-addressed
+			// and immutable, so caching them locally is always safe and
+			// turns the next hit on this key into a local store read.
+			s.storeFill(key, raw)
+			return outcome{code: http.StatusOK, body: raw}, true
+		}
+		s.m.peerAdd(s.m.clusterProxyFails, peer)
+		var se *StatusError
+		if errors.As(err, &se) {
+			// The peer is alive and answered; don't mark it down. Its
+			// verdict is authoritative for contract errors (4xx), while
+			// 429/5xx mean "alive but cannot serve" — recomputing locally
+			// beats failing the request.
+			if !retryableStatus(se.Code) {
+				return outcome{code: se.Code, errMsg: se.Msg}, true
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return outcome{code: http.StatusServiceUnavailable, errMsg: "request cancelled: " + ctx.Err().Error()}, true
+		}
+		// Transport-level failure after the client's own retries: the peer
+		// is gone. Mark it down so subsequent requests skip straight to the
+		// fallback until a probe (or a successful exchange) revives it.
+		cl.MarkDown(peer)
+		s.cfg.Log.Printf("cluster: proxy %s to %s: %v", key[:8], peer, err)
+	}
+	return outcome{}, false
+}
+
+// upstreamFetch consults the read-through upstream tier with a store-only
+// lookup (never triggering an upstream simulation).
+func (s *Server) upstreamFetch(ctx context.Context, key string) ([]byte, bool) {
+	body, found, err := s.cfg.Upstream.Lookup(ctx, key)
+	if err != nil {
+		s.m.add(&s.m.upstreamErrors)
+		s.cfg.Log.Printf("upstream lookup %s: %v", key[:8], err)
+		return nil, false
+	}
+	if !found {
+		s.m.add(&s.m.upstreamMisses)
+		return nil, false
+	}
+	s.m.add(&s.m.upstreamHits)
+	return body, true
+}
+
+// storeFill persists bytes obtained from a peer or upstream, honoring
+// degraded-mode gating exactly like a post-simulation Put.
+func (s *Server) storeFill(key string, body []byte) {
+	if s.cfg.Store == nil || !s.allowPut() {
+		return
+	}
+	if err := s.cfg.Store.Put(key, body); err != nil {
+		s.putFailed(key, err)
+	} else {
+		s.putSucceeded()
+	}
+}
+
+// hintHandoff enqueues a hinted handoff: key was recomputed here because
+// its owner was unreachable; the repair loop pushes it home later.
+func (s *Server) hintHandoff(key string) {
+	cl := s.cfg.Cluster
+	if cl == nil || s.cfg.Store == nil {
+		return
+	}
+	owner := cl.Owner(key)
+	if owner == cl.Self() {
+		return
+	}
+	if err := s.cfg.Store.HandoffAdd(key, owner); err != nil {
+		s.cfg.Log.Printf("handoff hint %s -> %s: %v", key[:8], owner, err)
+		return
+	}
+	s.m.add(&s.m.handoffQueued)
+}
+
+// startRepair launches the handoff repair loop.
+func (s *Server) startRepair() {
+	interval := s.cfg.RepairInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	s.repairStop = make(chan struct{})
+	s.repairDone = make(chan struct{})
+	go func() {
+		defer close(s.repairDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.repairStop:
+				return
+			case <-t.C:
+				s.RepairHandoffs(s.base)
+			}
+		}
+	}()
+}
+
+// stopRepair stops the repair loop, if running. Idempotent.
+func (s *Server) stopRepair() {
+	if s.repairStop == nil {
+		return
+	}
+	s.repairOnce.Do(func() { close(s.repairStop) })
+	<-s.repairDone
+}
+
+// RepairHandoffs replays pending hinted handoffs whose owner is reachable:
+// the locally stored bytes are pushed to the owner with PUT
+// /v1/result/{key} and the hint dropped on success. It returns how many
+// hints were pushed. The background loop calls it every RepairInterval;
+// tests and operators may force a pass.
+func (s *Server) RepairHandoffs(ctx context.Context) (pushed int) {
+	st, cl := s.cfg.Store, s.cfg.Cluster
+	if st == nil || cl == nil {
+		return 0
+	}
+	for _, e := range st.HandoffPending() {
+		if ctx.Err() != nil {
+			return pushed
+		}
+		if e.Owner == cl.Self() || !cl.Member(e.Owner) {
+			// Our own key (ring view healed) or a peer no longer in the
+			// set: the hint is stale, the local copy is already served.
+			st.HandoffRemove(e.Key)
+			continue
+		}
+		if !cl.Up(e.Owner) {
+			continue // still down; keep the hint
+		}
+		body, ok := st.Get(e.Key)
+		if !ok {
+			// Evicted before the owner recovered: the value is gone but
+			// recomputable, so the hint is moot.
+			st.HandoffRemove(e.Key)
+			continue
+		}
+		if err := s.peerClient(e.Owner).PushResult(ctx, e.Key, body); err != nil {
+			var se *StatusError
+			if !errors.As(err, &se) && ctx.Err() == nil {
+				cl.MarkDown(e.Owner)
+			}
+			s.cfg.Log.Printf("handoff push %s -> %s: %v", e.Key[:8], e.Owner, err)
+			continue
+		}
+		st.HandoffRemove(e.Key)
+		s.m.add(&s.m.handoffPushed)
+		pushed++
+	}
+	return pushed
+}
+
+// --- cluster endpoints ------------------------------------------------------
+
+// validResultKey accepts hex SHA-256 strings, mirroring the store's own
+// key validation so /v1/result can reject junk before touching disk.
+func validResultKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// maxPushBytes caps a PUT /v1/result body.
+const maxPushBytes = 64 << 20
+
+// handleResult serves GET/PUT /v1/result/{key}: a store-only lookup that
+// never simulates (the upstream read-through primitive), and the handoff
+// push target that lets a peer hand a recomputed result to its owner.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+	if !validResultKey(key) {
+		s.writeError(w, "/v1/result", http.StatusBadRequest, "key must be 64 hex chars")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if s.cfg.Store == nil {
+			s.writeError(w, "/v1/result", http.StatusNotFound, "no store configured")
+			return
+		}
+		body, ok := s.cfg.Store.Get(key)
+		if !ok {
+			s.writeError(w, "/v1/result", http.StatusNotFound, "not cached")
+			return
+		}
+		s.m.add(&s.m.storeServed)
+		s.m.request("/v1/result", http.StatusOK)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case http.MethodPut:
+		if s.cfg.Store == nil {
+			s.writeError(w, "/v1/result", http.StatusNotImplemented, "no store configured")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxPushBytes+1))
+		if err != nil {
+			s.writeError(w, "/v1/result", http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		if len(body) > maxPushBytes {
+			s.writeError(w, "/v1/result", http.StatusRequestEntityTooLarge, "result exceeds push cap")
+			return
+		}
+		if !json.Valid(body) {
+			s.writeError(w, "/v1/result", http.StatusBadRequest, "body is not JSON")
+			return
+		}
+		if !s.allowPut() {
+			// Degraded: tell the pusher to keep its hint and retry later.
+			s.writeError(w, "/v1/result", http.StatusServiceUnavailable, "store degraded; retry later")
+			return
+		}
+		if err := s.cfg.Store.Put(key, body); err != nil {
+			s.putFailed(key, err)
+			s.writeError(w, "/v1/result", http.StatusInternalServerError, "store put: "+err.Error())
+			return
+		}
+		s.putSucceeded()
+		s.m.add(&s.m.handoffReceived)
+		s.m.request("/v1/result", http.StatusOK)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"stored":true}` + "\n"))
+	default:
+		s.writeError(w, "/v1/result", http.StatusMethodNotAllowed, "GET or PUT")
+	}
+}
+
+// ClusterResponse is the GET /v1/cluster body.
+type ClusterResponse struct {
+	Enabled     bool                 `json:"enabled"`
+	Self        string               `json:"self,omitempty"`
+	VNodes      int                  `json:"vnodes,omitempty"`
+	Replication int                  `json:"replication,omitempty"`
+	Peers       []cluster.PeerStatus `json:"peers,omitempty"`
+	Upstream    string               `json:"upstream,omitempty"`
+
+	// HandoffDepth counts queued hinted handoffs; HandoffAgeSeconds is the
+	// oldest hint's age — together the repair loop's backlog signal.
+	HandoffDepth      int     `json:"handoff_depth"`
+	HandoffAgeSeconds float64 `json:"handoff_age_seconds"`
+}
+
+// handleCluster serves GET /v1/cluster: ring parameters, per-peer health,
+// and handoff backlog. On a non-clustered server it reports enabled=false.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, "/v1/cluster", http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var resp ClusterResponse
+	if cl := s.cfg.Cluster; cl != nil {
+		resp.Enabled = true
+		resp.Self = cl.Self()
+		resp.VNodes = cl.Ring().VNodes()
+		resp.Replication = cl.Replication()
+		resp.Peers = cl.Status()
+	}
+	if s.cfg.Upstream != nil {
+		resp.Upstream = s.cfg.Upstream.BaseURL
+	}
+	if s.cfg.Store != nil {
+		resp.HandoffDepth = s.cfg.Store.HandoffDepth()
+		resp.HandoffAgeSeconds = s.cfg.Store.HandoffAge().Seconds()
+	}
+	s.m.request("/v1/cluster", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -7,10 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"netcache/internal/faults"
 	"netcache/internal/runner"
 	"netcache/internal/stats"
-	"netcache/internal/store"
 )
 
 // metrics collects the service counters rendered on GET /metrics in the
@@ -28,13 +26,33 @@ type metrics struct {
 	rejected      uint64            // requests refused by the admission queue
 	storePutFails uint64            // store writes that failed (degraded-mode trigger)
 	simDur        map[string]*stats.Histogram
+
+	// Cluster counters.
+	clusterProxied    map[string]uint64 // peer -> misses answered by that peer
+	clusterProxyFails map[string]uint64 // peer -> proxy attempts that failed over
+	clusterFallbacks  uint64            // replicas unreachable -> recomputed locally
+	handoffQueued     uint64            // hinted handoffs enqueued
+	handoffPushed     uint64            // hints pushed home by the repair loop
+	handoffReceived   uint64            // handoff pushes accepted from peers
+	upstreamHits      uint64            // upstream read-through hits
+	upstreamMisses    uint64            // upstream lookups that missed
+	upstreamErrors    uint64            // upstream lookups that failed
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]uint64),
-		simDur:   make(map[string]*stats.Histogram),
+		requests:          make(map[string]uint64),
+		simDur:            make(map[string]*stats.Histogram),
+		clusterProxied:    make(map[string]uint64),
+		clusterProxyFails: make(map[string]uint64),
 	}
+}
+
+// peerAdd bumps one per-peer counter map under mu.
+func (m *metrics) peerAdd(mp map[string]uint64, peer string) {
+	m.mu.Lock()
+	mp[peer]++
+	m.mu.Unlock()
 }
 
 func (m *metrics) request(path string, code int) {
@@ -61,9 +79,29 @@ func (m *metrics) add(field *uint64) {
 	m.mu.Unlock()
 }
 
-// render writes the exposition text. st may be nil (no persistent store)
-// and inj may be nil (no chaos injection).
-func (m *metrics) render(b *strings.Builder, st *store.Store, degraded bool, inj *faults.Injector) {
+// render writes the exposition text for s. The store, injector, cluster,
+// and upstream sections appear only when the respective piece is wired.
+func (m *metrics) render(b *strings.Builder, s *Server, degraded bool) {
+	st := s.cfg.Store
+	inj := s.cfg.Inject
+
+	// Cluster state is snapshotted before taking m.mu: the cluster has its
+	// own lock, and lock-ordering discipline is cheaper than a deadlock.
+	var peerStatus []clusterPeerGauge
+	handoffDepth := -1
+	if cl := s.cfg.Cluster; cl != nil {
+		for _, ps := range cl.Status() {
+			up := int64(0)
+			if ps.Up {
+				up = 1
+			}
+			peerStatus = append(peerStatus, clusterPeerGauge{ps.URL, up})
+		}
+		if st != nil {
+			handoffDepth = st.HandoffDepth()
+		}
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -101,31 +139,56 @@ func (m *metrics) render(b *strings.Builder, st *store.Store, degraded bool, inj
 	gauge("netcached_runner_queued_jobs", "Job groups admitted to the worker pool but not yet started.", runner.Queued())
 
 	if st != nil {
-		s := st.Stats()
-		counter("netcached_store_hits_total", "Result-store hits.", s.Hits)
-		counter("netcached_store_hot_hits_total", "Store hits served from the hot (per-key file) tier.", s.HotHits)
-		counter("netcached_store_cold_hits_total", "Store hits served from cold segment files.", s.ColdHits)
-		counter("netcached_store_misses_total", "Result-store misses (absent or corrupt entries).", s.Misses)
-		counter("netcached_store_corrupt_total", "Store entries dropped for failing checksum validation.", s.Corrupt)
-		counter("netcached_store_evictions_total", "Store entries evicted by the size bound.", s.Evictions)
-		counter("netcached_store_promotions_total", "Cold hits rewritten back into the hot tier.", s.Promotions)
-		counter("netcached_store_reaped_temps_total", "Stale put-* and seg-*.tmp temp files reaped at store open.", s.ReapedTemps)
-		counter("netcached_store_scrubs_total", "Completed background scrub passes.", s.Scrubs)
-		counter("netcached_store_quarantined_total", "Corrupt entries / segment regions quarantined.", s.Quarantined)
-		counter("netcached_store_compactions_total", "Completed compaction passes.", s.Compactions)
-		counter("netcached_store_migrated_total", "Entries migrated from the hot tier into cold segments.", s.Migrated)
-		counter("netcached_store_segment_rewrites_total", "Sparse segments rewritten to reclaim dead space.", s.SegmentRewrites)
-		counter("netcached_store_segments_dropped_total", "Whole segments evicted by the size bound.", s.SegmentsDropped)
-		counter("netcached_store_salvaged_segments_total", "Segments whose index was rebuilt by scan at open.", s.SalvagedSegments)
-		counter("netcached_store_compact_errors_total", "Failed migration batches or segment rewrites.", s.CompactErrors)
-		gauge("netcached_store_entries", "Live entries across both store tiers.", int64(s.Entries))
-		gauge("netcached_store_bytes", "Physical bytes on disk across both store tiers.", s.Bytes)
-		gauge("netcached_store_hot_entries", "Entries resident in the hot tier.", int64(s.HotEntries))
-		gauge("netcached_store_hot_bytes", "Bytes resident in the hot tier.", s.HotBytes)
-		gauge("netcached_store_cold_entries", "Live entries resident in cold segments.", int64(s.ColdEntries))
-		gauge("netcached_store_cold_bytes", "Live record bytes inside cold segments.", s.ColdBytes)
-		gauge("netcached_store_cold_dead_bytes", "Dead segment space awaiting compaction.", s.ColdDeadBytes)
-		gauge("netcached_store_segments", "Resident cold segment files.", int64(s.Segments))
+		ss := st.Stats()
+		counter("netcached_store_hits_total", "Result-store hits.", ss.Hits)
+		counter("netcached_store_hot_hits_total", "Store hits served from the hot (per-key file) tier.", ss.HotHits)
+		counter("netcached_store_cold_hits_total", "Store hits served from cold segment files.", ss.ColdHits)
+		counter("netcached_store_misses_total", "Result-store misses (absent or corrupt entries).", ss.Misses)
+		counter("netcached_store_corrupt_total", "Store entries dropped for failing checksum validation.", ss.Corrupt)
+		counter("netcached_store_evictions_total", "Store entries evicted by the size bound.", ss.Evictions)
+		counter("netcached_store_promotions_total", "Cold hits rewritten back into the hot tier.", ss.Promotions)
+		counter("netcached_store_reaped_temps_total", "Stale put-* and seg-*.tmp temp files reaped at store open.", ss.ReapedTemps)
+		counter("netcached_store_scrubs_total", "Completed background scrub passes.", ss.Scrubs)
+		counter("netcached_store_quarantined_total", "Corrupt entries / segment regions quarantined.", ss.Quarantined)
+		counter("netcached_store_compactions_total", "Completed compaction passes.", ss.Compactions)
+		counter("netcached_store_migrated_total", "Entries migrated from the hot tier into cold segments.", ss.Migrated)
+		counter("netcached_store_segment_rewrites_total", "Sparse segments rewritten to reclaim dead space.", ss.SegmentRewrites)
+		counter("netcached_store_segments_dropped_total", "Whole segments evicted by the size bound.", ss.SegmentsDropped)
+		counter("netcached_store_salvaged_segments_total", "Segments whose index was rebuilt by scan at open.", ss.SalvagedSegments)
+		counter("netcached_store_compact_errors_total", "Failed migration batches or segment rewrites.", ss.CompactErrors)
+		gauge("netcached_store_entries", "Live entries across both store tiers.", int64(ss.Entries))
+		gauge("netcached_store_bytes", "Physical bytes on disk across both store tiers.", ss.Bytes)
+		gauge("netcached_store_hot_entries", "Entries resident in the hot tier.", int64(ss.HotEntries))
+		gauge("netcached_store_hot_bytes", "Bytes resident in the hot tier.", ss.HotBytes)
+		gauge("netcached_store_cold_entries", "Live entries resident in cold segments.", int64(ss.ColdEntries))
+		gauge("netcached_store_cold_bytes", "Live record bytes inside cold segments.", ss.ColdBytes)
+		gauge("netcached_store_cold_dead_bytes", "Dead segment space awaiting compaction.", ss.ColdDeadBytes)
+		gauge("netcached_store_segments", "Resident cold segment files.", int64(ss.Segments))
+	}
+
+	if s.cfg.Cluster != nil {
+		fmt.Fprintf(b, "# HELP netcached_cluster_peer_up 1 while the peer answers probes/proxies, else 0 (self always 1).\n")
+		fmt.Fprintf(b, "# TYPE netcached_cluster_peer_up gauge\n")
+		for _, ps := range peerStatus {
+			fmt.Fprintf(b, "netcached_cluster_peer_up{peer=%q} %d\n", ps.peer, ps.up)
+		}
+		renderPeerCounter(b, "netcached_cluster_proxied_total",
+			"Misses proxied to and answered by the key's owner/replicas, by peer.", m.clusterProxied)
+		renderPeerCounter(b, "netcached_cluster_proxy_failures_total",
+			"Proxy attempts that failed over to the next replica or to local recompute, by peer.", m.clusterProxyFails)
+		counter("netcached_cluster_fallback_recomputes_total",
+			"Misses recomputed locally because every replica was unreachable.", m.clusterFallbacks)
+		counter("netcached_cluster_handoff_enqueued_total", "Hinted handoffs enqueued after fallback recomputes.", m.handoffQueued)
+		counter("netcached_cluster_handoff_pushed_total", "Hints pushed home by the repair loop.", m.handoffPushed)
+		counter("netcached_cluster_handoff_received_total", "Handoff pushes accepted from peers.", m.handoffReceived)
+		if handoffDepth >= 0 {
+			gauge("netcached_cluster_handoff_depth", "Hinted handoffs queued for unreachable owners.", int64(handoffDepth))
+		}
+	}
+	if s.cfg.Upstream != nil {
+		counter("netcached_upstream_hits_total", "Misses answered by the read-through upstream tier.", m.upstreamHits)
+		counter("netcached_upstream_misses_total", "Upstream lookups that missed (simulated locally).", m.upstreamMisses)
+		counter("netcached_upstream_errors_total", "Upstream lookups that failed outright.", m.upstreamErrors)
 	}
 
 	if inj != nil {
@@ -167,6 +230,25 @@ func (m *metrics) render(b *strings.Builder, st *store.Store, degraded bool, inj
 		fmt.Fprintf(b, "netcached_sim_duration_seconds_bucket{app=%q,le=\"+Inf\"} %d\n", app, h.N)
 		fmt.Fprintf(b, "netcached_sim_duration_seconds_sum{app=%q} %s\n", app, trimFloat(float64(h.Sum)/1e6))
 		fmt.Fprintf(b, "netcached_sim_duration_seconds_count{app=%q} %d\n", app, h.N)
+	}
+}
+
+// clusterPeerGauge is one pre-snapshotted peer_up sample.
+type clusterPeerGauge struct {
+	peer string
+	up   int64
+}
+
+// renderPeerCounter writes one peer-labelled counter family, peers sorted.
+func renderPeerCounter(b *strings.Builder, name, help string, mp map[string]uint64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	peers := make([]string, 0, len(mp))
+	for p := range mp {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		fmt.Fprintf(b, "%s{peer=%q} %d\n", name, p, mp[p])
 	}
 }
 

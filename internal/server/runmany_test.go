@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"netcache"
+	"netcache/internal/store"
+)
+
+// TestRunManyChunks: RunMany must stream a large spec slice through
+// /v1/batch in bounded-size chunks — ceil(N/chunk) POSTs — while returning
+// one in-order entry per spec, byte-identical to individual runs.
+func TestRunManyChunks(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var sims atomic.Int32
+	_, c := start(t, Config{Store: st, Workers: 4, RunFunc: countingRun(&sims)})
+
+	var specs []netcache.RunSpec
+	for _, app := range netcache.Apps() {
+		specs = append(specs, netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 0.05})
+	}
+	if len(specs) != 12 {
+		t.Fatalf("corpus = %d apps, want 12", len(specs))
+	}
+
+	const chunk = 5 // 12 specs -> 3 batch POSTs
+	entries, err := c.RunMany(ctx, specs, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(specs) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(specs))
+	}
+	for i, e := range entries {
+		if e.Status != http.StatusOK {
+			t.Fatalf("spec %d = %d %s", i, e.Status, e.Error)
+		}
+		want, err := c.RunRaw(ctx, specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e.Result, want) {
+			t.Fatalf("spec %d: RunMany bytes differ from direct run", i)
+		}
+	}
+	if n := sims.Load(); n != int32(len(specs)) {
+		t.Fatalf("%d simulations, want %d", n, len(specs))
+	}
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := metricValue(t, text, `netcached_requests_total{path="/v1/batch",code="200"}`); v != 3 {
+		t.Fatalf("batch POSTs = %d, want ceil(12/5) = 3", v)
+	}
+
+	// Degenerate sizes: empty input and a chunk larger than the slice.
+	if out, err := c.RunMany(ctx, nil, chunk); err != nil || len(out) != 0 {
+		t.Fatalf("empty RunMany = (%v, %v)", out, err)
+	}
+	if out, err := c.RunMany(ctx, specs[:2], 100); err != nil || len(out) != 2 {
+		t.Fatalf("oversized chunk RunMany = (%d entries, %v)", len(out), err)
+	}
+}

@@ -17,9 +17,19 @@
 // until the deadline, and past it the server's base context is cancelled,
 // which aborts the simulation engines through their Interrupt path.
 //
+// With a cluster configured (internal/cluster), N servers form one logical
+// store: a non-owner first checks its local store, then proxies the miss to
+// the key's owner over the resilient inter-node client, and — when every
+// replica is unreachable — recomputes deterministically, leaving a hinted
+// handoff that a background repair loop pushes to the owner once it
+// recovers. An optional upstream tier is consulted read-through before
+// simulating, so a local cluster can chain behind a regional one.
+//
 // Endpoints: POST /v1/run, POST /v1/batch, GET /v1/apps, GET /v1/stats
-// (per-tier store occupancy and maintenance counters as JSON), GET
-// /healthz, GET /metrics (Prometheus text format).
+// (per-tier store occupancy and maintenance counters as JSON), GET/PUT
+// /v1/result/{key} (store-only lookup / handoff push), GET /v1/cluster
+// (ring + peer health + handoff introspection), GET /healthz, GET /metrics
+// (Prometheus text format).
 package server
 
 import (
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"netcache"
+	"netcache/internal/cluster"
 	"netcache/internal/faults"
 	"netcache/internal/runner"
 	"netcache/internal/store"
@@ -79,6 +90,29 @@ type Config struct {
 	// DegradedProbe is how often a degraded server re-attempts a store
 	// write to detect recovery (<= 0: 5s).
 	DegradedProbe time.Duration
+
+	// Cluster, when non-nil, makes this server one node of a
+	// consistent-hash cluster: misses on keys owned elsewhere are proxied
+	// to the owner, owner outages fall back to local recomputation with
+	// hinted handoff, and the repair loop pushes hints once owners
+	// recover. The server owns the cluster's probe and repair lifecycles:
+	// New starts them, Shutdown stops them.
+	Cluster *cluster.Cluster
+
+	// Internode returns the client used to reach a peer; nil uses a
+	// default resilient client (3 attempts, breaker) tagged with the
+	// internode header so proxied requests cannot loop.
+	Internode func(peer string) *Client
+
+	// Upstream, when non-nil, is the read-through upstream tier: before
+	// simulating a miss, GET /v1/result/{key} is tried against it and a
+	// hit is persisted locally — the ncps pattern of local storage chained
+	// behind an upstream cache.
+	Upstream *Client
+
+	// RepairInterval is the hinted-handoff repair loop period
+	// (<= 0: 5s). The loop only runs with both Cluster and Store set.
+	RepairInterval time.Duration
 }
 
 // Server is the netcached HTTP service.
@@ -112,6 +146,14 @@ type Server struct {
 	lastProbe time.Time
 
 	validApps map[string]bool
+
+	// Cluster plumbing: lazily built per-peer clients and the handoff
+	// repair loop's lifecycle.
+	peerMu      sync.Mutex
+	peerClients map[string]*Client
+	repairStop  chan struct{}
+	repairDone  chan struct{}
+	repairOnce  sync.Once
 }
 
 // call is one in-flight keyed computation; followers wait on done.
@@ -165,12 +207,25 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/run", s.chaos(s.handleRun))
 	mux.HandleFunc("/v1/batch", s.chaos(s.handleBatch))
 	mux.HandleFunc("/v1/apps", s.chaos(s.handleApps))
-	// Like /healthz and /metrics, /v1/stats is exempt from chaos injection
-	// so fault storms stay observable.
+	mux.HandleFunc("/v1/result/", s.chaos(s.handleResult))
+	// Like /healthz and /metrics, /v1/stats and /v1/cluster are exempt
+	// from chaos injection so fault storms stay observable.
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.http.Handler = mux
+	if cfg.Cluster != nil {
+		s.peerClients = make(map[string]*Client)
+		cfg.Cluster.SetProbe(func(ctx context.Context, peer string) error {
+			_, err := s.peerClient(peer).Health(ctx)
+			return err
+		})
+		cfg.Cluster.StartProbes()
+		if cfg.Store != nil {
+			s.startRepair()
+		}
+	}
 	return s
 }
 
@@ -221,6 +276,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closing = true
 	s.mu.Unlock()
+
+	// Stop the cluster loops first: no new probes, proxies, or handoff
+	// pushes while draining.
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Close()
+	}
+	s.stopRepair()
 
 	drained := make(chan struct{})
 	go func() {
@@ -301,7 +363,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, "/v1/run", http.StatusBadRequest, "bad spec: "+err.Error())
 		return
 	}
-	s.writeOutcome(w, "/v1/run", s.execute(r.Context(), spec))
+	s.writeOutcome(w, "/v1/run", s.execute(r.Context(), spec, isInternode(r)))
 }
 
 // BatchRequest is the POST /v1/batch body.
@@ -338,10 +400,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Fan the members out on the same worker-pool machinery RunBatch uses;
 	// each takes the full store -> coalesce -> admit path, so identical
 	// members (and identical concurrent /v1/run requests) simulate once.
+	internode := isInternode(r)
 	jobs := make([]runner.Job[outcome], len(req.Specs))
 	for i, spec := range req.Specs {
 		jobs[i] = runner.Job[outcome]{Run: func(ctx context.Context) (outcome, error) {
-			return s.execute(ctx, spec), nil
+			return s.execute(ctx, spec, internode), nil
 		}}
 	}
 	outs := runner.Map(r.Context(), runner.Options[outcome]{Workers: s.cfg.Workers, Inject: s.cfg.Inject}, jobs)
@@ -429,7 +492,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	degraded := s.degraded
 	s.mu.Unlock()
 	var b strings.Builder
-	s.m.render(&b, s.cfg.Store, degraded, s.cfg.Inject)
+	s.m.render(&b, s, degraded)
 	s.m.request("/metrics", http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
@@ -489,10 +552,13 @@ func (s *Server) putSucceeded() {
 
 // --- the keyed execution path ----------------------------------------------
 
-// execute serves one spec through store, coalescing, and admission. ctx is
-// the *waiter's* context: it bounds how long this request waits, while the
-// simulation itself runs under the server's base context.
-func (s *Server) execute(ctx context.Context, spec netcache.RunSpec) outcome {
+// execute serves one spec through store, coalescing, cluster routing, and
+// admission. ctx is the *waiter's* context: it bounds how long this request
+// waits, while the simulation itself runs under the server's base context.
+// internode marks requests proxied from a peer: they are served
+// authoritatively, never re-proxied, so disagreeing ring views can cost an
+// extra hop but never a loop.
+func (s *Server) execute(ctx context.Context, spec netcache.RunSpec, internode bool) outcome {
 	if !s.validApps[spec.App] {
 		return outcome{code: http.StatusBadRequest, errMsg: fmt.Sprintf("unknown application %q", spec.App)}
 	}
@@ -516,7 +582,7 @@ func (s *Server) execute(ctx context.Context, spec netcache.RunSpec) outcome {
 	s.calls[key] = c
 	s.mu.Unlock()
 
-	c.out = s.lead(ctx, key, spec)
+	c.out = s.lead(ctx, key, spec, internode)
 	s.mu.Lock()
 	delete(s.calls, key)
 	s.mu.Unlock()
@@ -524,12 +590,33 @@ func (s *Server) execute(ctx context.Context, spec netcache.RunSpec) outcome {
 	return c.out
 }
 
-// lead is the singleflight leader: store lookup, then admission, then the
-// simulation itself.
-func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec) outcome {
+// lead is the singleflight leader: store lookup, then cluster routing
+// (proxy the miss to the owner, or fall back to local recomputation), then
+// the upstream tier, then admission and the simulation itself.
+func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec, internode bool) outcome {
 	if s.cfg.Store != nil {
 		if body, ok := s.cfg.Store.Get(key); ok {
 			s.m.add(&s.m.storeServed)
+			return outcome{code: http.StatusOK, body: body}
+		}
+	}
+
+	cl := s.cfg.Cluster
+	owned := cl == nil || cl.IsReplica(key)
+	if !owned && !internode {
+		if out, ok := s.proxy(ctx, key, spec); ok {
+			return out
+		}
+		// Every replica is unreachable. Results are deterministic
+		// recomputations, so a down owner costs latency, not correctness:
+		// compute locally, and (after the Put below) leave a hint for the
+		// repair loop to push once the owner recovers.
+		s.m.add(&s.m.clusterFallbacks)
+	}
+
+	if s.cfg.Upstream != nil {
+		if body, ok := s.upstreamFetch(ctx, key); ok {
+			s.storeFill(key, body)
 			return outcome{code: http.StatusOK, body: body}
 		}
 	}
@@ -592,6 +679,11 @@ func (s *Server) lead(ctx context.Context, key string, spec netcache.RunSpec) ou
 				s.putFailed(key, err)
 			} else {
 				s.putSucceeded()
+				if !owned {
+					// Recompute fallback on a non-replica: the bytes are
+					// safe locally; hint them to the owner.
+					s.hintHandoff(key)
+				}
 			}
 		}
 	}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Hinted handoff queue.
+//
+// When a cluster node recomputes a result because the key's owner was
+// unreachable, the result lands in the *local* store and a hint — "this
+// key belongs to that peer" — is enqueued here. A background repair loop
+// replays hints once the owner recovers, pushing the locally stored bytes
+// to it and removing the hint.
+//
+// Hints are advisory routing metadata, not data: the value itself lives in
+// the store proper, and losing a hint costs the owner at worst one
+// deterministic recompute. The queue therefore favors simplicity over the
+// hot tier's crash rigor: one tiny file per hint under handoff/
+// (<key>.hint, content = the owner's peer URL), written directly. The
+// handoff/ subdirectory is skipped by the hot tier's scans, so hints never
+// count against the LRU budget and are never evicted.
+
+// handoffDir is the subdirectory hints live in.
+const handoffDir = "handoff"
+
+// handoffSuffix names hint files; anything else in handoff/ is ignored.
+const handoffSuffix = ".hint"
+
+// HandoffEntry is one pending hint: key's value should be pushed to Owner.
+type HandoffEntry struct {
+	Key   string
+	Owner string
+}
+
+func (s *Store) handoffPath(key string) string {
+	return filepath.Join(s.dir, handoffDir, key+handoffSuffix)
+}
+
+// HandoffAdd enqueues a hint that key's locally stored value belongs to
+// owner. Re-adding an existing key overwrites its owner (the ring is
+// static, so in practice this is idempotent).
+func (s *Store) HandoffAdd(key, owner string) error {
+	if !validKey(key) {
+		return os.ErrInvalid
+	}
+	dir := filepath.Join(s.dir, handoffDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(s.handoffPath(key), []byte(owner), 0o644)
+}
+
+// HandoffRemove drops key's hint, if present (the push succeeded, or the
+// value is gone). Missing hints are not an error.
+func (s *Store) HandoffRemove(key string) {
+	if validKey(key) {
+		os.Remove(s.handoffPath(key))
+	}
+}
+
+// HandoffPending lists the queued hints sorted by key, so replay order is
+// deterministic. Unreadable or malformed files are skipped, not fatal.
+func (s *Store) HandoffPending() []HandoffEntry {
+	ents, err := os.ReadDir(filepath.Join(s.dir, handoffDir))
+	if err != nil {
+		return nil
+	}
+	out := make([]HandoffEntry, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), handoffSuffix) {
+			continue
+		}
+		key := strings.TrimSuffix(e.Name(), handoffSuffix)
+		if !validKey(key) {
+			continue
+		}
+		owner, err := os.ReadFile(filepath.Join(s.dir, handoffDir, e.Name()))
+		if err != nil || len(owner) == 0 {
+			continue
+		}
+		out = append(out, HandoffEntry{Key: key, Owner: string(owner)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// HandoffDepth counts the queued hints.
+func (s *Store) HandoffDepth() int {
+	ents, err := os.ReadDir(filepath.Join(s.dir, handoffDir))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), handoffSuffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// HandoffAge returns how long the oldest hint has been queued (zero when
+// the queue is empty) — the repair loop's backlog signal.
+func (s *Store) HandoffAge() time.Duration {
+	ents, err := os.ReadDir(filepath.Join(s.dir, handoffDir))
+	if err != nil {
+		return 0
+	}
+	var oldest time.Time
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), handoffSuffix) {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			if oldest.IsZero() || info.ModTime().Before(oldest) {
+				oldest = info.ModTime()
+			}
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func handoffKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("handoff-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestHandoffQueueBasics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if s.HandoffDepth() != 0 || len(s.HandoffPending()) != 0 {
+		t.Fatal("fresh store has a non-empty handoff queue")
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.HandoffAdd(handoffKey(i), fmt.Sprintf("http://peer-%d", i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.HandoffDepth(); got != 5 {
+		t.Fatalf("depth = %d, want 5", got)
+	}
+	pend := s.HandoffPending()
+	if len(pend) != 5 {
+		t.Fatalf("pending = %d entries, want 5", len(pend))
+	}
+	for i := 1; i < len(pend); i++ {
+		if pend[i-1].Key >= pend[i].Key {
+			t.Fatal("pending not sorted by key")
+		}
+	}
+
+	// Re-adding overwrites the owner, not duplicates.
+	if err := s.HandoffAdd(handoffKey(0), "http://elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HandoffDepth(); got != 5 {
+		t.Fatalf("depth after re-add = %d, want 5", got)
+	}
+	found := false
+	for _, e := range s.HandoffPending() {
+		if e.Key == handoffKey(0) {
+			found = true
+			if e.Owner != "http://elsewhere" {
+				t.Fatalf("owner = %q after re-add", e.Owner)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("re-added key missing")
+	}
+
+	s.HandoffRemove(handoffKey(1))
+	s.HandoffRemove(handoffKey(1)) // idempotent
+	if got := s.HandoffDepth(); got != 4 {
+		t.Fatalf("depth after remove = %d, want 4", got)
+	}
+
+	if err := s.HandoffAdd("../evil", "http://peer"); err == nil {
+		t.Fatal("invalid key accepted")
+	}
+	if s.HandoffAge() <= 0 {
+		t.Fatal("non-empty queue reports zero age")
+	}
+}
+
+// TestHandoffSurvivesReopen: hints are plain files, so a crash/restart
+// keeps the queue — the repair loop resumes where the dead process left
+// off.
+func TestHandoffSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HandoffAdd(handoffKey(1), "http://owner"); err != nil {
+		t.Fatal(err)
+	}
+	// The hinted value itself lives in the store proper.
+	if err := s.Put(handoffKey(1), []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pend := s2.HandoffPending()
+	if len(pend) != 1 || pend[0].Owner != "http://owner" || pend[0].Key != handoffKey(1) {
+		t.Fatalf("queue after reopen = %+v", pend)
+	}
+	if v, ok := s2.Get(handoffKey(1)); !ok || string(v) != `{"x":1}` {
+		t.Fatal("hinted value lost across reopen")
+	}
+}
+
+// TestHandoffOutsideLRUBudget: hint files never count toward the store's
+// size bound and are never evicted by it.
+func TestHandoffOutsideLRUBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.HandoffAdd(handoffKey(i), "http://peer"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Bytes; got != 0 {
+		t.Fatalf("hints counted %d bytes against the budget", got)
+	}
+	// Filling the store past the bound evicts entries, not hints.
+	big := make([]byte, 1024)
+	for i := 0; i < 8; i++ {
+		if err := s.Put(handoffKey(100+i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.HandoffDepth(); got != 20 {
+		t.Fatalf("eviction touched the handoff queue: depth %d, want 20", got)
+	}
+	// Garbage in handoff/ is ignored, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, handoffDir, "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, handoffDir, "nothex.hint"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.HandoffPending() {
+		if !validKey(e.Key) {
+			t.Fatalf("malformed hint surfaced: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package netcache_test
+
+// The sampled-simulation accuracy harness: runs the corpus both ways — full
+// detail and representative-interval sampled — and asserts the sampled
+// estimates reproduce the headline metrics within declared bounds.
+//
+// Two tiers:
+//
+//   - TestSampledAccuracyQuick always runs: three apps at scale 0.25 on the
+//     NetCache system, tight bounds. It is the regression tripwire — an
+//     engine or estimator change that breaks extrapolation fails ordinary
+//     `go test ./...` (and the CI race matrix) within seconds.
+//
+//   - TestSampledAccuracyFull runs when NETCACHE_ACCURACY=1: the twelve
+//     Table 4 applications across the four Figure 6 systems at scale 1.0,
+//     plus the 1-processor runs Figure 5 needs, in both modes. It asserts
+//     the figure-level metrics (Figure 5 speedup curves, Figure 6
+//     normalized run times, Figure 8 shared-cache hit rates, miss ratios,
+//     miss latencies) within the documented bounds, and that the sampled
+//     corpus ran at least minCorpusSpeedup× faster than the full corpus.
+//
+// The declared bounds are the contract EXPERIMENTS.md documents: figure
+// metrics are ratios (speedups, normalized run times) or state-derived
+// counters (hit/miss rates), where the estimator's residual per-app bias
+// largely cancels; raw per-app cycle counts carry wider error and are not
+// what the evaluation reads.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"netcache"
+)
+
+// corpusSampling is the validated sampled-sweep configuration: stratified
+// placement, 2048-reference intervals behind 4096-reference warmups, one
+// interval per 32 epochs, a 32-interval budget (the period doubles at each
+// budget rollover), seed 1. EXPERIMENTS.md records its measured accuracy.
+func corpusSampling() *netcache.Sampling {
+	return &netcache.Sampling{
+		Mode:         netcache.SampleStratified,
+		IntervalRefs: 2048, WarmupRefs: 4096, Period: 32, Intervals: 32, Seed: 1,
+	}
+}
+
+// Quick-gate bounds (scale 0.25, apps below): several times the measured
+// errors (≤3.2% relative, ≤0.16pp hit rate), far below "broken". The gate
+// samples at period 4 — scale-0.25 runs are short, and the sparse corpus
+// period leaves too few intervals for stable estimates; density is a
+// per-run-length choice, not part of the machinery under test.
+const (
+	quickCycleRel = 0.08   // |est/full - 1| on run time
+	quickLatRel   = 0.10   // |est/full - 1| on mean miss latency
+	quickHitAbs   = 0.01   // absolute shared-cache hit-rate error
+	quickMissAbs  = 0.0005 // absolute miss-ratio error
+)
+
+func TestSampledAccuracyQuick(t *testing.T) {
+	for _, app := range []string{"gauss", "cg", "em3d"} {
+		full, err := netcache.Run(netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := corpusSampling()
+		dense.Period = 4
+		smp, err := netcache.Run(netcache.RunSpec{
+			App: app, System: netcache.SystemNetCache, Scale: 0.25, Sampling: dense,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := smp.Sampled
+		if s == nil || s.Degraded {
+			t.Fatalf("%s: sampled run missing estimates or degraded: %+v", app, s)
+		}
+		if r := relErr(s.Cycles.Mean, float64(full.Cycles)); r > quickCycleRel {
+			t.Errorf("%s: estimated cycles off by %.1f%% (bound %.0f%%)", app, 100*r, 100*quickCycleRel)
+		}
+		if r := relErr(s.AvgL2MissLatency.Mean, full.AvgL2MissLatency); r > quickLatRel {
+			t.Errorf("%s: estimated miss latency off by %.1f%% (bound %.0f%%)", app, 100*r, 100*quickLatRel)
+		}
+		if d := math.Abs(s.SharedCacheHitRate.Mean - full.SharedCacheHitRate); d > quickHitAbs {
+			t.Errorf("%s: estimated hit rate off by %.2fpp (bound %.0fpp)", app, 100*d, 100*quickHitAbs)
+		}
+		fullMiss := float64(full.L2Misses) / float64(full.Reads)
+		if d := math.Abs(s.MissRatio.Mean - fullMiss); d > quickMissAbs {
+			t.Errorf("%s: estimated miss ratio off by %.4fpp (bound %.2fpp)", app, 100*d, 100*quickMissAbs)
+		}
+	}
+}
+
+func relErr(est, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return math.Abs(est-ref) / math.Abs(ref)
+}
+
+// Full-harness bounds (scale 1.0), set from measured errors plus margin
+// (EXPERIMENTS.md records the measurements). Two regimes:
+//
+//   - Counter metrics (miss ratio, hit rate) come from the hybrid run's
+//     totals — state advances through every reference — so they are
+//     near-exact wherever functional-mode state transitions match detailed
+//     mode. The exception is dmon-i: under an invalidation protocol the
+//     detailed run's timing races decide which sharer's copy dies, and the
+//     functional model serializes those races, so state genuinely diverges
+//     and the miss-ratio bound is wider there.
+//
+//   - Timing metrics (cycles, miss latency, the Figure 5/6 ratios built
+//     from them) are interval estimates. Apps whose cost is concentrated
+//     in short contention storms (fft, mg, radix) are the documented
+//     outliers: a log-uniform interval budget under-samples bursts, so
+//     those apps get factor-scale sanity bounds (stormRelax) rather than
+//     tight ones. The remaining nine apps hold the tight bounds.
+const (
+	fullFig5Rel      = 0.20   // Figure 5: T(1)/T(16) speedup, relative
+	fullFig6Rel      = 0.25   // Figure 6: run time normalized to NetCache, relative
+	fullFig6RelInval = 0.50   // Figure 6 on dmon-i (invalidation races shift misses)
+	fullFig8HitAbs   = 0.05   // Figure 8 curve point: hit rate at 32KB, absolute
+	fullMissAbs      = 0.0005 // miss ratio, absolute (netcache/lambdanet/dmon-u)
+	fullMissAbsInval = 0.02   // miss ratio, absolute, dmon-i (invalidation races)
+	fullLatRel       = 0.50   // mean miss latency, relative (per app×system)
+	stormRelax       = 3.0    // bound multiplier for storm-dominated apps
+	minCorpusSpeedup = 10.0   // sampled corpus wall-clock advantage
+)
+
+// stormApps are the storm-dominated outliers described above.
+var stormApps = map[string]bool{"fft": true, "mg": true, "radix": true}
+
+func TestSampledAccuracyFull(t *testing.T) {
+	if os.Getenv("NETCACHE_ACCURACY") == "" {
+		t.Skip("set NETCACHE_ACCURACY=1 to run the scale-1.0 sampled-accuracy harness (tens of minutes)")
+	}
+	apps := netcache.Apps()
+	systems := []netcache.System{
+		netcache.SystemNetCache, netcache.SystemLambdaNet, netcache.SystemDMONU, netcache.SystemDMONI,
+	}
+
+	// The corpus: every app on every Figure 6 system, plus the 1-processor
+	// NetCache runs Figure 5 needs.
+	var specs []netcache.RunSpec
+	for _, app := range apps {
+		for _, sys := range systems {
+			specs = append(specs, netcache.RunSpec{App: app, System: sys, Scale: 1})
+		}
+		one := netcache.DefaultConfig()
+		one.Procs = 1
+		specs = append(specs, netcache.RunSpec{App: app, System: netcache.SystemNetCache, Config: one, Scale: 1})
+	}
+
+	run := func(sampled bool) (map[string]netcache.Result, map[string]time.Duration, time.Duration) {
+		batch := make([]netcache.RunSpec, len(specs))
+		copy(batch, specs)
+		if sampled {
+			for i := range batch {
+				batch[i].Sampling = corpusSampling()
+			}
+		}
+		// Wall is summed per run, so the comparison is worker-count
+		// independent.
+		var mu sync.Mutex
+		var wall time.Duration
+		walls := make(map[string]time.Duration, len(specs))
+		res := netcache.RunBatch(context.Background(), netcache.BatchOptions{
+			Workers: runtime.GOMAXPROCS(0),
+			OnDone: func(i int, _ netcache.RunSpec, _ netcache.Result, _ error, w time.Duration) {
+				mu.Lock()
+				wall += w
+				walls[key(specs[i])] = w
+				mu.Unlock()
+			},
+		}, batch)
+		out := make(map[string]netcache.Result, len(res))
+		for i, br := range res {
+			if br.Err != nil {
+				t.Fatalf("%s on %s (sampled=%v): %v", br.Spec.App, br.Spec.System, sampled, br.Err)
+			}
+			out[key(specs[i])] = br.Result
+		}
+		return out, walls, wall
+	}
+
+	full, fullWalls, fullWall := run(false)
+	smp, smpWalls, smpWall := run(true)
+	t.Logf("corpus wall: full %s, sampled %s, speedup %.1fx", fullWall, smpWall, float64(fullWall)/float64(smpWall))
+
+	// Diagnostics for EXPERIMENTS.md: per-app errors and speedup on the
+	// NetCache system, the headline configuration.
+	for _, app := range apps {
+		k := key(netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 1})
+		f, s := full[k], smp[k]
+		t.Logf("%-9s cyc %+6.1f%%  hit %+5.2fpp  lat %+6.1f%%  miss %+7.4fpp  speedup %4.1fx", app,
+			100*(s.EstimatedCycles()/float64(f.Cycles)-1),
+			100*(s.EstimatedSharedHitRate()-f.SharedCacheHitRate),
+			100*(s.EstimatedAvgL2MissLatency()/f.AvgL2MissLatency-1),
+			100*(s.EstimatedMissRatio()-float64(f.L2Misses)/float64(f.Reads)),
+			float64(fullWalls[k])/float64(smpWalls[k]))
+	}
+
+	for _, app := range apps {
+		// Storm-dominated apps hold factor-scale sanity bounds on the
+		// timing metrics; everything else holds the tight bounds.
+		relax := 1.0
+		if stormApps[app] {
+			relax = stormRelax
+		}
+		t16 := key(netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 1})
+		one := netcache.DefaultConfig()
+		one.Procs = 1
+		t1 := key(netcache.RunSpec{App: app, System: netcache.SystemNetCache, Config: one, Scale: 1})
+
+		// Figure 5: the speedup curve point T(1)/T(16).
+		fullSp := float64(full[t1].Cycles) / float64(full[t16].Cycles)
+		smpSp := smp[t1].EstimatedCycles() / smp[t16].EstimatedCycles()
+		if r := relErr(smpSp, fullSp); r > fullFig5Rel*relax {
+			t.Errorf("%s: Figure 5 speedup %.2f vs full %.2f (%.1f%% > %.0f%%)",
+				app, smpSp, fullSp, 100*r, 100*fullFig5Rel*relax)
+		}
+
+		// Figure 8 curve point: NetCache shared-cache hit rate at 32KB.
+		// Hit rate is a counter metric, so storm apps hold the same bound.
+		if d := math.Abs(smp[t16].EstimatedSharedHitRate() - full[t16].SharedCacheHitRate); d > fullFig8HitAbs {
+			t.Errorf("%s: Figure 8 hit rate off by %.2fpp (bound %.0fpp)", app, 100*d, 100*fullFig8HitAbs)
+		}
+
+		for _, sys := range systems {
+			k := key(netcache.RunSpec{App: app, System: sys, Scale: 1})
+			// Figure 6: run time normalized to NetCache. On dmon-i the
+			// wider bound reflects state divergence (see the miss-ratio
+			// bound above), which feeds straight into run time.
+			fig6Bound := fullFig6Rel
+			if sys == netcache.SystemDMONI {
+				fig6Bound = fullFig6RelInval
+			}
+			fullNorm := float64(full[k].Cycles) / float64(full[t16].Cycles)
+			smpNorm := smp[k].EstimatedCycles() / smp[t16].EstimatedCycles()
+			if r := relErr(smpNorm, fullNorm); r > fig6Bound*relax {
+				t.Errorf("%s on %s: Figure 6 norm %.3f vs full %.3f (%.1f%% > %.0f%%)",
+					app, sys, smpNorm, fullNorm, 100*r, 100*fig6Bound*relax)
+			}
+			missBound := fullMissAbs
+			if sys == netcache.SystemDMONI {
+				missBound = fullMissAbsInval
+			}
+			if stormApps[app] {
+				missBound *= stormRelax
+			}
+			fullMiss := float64(full[k].L2Misses) / float64(full[k].Reads)
+			if d := math.Abs(smp[k].EstimatedMissRatio() - fullMiss); d > missBound {
+				t.Errorf("%s on %s: miss ratio off by %.4fpp (bound %.4fpp)", app, sys, 100*d, 100*missBound)
+			}
+			if r := relErr(smp[k].EstimatedAvgL2MissLatency(), full[k].AvgL2MissLatency); r > fullLatRel*relax {
+				t.Errorf("%s on %s: miss latency off by %.1f%% (bound %.0f%%)", app, sys, 100*r, 100*fullLatRel*relax)
+			}
+		}
+	}
+
+	if sp := float64(fullWall) / float64(smpWall); sp < minCorpusSpeedup {
+		t.Errorf("corpus speedup %.1fx below the %.0fx floor", sp, minCorpusSpeedup)
+	}
+}
+
+// key is a compact map key for one corpus spec.
+func key(s netcache.RunSpec) string {
+	p := s.Config.Procs
+	return fmt.Sprintf("%s/%s/%d", s.App, s.System, p)
+}

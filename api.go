@@ -22,6 +22,13 @@ type RunSpec struct {
 	// TraceCap, when positive, records the last TraceCap transactions
 	// (Result.Trace) for debugging.
 	TraceCap int
+
+	// Sampling, when non-nil with a Mode set, switches the run to
+	// representative-interval sampled execution (Result.Sampled carries the
+	// extrapolated estimates). The pointer is omitted from the canonical
+	// encoding when nil or zero-valued, so full-run store keys are
+	// unchanged; enabled sampling hashes to a distinct key.
+	Sampling *Sampling `json:",omitempty"`
 }
 
 // Result summarizes a run.
@@ -60,6 +67,12 @@ type Result struct {
 	// Trace holds the recorded transaction tail when RunSpec.TraceCap > 0.
 	Trace []trace.Event
 
+	// Sampled carries the extrapolated full-run estimates (with error bars)
+	// of a sampled run; nil — and omitted from the JSON encoding — for full
+	// runs, whose result bytes are therefore unchanged. The exact fields
+	// above always hold the raw measured values, never estimates.
+	Sampled *SampledEstimates `json:",omitempty"`
+
 	Raw machine.RunStats
 }
 
@@ -89,6 +102,15 @@ func runApp(ctx context.Context, spec RunSpec, app apps.App) (Result, error) {
 		spec.Scale = 0.25
 	}
 	m := NewMachine(spec.System, spec.Config)
+	if spec.Sampling.Enabled() {
+		plan, err := spec.Sampling.plan()
+		if err != nil {
+			return Result{}, err
+		}
+		if err := m.AttachSampler(plan); err != nil {
+			return Result{}, fmt.Errorf("netcache: %s on %s: %w", spec.App, spec.System, err)
+		}
+	}
 	var tb *trace.Buffer
 	if spec.TraceCap > 0 {
 		tb = m.AttachTrace(spec.TraceCap)
@@ -117,7 +139,12 @@ func runApp(ctx context.Context, spec RunSpec, app apps.App) (Result, error) {
 
 func summarize(app string, rs machine.RunStats) Result {
 	t := rs.Totals()
+	var sampled *SampledEstimates
+	if rs.Sampling != nil {
+		sampled = buildEstimates(rs.Sampling, rs)
+	}
 	return Result{
+		Sampled:             sampled,
 		App:                 app,
 		System:              rs.System,
 		Procs:               rs.Procs,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
@@ -54,6 +55,53 @@ func TestRunBatchPartialFailure(t *testing.T) {
 	}
 	if got[1].Err == nil {
 		t.Fatal("unknown app did not error")
+	}
+}
+
+// TestRunBatchMidBatchCancellation cancels a batch after its first result:
+// completed entries keep their results, every remaining entry — running or
+// never started — fails with context.Canceled and an empty Result (a
+// singleflight group whose leader was cancelled must not fabricate results
+// for its members), and the pool's goroutines all join.
+func TestRunBatchMidBatchCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	long := netcache.RunSpec{App: "gauss", System: netcache.SystemNetCache, Scale: 0.5}
+	specs := []netcache.RunSpec{
+		{App: "sor", System: netcache.SystemNetCache, Scale: 0.06},
+		long, long, long,
+	}
+	got := netcache.RunBatch(ctx, netcache.BatchOptions{
+		Workers: 2,
+		OnDone: func(index int, _ netcache.RunSpec, _ netcache.Result, _ error, _ time.Duration) {
+			if index == 0 {
+				cancel()
+			}
+		},
+	}, specs)
+	if got[0].Err != nil {
+		t.Fatalf("completed spec lost its result: %v", got[0].Err)
+	}
+	if got[0].Result.Cycles == 0 {
+		t.Fatal("completed spec returned an empty result")
+	}
+	for i := 1; i < len(specs); i++ {
+		if !errors.Is(got[i].Err, context.Canceled) {
+			t.Errorf("spec %d error = %v, want context.Canceled", i, got[i].Err)
+		}
+		if got[i].Result.Cycles != 0 {
+			t.Errorf("cancelled spec %d delivered a result", i)
+		}
+	}
+	// The engine joins every processor goroutine on abort; give the
+	// runtime a moment to retire them.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked across cancelled batch: %d before, %d after", before, n)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	netbench -exp all -j 8                  # eight concurrent simulations
 //	netbench -exp tables                    # Tables 1-3 (latency models)
 //	netbench -exp fig5 -cpuprofile cpu.out  # profile the simulation engine
+//	netbench -exp all -sample stratified    # sampled sweeps (10x+ faster)
 //	netbench -list                          # list experiment ids
 //
 // Experiments: tables, table4, fig5, fig6, fig7, fig8, fig9, fig10,
@@ -57,6 +58,13 @@ func run() int {
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		csv     = flag.String("csv", "", "directory to also write sweep CSVs (fig13-15, scaling)")
+
+		sample    = flag.String("sample", "", "sampled simulation: periodic|stratified (empty = full runs)")
+		warmup    = flag.Uint64("warmup", 0, "sampled: detailed warmup refs before each interval (0 = default)")
+		intervals = flag.Int("intervals", 0, "sampled: max measured intervals (0 = default, <0 = unlimited)")
+		ivrefs    = flag.Uint64("interval-refs", 0, "sampled: refs per measured interval (0 = default)")
+		speriod   = flag.Int("sample-period", 0, "sampled: period in epochs between intervals (0 = default)")
+		sseed     = flag.Uint64("sample-seed", 0, "sampled: stratified placement seed")
 	)
 	var pf prof.Flags
 	pf.Register()
@@ -80,6 +88,12 @@ func run() int {
 	defer stop()
 
 	opt := exp.Options{Scale: *scale, Workers: *jobs, Timeout: *timeout}
+	if *sample != "" {
+		opt.Sampling = &netcache.Sampling{
+			Mode: *sample, IntervalRefs: *ivrefs, WarmupRefs: *warmup,
+			Period: *speriod, Intervals: *intervals, Seed: *sseed,
+		}
+	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}

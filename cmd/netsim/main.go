@@ -7,7 +7,13 @@
 //	       [-l2 16384] [-rate 10] [-memlat 76] [-policy random] [-direct]
 //	       [-line 64] [-verify] [-prefetch] [-singlestart] [-dump N] [-v]
 //	       [-j 4] [-timeout 30s]
+//	       [-sample stratified] [-warmup N] [-intervals N]
+//	       [-interval-refs N] [-sample-period N] [-sample-seed N]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out] [-trace trace.out]
+//
+// With -sample the run executes in representative-interval sampled mode:
+// the report gains extrapolated estimates with ± error bars, and the exact
+// counters reflect the hybrid (functional + detailed) execution.
 //
 // Systems: netcache, optnet, lambdanet, dmon-u, dmon-i, or "all". With
 // -system all the runs execute concurrently on a worker pool (-j, default
@@ -55,6 +61,13 @@ func run() int {
 		single   = flag.Bool("singlestart", false, "ablation: single-start reads (ring first)")
 		jobs     = flag.Int("j", 0, "concurrent simulations for -system all (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
+
+		sample    = flag.String("sample", "", "sampled simulation: periodic|stratified (empty = full run)")
+		warmup    = flag.Uint64("warmup", 0, "sampled: detailed warmup refs before each interval (0 = default)")
+		intervals = flag.Int("intervals", 0, "sampled: max measured intervals (0 = default, <0 = unlimited)")
+		ivrefs    = flag.Uint64("interval-refs", 0, "sampled: refs per measured interval (0 = default)")
+		speriod   = flag.Int("sample-period", 0, "sampled: period in epochs between intervals (0 = default)")
+		sseed     = flag.Uint64("sample-seed", 0, "sampled: stratified placement seed")
 	)
 	var pf prof.Flags
 	pf.Register()
@@ -107,11 +120,19 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var smp *netcache.Sampling
+	if *sample != "" {
+		smp = &netcache.Sampling{
+			Mode: *sample, IntervalRefs: *ivrefs, WarmupRefs: *warmup,
+			Period: *speriod, Intervals: *intervals, Seed: *sseed,
+		}
+	}
+
 	specs := make([]netcache.RunSpec, len(systems))
 	for i, sys := range systems {
 		specs[i] = netcache.RunSpec{
 			App: *app, System: sys, Config: cfg, Scale: *scale, Verify: *verify,
-			TraceCap: *dump,
+			TraceCap: *dump, Sampling: smp,
 		}
 	}
 	results := netcache.RunBatch(ctx, netcache.BatchOptions{
@@ -150,6 +171,20 @@ func report(r netcache.Result, verbose bool) {
 	fmt.Fprintf(w, "writes\t%d\tupdates issued %d\n", r.Writes, r.Updates)
 	fmt.Fprintf(w, "stalls\tread %d\twrite %d  sync %d  busy %d\n", r.ReadStall, r.WriteStall, r.SyncStall, r.Busy)
 	fmt.Fprintf(w, "fractions\tread %.1f%%\tsync %.1f%%\n", 100*r.ReadLatencyFraction, 100*r.SyncFraction)
+	if s := r.Sampled; s != nil {
+		fmt.Fprintf(w, "sampled\t%s\t%d intervals  %d/%d refs measured", s.Mode, s.Intervals, s.MeasuredRefs, s.TotalRefs)
+		if s.Degraded {
+			fmt.Fprint(w, "  DEGRADED")
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  est cycles\t%.0f ± %.0f\n", s.Cycles.Mean, s.Cycles.Err)
+		fmt.Fprintf(w, "  est miss ratio\t%.4f ± %.4f\n", s.MissRatio.Mean, s.MissRatio.Err)
+		if r.System == "netcache" {
+			fmt.Fprintf(w, "  est shared hit rate\t%.1f%% ± %.1f%%\n", 100*s.SharedCacheHitRate.Mean, 100*s.SharedCacheHitRate.Err)
+		}
+		fmt.Fprintf(w, "  est miss latency\t%.1f ± %.1f pc\n", s.AvgL2MissLatency.Mean, s.AvgL2MissLatency.Err)
+		fmt.Fprintf(w, "  est read fraction\t%.1f%% ± %.1f%%\n", 100*s.ReadLatencyFraction.Mean, 100*s.ReadLatencyFraction.Err)
+	}
 	tot := r.Raw.Totals()
 	fmt.Fprintf(w, "miss hist\t%s\n", tot.MissHist.String())
 	keys := make([]string, 0, len(r.Proto))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -251,7 +252,9 @@ func (c *Cluster) StartProbes() {
 	c.mu.Unlock()
 	go func() {
 		defer close(c.done)
-		t := time.NewTicker(c.cfg.ProbeInterval)
+		// Jittered ±25% so a fleet of peers started together spreads its
+		// probe traffic instead of thundering in lockstep every period.
+		t := time.NewTimer(jitter(c.cfg.ProbeInterval))
 		defer t.Stop()
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
@@ -265,6 +268,7 @@ func (c *Cluster) StartProbes() {
 				return
 			case <-t.C:
 				c.ProbeNow(ctx)
+				t.Reset(jitter(c.cfg.ProbeInterval))
 			}
 		}
 	}()
@@ -279,4 +283,15 @@ func (c *Cluster) Close() {
 	if probing {
 		<-c.done
 	}
+}
+
+// jitter spreads a maintenance interval uniformly over [0.75d, 1.25d], the
+// same policy as the store compactor: the mean period stays d while
+// lockstep fleets desynchronize within a few periods.
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Microsecond {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(int64(d) - half/2 + rand.Int64N(half+1))
 }

@@ -29,6 +29,11 @@ type Options struct {
 	Workers  int           // concurrent simulations; <=0 = GOMAXPROCS
 	Timeout  time.Duration // per-simulation wall-clock limit; 0 = none
 	Progress func(format string, args ...interface{})
+
+	// Sampling, when enabled, runs every simulation in sampled mode: figures
+	// are built from the extrapolated estimates (the Estimated* accessors)
+	// instead of exact counts, trading a bounded error for a large speedup.
+	Sampling *netcache.Sampling
 }
 
 func (o Options) apps() []string {
@@ -74,9 +79,14 @@ func (r *Runner) Opt() Options { return r.opt }
 // key derives the memoization key from the complete configuration: every
 // Config field participates (via %+v), so two configs differing in any knob
 // — including L1 geometry, write-buffer depth, or the replacement seed —
-// can never alias each other's cached results.
+// can never alias each other's cached results. Sampled and full runs of the
+// same spec likewise never alias: the sampling config is part of the key.
 func (r *Runner) key(s Spec) string {
-	return fmt.Sprintf("%s|%s|%+v|%g", s.App, s.Sys, s.Cfg, r.opt.Scale)
+	k := fmt.Sprintf("%s|%s|%+v|%g", s.App, s.Sys, s.Cfg, r.opt.Scale)
+	if r.opt.Sampling.Enabled() {
+		k += fmt.Sprintf("|sample:%+v", *r.opt.Sampling)
+	}
+	return k
 }
 
 func (r *Runner) cached(key string) (netcache.Result, bool) {
@@ -111,6 +121,10 @@ func (r *Runner) Prime(ctx context.Context, specs []Spec) error {
 	jobs := make([]runner.Job[netcache.Result], len(todo))
 	for i, p := range todo {
 		spec := netcache.RunSpec{App: p.spec.App, System: p.spec.Sys, Config: p.spec.Cfg, Scale: r.opt.Scale}
+		if r.opt.Sampling.Enabled() {
+			s := *r.opt.Sampling
+			spec.Sampling = &s
+		}
 		jobs[i] = runner.Job[netcache.Result]{
 			Key: p.key,
 			Run: func(ctx context.Context) (netcache.Result, error) {

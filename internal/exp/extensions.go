@@ -40,9 +40,9 @@ func AblationDualStart(ctx context.Context, r *Runner) ([]AblationRow, error) {
 		dual, sgl := res[2*i], res[2*i+1]
 		out = append(out, AblationRow{
 			App:         app,
-			DualStart:   dual.Cycles,
-			SingleStart: sgl.Cycles,
-			PenaltyPc:   100 * (float64(sgl.Cycles)/float64(dual.Cycles) - 1),
+			DualStart:   cyc(dual),
+			SingleStart: cyc(sgl),
+			PenaltyPc:   100 * (sgl.EstimatedCycles()/dual.EstimatedCycles() - 1),
 		})
 	}
 	return out, nil
@@ -87,10 +87,10 @@ func Scaling(ctx context.Context, r *Runner) ([]ScalingRow, error) {
 		return nil, err
 	}
 	for i := range rows {
-		rows[i].Cycles = res[i].Cycles
+		rows[i].Cycles = cyc(res[i])
 		// The p=1 point of each (app, system) group leads its stride.
-		base := res[i-i%len(ScalingProcs)].Cycles
-		rows[i].Speedup = float64(base) / float64(res[i].Cycles)
+		base := res[i-i%len(ScalingProcs)].EstimatedCycles()
+		rows[i].Speedup = base / res[i].EstimatedCycles()
 	}
 	return rows, nil
 }
@@ -124,9 +124,9 @@ func PrefetchStudy(ctx context.Context, r *Runner) ([]PrefetchRow, error) {
 		base, pfr := res[2*i], res[2*i+1]
 		out = append(out, PrefetchRow{
 			App:      app,
-			Base:     base.Cycles,
-			Prefetch: pfr.Cycles,
-			GainPc:   100 * (1 - float64(pfr.Cycles)/float64(base.Cycles)),
+			Base:     cyc(base),
+			Prefetch: cyc(pfr),
+			GainPc:   100 * (1 - pfr.EstimatedCycles()/base.EstimatedCycles()),
 		})
 	}
 	return out, nil

@@ -10,6 +10,15 @@ import (
 // pool (one parallel sweep per figure), and then assembles rows from the
 // memoized results sequentially — so row order and contents are identical
 // at any worker count.
+//
+// Figures read results through the sampled-aware helpers below (and the
+// Estimated* accessors): a full run yields its exact fields, a sampled run
+// its extrapolated estimates, so every figure works identically in both
+// modes.
+
+// cyc is the run time in pcycles, rounded back to the exact integer for
+// full runs.
+func cyc(r netcache.Result) int64 { return int64(r.EstimatedCycles() + 0.5) }
 
 // Fig5Row is one bar of Figure 5 (speedup of the 16-node NetCache machine).
 type Fig5Row struct {
@@ -39,8 +48,8 @@ func Figure5(ctx context.Context, r *Runner) ([]Fig5Row, error) {
 	for i, app := range apps {
 		t1, t16 := res[2*i], res[2*i+1]
 		out = append(out, Fig5Row{
-			App: app, T1: t1.Cycles, T16: t16.Cycles,
-			Speedup: float64(t1.Cycles) / float64(t16.Cycles),
+			App: app, T1: cyc(t1), T16: cyc(t16),
+			Speedup: t1.EstimatedCycles() / t16.EstimatedCycles(),
 		})
 	}
 	return out, nil
@@ -78,7 +87,7 @@ func Figure6(ctx context.Context, r *Runner) ([]Fig6Row, error) {
 		row := Fig6Row{App: app, Cycles: map[string]int64{}, Norm: map[string]float64{}}
 		base := int64(0)
 		for j, sys := range Fig6Systems {
-			c := res[i*len(Fig6Systems)+j].Cycles
+			c := cyc(res[i*len(Fig6Systems)+j])
 			row.Cycles[sys.String()] = c
 			if sys == netcache.SystemNetCache {
 				base = c
@@ -121,14 +130,14 @@ func Figure7(ctx context.Context, r *Runner) ([]Fig7Row, error) {
 		noRing, with := res[2*i], res[2*i+1]
 		row := Fig7Row{
 			App:             app,
-			ReadLatFraction: 100 * noRing.ReadLatencyFraction,
-			HitRate:         100 * with.SharedCacheHitRate,
+			ReadLatFraction: 100 * noRing.EstimatedReadLatencyFraction(),
+			HitRate:         100 * with.EstimatedSharedHitRate(),
 		}
-		if noRing.AvgL2MissLatency > 0 {
-			row.MissLatReduction = 100 * (1 - with.AvgL2MissLatency/noRing.AvgL2MissLatency)
+		if noRing.EstimatedAvgL2MissLatency() > 0 {
+			row.MissLatReduction = 100 * (1 - with.EstimatedAvgL2MissLatency()/noRing.EstimatedAvgL2MissLatency())
 		}
-		if noRing.ReadStall > 0 {
-			row.ReadLatReduction = 100 * (1 - float64(with.ReadStall)/float64(noRing.ReadStall))
+		if noRing.EstimatedReadStall() > 0 {
+			row.ReadLatReduction = 100 * (1 - with.EstimatedReadStall()/noRing.EstimatedReadStall())
 		}
 		out = append(out, row)
 	}
@@ -164,7 +173,7 @@ func Figure8(ctx context.Context, r *Runner) ([]Fig8Row, error) {
 	for i, app := range apps {
 		row := Fig8Row{App: app, Hits: map[int]float64{}}
 		for j, kb := range sizes {
-			row.Hits[kb] = 100 * res[i*len(sizes)+j].SharedCacheHitRate
+			row.Hits[kb] = 100 * res[i*len(sizes)+j].EstimatedSharedHitRate()
 		}
 		out = append(out, row)
 	}
@@ -203,14 +212,14 @@ func Figure9And10(ctx context.Context, r *Runner) ([]Fig910Row, error) {
 		row := Fig910Row{App: app,
 			ReadLat: map[int]float64{}, RunTime: map[int]float64{}, Absolute: map[int]int64{}}
 		base := res[i*stride]
-		row.ReadLat[0], row.RunTime[0], row.Absolute[0] = 1, 1, base.Cycles
+		row.ReadLat[0], row.RunTime[0], row.Absolute[0] = 1, 1, cyc(base)
 		for j, kb := range sizes {
 			sized := res[i*stride+1+j]
-			if base.ReadStall > 0 {
-				row.ReadLat[kb] = float64(sized.ReadStall) / float64(base.ReadStall)
+			if base.EstimatedReadStall() > 0 {
+				row.ReadLat[kb] = sized.EstimatedReadStall() / base.EstimatedReadStall()
 			}
-			row.RunTime[kb] = float64(sized.Cycles) / float64(base.Cycles)
-			row.Absolute[kb] = sized.Cycles
+			row.RunTime[kb] = sized.EstimatedCycles() / base.EstimatedCycles()
+			row.Absolute[kb] = cyc(sized)
 		}
 		out = append(out, row)
 	}
@@ -247,11 +256,11 @@ func BlockSize(ctx context.Context, r *Runner) ([]BlockSizeRow, error) {
 		b64, b128 := res[2*i], res[2*i+1]
 		out = append(out, BlockSizeRow{
 			App:       app,
-			Cycles64:  b64.Cycles,
-			Cycles128: b128.Cycles,
-			PenaltyPc: 100 * (float64(b128.Cycles)/float64(b64.Cycles) - 1),
-			Hit64:     100 * b64.SharedCacheHitRate,
-			Hit128:    100 * b128.SharedCacheHitRate,
+			Cycles64:  cyc(b64),
+			Cycles128: cyc(b128),
+			PenaltyPc: 100 * (b128.EstimatedCycles()/b64.EstimatedCycles() - 1),
+			Hit64:     100 * b64.EstimatedSharedHitRate(),
+			Hit128:    100 * b128.EstimatedSharedHitRate(),
 		})
 	}
 	return out, nil
@@ -284,8 +293,8 @@ func Figure11(ctx context.Context, r *Runner) ([]Fig11Row, error) {
 	for i, app := range apps {
 		out = append(out, Fig11Row{
 			App:       app,
-			HitFully:  100 * res[2*i].SharedCacheHitRate,
-			HitDirect: 100 * res[2*i+1].SharedCacheHitRate,
+			HitFully:  100 * res[2*i].EstimatedSharedHitRate(),
+			HitDirect: 100 * res[2*i+1].EstimatedSharedHitRate(),
 		})
 	}
 	return out, nil
@@ -321,7 +330,7 @@ func Figure12(ctx context.Context, r *Runner) ([]Fig12Row, error) {
 	for i, app := range apps {
 		row := Fig12Row{App: app, Hits: map[string]float64{}}
 		for j, pol := range Policies {
-			row.Hits[pol.String()] = 100 * res[i*len(Policies)+j].SharedCacheHitRate
+			row.Hits[pol.String()] = 100 * res[i*len(Policies)+j].EstimatedSharedHitRate()
 		}
 		out = append(out, row)
 	}
@@ -362,7 +371,7 @@ func (r *Runner) sweep(ctx context.Context, xs []int, set func(*netcache.Config,
 		return nil, err
 	}
 	for i := range rows {
-		rows[i].Cycles = res[i].Cycles
+		rows[i].Cycles = cyc(res[i])
 	}
 	return rows, nil
 }

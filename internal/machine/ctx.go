@@ -39,6 +39,10 @@ func (c *Ctx) Compute(n int) {
 // timestamps inside the current run of L1 hits are applied when the
 // processor next yields — a bounded, deterministic skew.)
 func (c *Ctx) Read(a Addr) {
+	if s := c.M.smp; s != nil && s.step(c.P) == refFunctional {
+		c.N.warmRead(c.P, a)
+		return
+	}
 	if _, ok := c.N.L1.Lookup(a); ok {
 		c.N.St.Reads++
 		c.N.St.L1Hits++
@@ -56,6 +60,10 @@ func (c *Ctx) Read(a Addr) {
 // they only widen the entry's dirty-word mask, and the drain pipeline
 // already has a pending step whenever the buffer is non-empty.
 func (c *Ctx) Write(a Addr) {
+	if s := c.M.smp; s != nil && s.step(c.P) == refFunctional {
+		c.N.warmWrite(c.P, a)
+		return
+	}
 	block := c.M.Space.Block(a)
 	if c.N.WB.Has(block) {
 		c.N.St.Writes++
@@ -70,6 +78,10 @@ func (c *Ctx) Write(a Addr) {
 // Fence blocks until all of this processor's prior writes are globally
 // performed (release-consistency fence).
 func (c *Ctx) Fence() {
+	if s := c.M.smp; s != nil && s.phase == phaseFunctional {
+		c.N.warmFence(c.P)
+		return
+	}
 	c.P.Invoke(c.N.fenceSvcFn)
 }
 

@@ -98,6 +98,12 @@ type Machine struct {
 	// Trace, when attached, records recent transactions for debugging.
 	Trace *trace.Buffer
 
+	// smp/warm/warmDrainLat drive interval-structured execution when a
+	// SamplePlan is attached; all nil/zero in full-detail runs.
+	smp          *sampler
+	warm         Warmer
+	warmDrainLat Time
+
 	finished bool
 }
 
@@ -152,6 +158,30 @@ func (m *Machine) P() int { return len(m.Nodes) }
 func (m *Machine) AttachTrace(capacity int) *trace.Buffer {
 	m.Trace = trace.New(capacity)
 	return m.Trace
+}
+
+// AttachSampler switches the machine to interval-structured execution under
+// plan: references outside measured intervals run functionally (state, not
+// timing) through the protocol's Warmer, measured intervals run the full
+// detailed path between counter checkpoints, and collect attaches the
+// per-interval record to RunStats. Must be called before Run; fails when the
+// protocol does not implement Warmer.
+func (m *Machine) AttachSampler(plan SamplePlan) error {
+	w, ok := m.Proto.(Warmer)
+	if !ok {
+		return fmt.Errorf("machine: protocol %s does not support functional warmup", m.Proto.Name())
+	}
+	if plan.IntervalRefs == 0 {
+		plan.IntervalRefs = 32768
+	}
+	if plan.Period == 0 {
+		plan.Period = 16
+	}
+	m.warm = w
+	m.warmDrainLat = w.WarmDrainLatency()
+	m.smp = &sampler{m: m, plan: plan, period: plan.Period}
+	m.smp.schedule()
+	return nil
 }
 
 // Run executes body on every processor and returns the collected run

@@ -63,8 +63,25 @@ type Node struct {
 	// a miss extends the previous one by one block.
 	lastMiss Addr
 
+	// warmFree models the drain pipeline in functional mode: the time the
+	// single-outstanding-transaction pipeline next frees up. Entries drain at
+	// max(eligible, warmFree) and occupy the pipeline for one drain latency,
+	// so functional stretches coalesce writes at the same effective rate as
+	// the event-driven pipeline.
+	warmFree Time
+	// warmNext is a lower bound on the earliest time the write buffer's head
+	// entry can drain — warmTick's single-compare fast path. It is lowered
+	// to zero whenever an event could make the head eligible earlier (first
+	// entry added, pressure threshold crossed, head replaced, functional
+	// phase re-entered after detailed execution) and recomputed on the next
+	// tick; a bound that is too low only costs a recomputation.
+	warmNext Time
+
 	St NodeStats
 }
+
+// warmNever parks warmNext while the write buffer is empty.
+const warmNever = Time(1) << 62
 
 // NodeStats accumulates per-node activity.
 type NodeStats struct {
@@ -286,12 +303,16 @@ func (n *Node) write(p *sim.Proc, a Addr) {
 		p.ResumeAt(t + 1)
 		return
 	}
-	// Stall until the drain pipeline frees an entry.
+	// Stall until the drain pipeline frees an entry. The kick matters after
+	// a functional-warmup stretch: warm writes fill the buffer without
+	// scheduling drain events, so a full buffer no longer implies a pending
+	// drainStep (it is idempotent when one is).
 	n.stallProc = p
 	n.stallBlock = block
 	n.stallWord = word
 	n.stallShared = shared
 	n.stallFrom = t
+	n.kickDrain(t)
 	p.Block()
 }
 
@@ -410,3 +431,179 @@ func (n *Node) Poison(block Addr) {
 		n.poisoned = true
 	}
 }
+
+// ---- Functional-warmup paths -------------------------------------------
+//
+// The warm* methods mirror read/write/fence but run entirely in app context:
+// cache, write-buffer and protocol state advance exactly as in the detailed
+// path, latencies are contention-free estimates, and no engine event is
+// scheduled. Safe under engine exclusivity by the same argument as the
+// Ctx.Read L1 fast path — only one goroutine is ever runnable.
+
+// Now returns the node's processor clock. Valid only while the machine runs;
+// protocols use it to keep warm-mode state timestamps (ring recency, race
+// FIFO residency) consistent with the advancing clocks.
+func (n *Node) Now() Time { return n.proc.Clock() }
+
+// WarmFillL2 installs block functionally: the victim's L1 halves are
+// invalidated and the protocol sees a state-only eviction.
+func (n *Node) WarmFillL2(block Addr, st mem.State) {
+	evicted, evState := n.L2.Fill(block, st)
+	if evicted >= 0 {
+		n.L1.InvalidateRange(evicted, n.L2.BlockBytes())
+		n.M.warm.WarmEvict(n, evicted, evState)
+	}
+}
+
+// warmRead is the functional read path.
+func (n *Node) warmRead(p *sim.Proc, a Addr) {
+	m := n.M
+	n.St.Reads++
+	n.warmTick(p.Clock())
+	if _, ok := n.L1.Lookup(a); ok {
+		n.St.L1Hits++
+		p.Advance(m.Model.L1TagCheck)
+		return
+	}
+	block := n.L2.BlockBytes()
+	l2block := a &^ (block - 1)
+	if n.WB.Match(l2block, m.Space.WordIndex(a)) {
+		n.St.WBHits++
+		p.Advance(m.Model.L1TagCheck)
+		return
+	}
+	if _, ok := n.L2.Lookup(a); ok {
+		n.St.L2Hits++
+		n.FillL1(a)
+		n.St.ReadStall += m.Model.L2HitTotal - 1
+		p.Advance(m.Model.L2HitTotal)
+		return
+	}
+	if _, ok := n.pf.lookup(l2block); ok {
+		// An in-flight prefetch from a detailed phase holds the block; its
+		// completion event will land it.
+		n.St.PrefetchHits++
+		n.St.ReadStall += m.Model.L2HitTotal - 1
+		p.Advance(m.Model.L2HitTotal)
+		return
+	}
+	lat, st := m.warm.WarmReadMiss(n, a)
+	if m.Space.IsShared(a) && m.Space.Home(a) != n.ID {
+		n.St.RemoteMiss++
+	} else {
+		n.St.LocalMiss++
+	}
+	n.WarmFillL2(l2block, st)
+	n.FillL1(a)
+	n.St.ReadStall += lat - 1
+	n.St.L2MissLat += lat
+	n.St.MissHist.Add(int64(lat))
+	n.lastMiss = l2block
+	p.Advance(lat)
+}
+
+// warmTick advances the functional drain-pipeline model to now: entries
+// that became eligible (pressure or age) drain serially, one per drain
+// latency, mirroring the detailed pipeline's single outstanding transaction.
+// Both the read and write paths tick, so entries age out between sparse
+// writes just as the event-driven pipeline would, and write bursts back up
+// and coalesce instead of draining instantly. Background drains overlap
+// execution in the detailed machine, so they cost the processor nothing.
+func (n *Node) warmTick(now Time) {
+	if now < n.warmNext {
+		return
+	}
+	for {
+		e, ok := n.WB.Front()
+		if !ok {
+			n.warmNext = warmNever
+			return
+		}
+		start := Time(e.At)
+		if n.WB.Len() < wbPressure {
+			start += wbAge * warmAgeScale
+		}
+		if start < n.warmFree {
+			start = n.warmFree
+		}
+		if start > now {
+			n.warmNext = start
+			return
+		}
+		n.warmDrainEntry(n.WB.PopFront())
+		n.warmFree = start + n.M.warmDrainLat
+	}
+}
+
+// warmWrite is the functional store path: the write buffer still coalesces
+// (its occupancy shapes later detailed intervals), and entries drain through
+// the warmTick pipeline model under the same eligibility rule as the
+// detailed pipeline — pressure or age.
+func (n *Node) warmWrite(p *sim.Proc, a Addr) {
+	m := n.M
+	n.St.Writes++
+	block := m.Space.Block(a)
+	word := m.Space.WordIndex(a)
+	now := p.Clock()
+	n.warmTick(now)
+	if n.WB.Full() && !n.WB.Has(block) {
+		// Structural hazard: the detailed path stalls the store until the
+		// pipeline frees an entry. Drain the head through the pipeline model
+		// without advancing the processor — the detailed stall is dominated
+		// by contention, which the functional clock deliberately omits, and
+		// charging the contention-free wait here double-counts against the
+		// calibrated extrapolation.
+		e, _ := n.WB.Front()
+		start := Time(e.At)
+		if start < n.warmFree {
+			start = n.warmFree
+		}
+		n.warmDrainEntry(n.WB.PopFront())
+		n.warmFree = start + m.warmDrainLat
+		n.warmNext = 0 // head replaced: recompute the drain bound
+	}
+	n.WB.Add(block, word, m.Space.IsShared(a), int64(now))
+	if l := n.WB.Len(); l == 1 || l == wbPressure {
+		// A first entry sets the head; crossing the pressure threshold
+		// removes the aging delay. Either can make a drain eligible earlier
+		// than the recorded bound.
+		n.warmNext = 0
+	}
+	n.warmTick(now)
+	p.Advance(1)
+}
+
+func (n *Node) warmDrainEntry(e mem.WBEntry) {
+	if e.Shared {
+		n.St.UpdatesIssued++
+	}
+	n.M.warm.WarmDrain(n, e)
+}
+
+// warmFence drains the write buffer functionally. Entries drain serially in
+// the detailed pipeline (one coherence transaction in flight), so the fence
+// charges one contention-free drain latency per entry. An outstanding
+// detailed transaction, if any, completes via its already-scheduled events.
+func (n *Node) warmFence(p *sim.Proc) {
+	t0 := p.Clock()
+	if n.warmFree > t0 {
+		// Wait out the modeled in-flight drain before the remaining entries
+		// go through back-to-back.
+		p.Advance(n.warmFree - t0)
+	}
+	for n.WB.Len() > 0 {
+		n.warmDrainEntry(n.WB.PopFront())
+		p.Advance(n.M.warmDrainLat)
+	}
+	n.warmFree = p.Clock()
+	n.warmNext = warmNever // buffer drained empty
+	d := p.Clock() - t0
+	n.St.SyncStall += d
+	n.St.FenceStall += d
+}
+
+// warmAgeScale stretches the write-buffer aging threshold in functional
+// mode: the contention-free clock covers fewer references per cycle than the
+// detailed one, so unscaled aging would drain entries relatively sooner and
+// coalesce fewer writes than the detailed machine does.
+const warmAgeScale = 2

@@ -1,0 +1,460 @@
+package machine
+
+import (
+	"netcache/internal/mem"
+	"netcache/internal/sim"
+)
+
+// This file implements interval-structured (sampled) execution: the run is
+// divided into epochs of IntervalRefs demand references, one epoch per
+// Period is simulated in full detail between two counter checkpoints, a
+// detailed-but-unmeasured warmup window precedes each measured epoch so
+// timing state (channels, memory queues, drain pipelines) recovers, and
+// every other reference runs functionally — cache/directory/ring state
+// advances through the protocol's Warmer, but no engine event is scheduled
+// and no channel is arbitrated. Synchronization (barriers, locks) stays
+// detailed in every phase, so the interleaving remains deterministic and
+// application results stay correct.
+
+// SamplePlan configures interval-structured execution.
+type SamplePlan struct {
+	// IntervalRefs is the measured-interval (epoch) length in machine-wide
+	// demand references.
+	IntervalRefs uint64
+	// WarmupRefs is the detailed-but-unmeasured window executed immediately
+	// before each measured interval.
+	WarmupRefs uint64
+	// Period is the sampling period in epochs: one epoch out of every Period
+	// is measured.
+	Period uint64
+	// Stratified selects seed-driven placement of the measured epoch within
+	// each period; false always measures the period's last epoch.
+	Stratified bool
+	// Seed drives stratified placement. Placement is a pure function of
+	// (Seed, stratum index), so a sampled run is bit-deterministic.
+	Seed uint64
+	// MaxIntervals, when positive, bounds measurement density: each time the
+	// interval count reaches a multiple of it, the sampling period doubles.
+	// A fixed interval budget then spreads log-uniformly over a run of any
+	// length — long runs get the speedup of sparse sampling without losing
+	// late-phase coverage to a hard cutoff.
+	MaxIntervals int
+}
+
+// Warmer is the protocol half of functional warmup: state-only transaction
+// handlers that keep caches, directories and the shared ring current without
+// arbitrating for channels or scheduling events. A protocol must implement
+// it for the machine to accept a SamplePlan.
+type Warmer interface {
+	// WarmReadMiss services a second-level read miss functionally: protocol
+	// state (ring, directory, counters) advances, and the returned latency
+	// is the contention-free estimate charged to the processor.
+	WarmReadMiss(n *Node, addr Addr) (lat Time, st mem.State)
+	// WarmDrain performs the coherence state transition for one write-buffer
+	// entry (update delivery / invalidation / ownership) without timing.
+	WarmDrain(n *Node, e mem.WBEntry)
+	// WarmEvict performs the state half of an eviction (directory clear,
+	// writeback accounting).
+	WarmEvict(n *Node, block Addr, st mem.State)
+	// WarmDrainLatency is the contention-free cost charged per drained entry
+	// when a fence or a full buffer forces a functional drain.
+	WarmDrainLatency() Time
+}
+
+// Checkpoint is a snapshot of the run's measurement state at an interval
+// boundary: the machine-wide reference count, the processor-summed clock,
+// and a dense copy of every node's counters. NodeStats is a fixed-size value
+// struct (the histogram is an inline array), so the copy is P struct
+// assignments — no per-counter work.
+type Checkpoint struct {
+	Refs uint64
+	// Clock is Engine.SumClock at the checkpoint: processor-summed pcycles,
+	// the skew-immune progress measure (functional bursts run one processor
+	// far ahead of the parked rest, so max-style clocks jump erratically at
+	// reference-count boundaries).
+	Clock Time
+	Nodes []NodeStats
+}
+
+// Checkpoint captures the measurement state at the current point of
+// execution, letting measurement resume (via DeltaSince) at an interval
+// start. Exported so custom harnesses can measure their own windows.
+func (m *Machine) Checkpoint(refs uint64) Checkpoint {
+	cp := Checkpoint{Refs: refs, Clock: m.Eng.SumClock(), Nodes: make([]NodeStats, len(m.Nodes))}
+	for i, n := range m.Nodes {
+		cp.Nodes[i] = n.St
+	}
+	return cp
+}
+
+// Interval is the measured delta between a checkpoint and a later point of
+// the same run.
+type Interval struct {
+	Index    int
+	StartRef uint64
+	Refs     uint64
+	// Cycles is the interval's processor-summed clock progress (SumClock
+	// delta): P × the machine's average per-processor advance, in pcycles.
+	Cycles Time
+
+	// FuncRefs/FuncCycles/FuncSync describe the functional stretch that
+	// preceded this interval's warmup: a nearby program region executed under
+	// contention-free timing, recorded for diagnostics (per-interval
+	// detail/functional comparisons). FuncSync separates waiting cycles,
+	// which scale with work imbalance rather than references.
+	FuncRefs   uint64
+	FuncCycles Time
+	FuncSync   Time
+
+	Reads      uint64
+	Writes     uint64
+	L1Hits     uint64
+	WBHits     uint64
+	L2Hits     uint64
+	LocalMiss  uint64
+	RemoteMiss uint64
+	SharedHits uint64
+
+	ReadStall  Time
+	WriteStall Time
+	SyncStall  Time
+	Busy       Time
+	L2MissLat  Time
+
+	UpdatesIssued uint64
+}
+
+// DeltaSince measures the interval from cp to the current point. Refs is
+// left for the caller to fill (the sampler tracks references machine-wide).
+func (m *Machine) DeltaSince(cp Checkpoint, index int) Interval {
+	iv := Interval{Index: index, StartRef: cp.Refs, Cycles: m.Eng.SumClock() - cp.Clock}
+	for i, n := range m.Nodes {
+		a, b := &n.St, &cp.Nodes[i]
+		iv.Reads += a.Reads - b.Reads
+		iv.Writes += a.Writes - b.Writes
+		iv.L1Hits += a.L1Hits - b.L1Hits
+		iv.WBHits += a.WBHits - b.WBHits
+		iv.L2Hits += a.L2Hits - b.L2Hits
+		iv.LocalMiss += a.LocalMiss - b.LocalMiss
+		iv.RemoteMiss += a.RemoteMiss - b.RemoteMiss
+		iv.SharedHits += a.SharedHits - b.SharedHits
+		iv.ReadStall += a.ReadStall - b.ReadStall
+		iv.WriteStall += a.WriteStall - b.WriteStall
+		iv.SyncStall += a.SyncStall - b.SyncStall
+		iv.Busy += a.Busy - b.Busy
+		iv.L2MissLat += a.L2MissLat - b.L2MissLat
+		iv.UpdatesIssued += a.UpdatesIssued - b.UpdatesIssued
+	}
+	return iv
+}
+
+// SampleStats is the sampled-run record attached to RunStats: the effective
+// plan, the measured intervals, and the clock/reference partition
+// extrapolation needs. The run's cycles split exactly into DetCycles
+// (detailed warmup + measured intervals) and FuncCycles (functional
+// stretches); likewise FuncRefs + detailed references = TotalRefs.
+type SampleStats struct {
+	Plan         SamplePlan
+	TotalRefs    uint64
+	MeasuredRefs uint64
+	// FuncRefs/FuncCycles total the functional stretches; DetCycles totals
+	// the detailed (warmup + measured) stretches. Cycle totals are
+	// processor-summed (SumClock deltas): DetCycles + FuncCycles is P × the
+	// hybrid run's average per-processor clock.
+	FuncRefs   uint64
+	FuncCycles Time
+	DetCycles  Time
+	// FuncMisses/FuncMissLat total the second-level read misses serviced in
+	// functional stretches and the contention-free latency charged for them.
+	// Extrapolation substitutes the calibrated contended per-miss latency of
+	// the measured intervals for FuncMissLat/FuncMisses — the one component
+	// the functional clock deliberately omits.
+	FuncMisses  uint64
+	FuncMissLat Time
+	// Degraded marks a run too short to complete a single measured interval;
+	// Intervals then holds one whole-run delta so estimators still have
+	// data, but its figures are hybrid (functional + detailed), not sampled.
+	Degraded  bool `json:",omitempty"`
+	Intervals []Interval
+}
+
+// refMode classifies how one demand reference executes.
+type refMode uint8
+
+const (
+	refDetailed   refMode = iota // full timing path
+	refFunctional                // state advances, contention-free latency
+)
+
+// samplePhase is the sampler's position within the interval schedule.
+type samplePhase uint8
+
+const (
+	phaseFunctional samplePhase = iota // between intervals: functional warmup
+	phaseWarm                          // detailed, unmeasured
+	phaseMeasure                       // detailed, between checkpoints
+)
+
+// warmYieldEvery bounds a functional burst: every this many machine-wide
+// references the running processor yields so the engine rotates to the
+// lowest-clock processor. Clocks then advance in near-lockstep, as the
+// detailed engine keeps them — without the bound, one processor runs an
+// entire stretch ahead of the parked rest, and the artificial skew resolves
+// as phantom sync stall inside whichever measured interval contains the next
+// barrier, biasing the calibration. Fine-grained rotation also interleaves
+// the processors' shared-ring insertions the way the detailed engine does,
+// which the ring's replacement state needs to stay warm. The yield point
+// doubles as the cancellation poll.
+const warmYieldEvery = 16
+
+// A yield costs two goroutine switches (processor → engine → next
+// processor), which dominates functional-mode wall clock: the state-only
+// reference service is far cheaper than the switch. Deep inside a
+// functional stretch the fine interleaving buys nothing durable — the ring
+// replacement state it maintains is overwritten many times before the next
+// measured interval — so rotation drops to warmYieldCoarse there and
+// returns to warmYieldEvery for the last warmConvergeRefs before the next
+// detailed phase, a window long enough to turn the ring's replacement state
+// over and re-converge the interleaving-sensitive order. Both strides are
+// pure functions of the reference count, so placement stays deterministic.
+const (
+	warmYieldCoarse  = 256
+	warmConvergeRefs = 32768
+)
+
+// cancelPollEvery throttles the cancellation poll within functional
+// stretches; the detailed engine polls on its own schedule.
+const cancelPollEvery = 1024
+
+type sampler struct {
+	m    *Machine
+	plan SamplePlan
+
+	phase     samplePhase
+	refs      uint64
+	next      uint64 // reference count of the next phase transition
+	nextYield uint64 // next functional reference that is a yield candidate
+	measureAt uint64
+	endAt     uint64
+	stratum   uint64 // in epochs of period×IntervalRefs at the CURRENT period
+	strataOff uint64 // epoch offset of the current period regime
+	period    uint64 // current period (doubles when the budget rolls over)
+
+	cp        Checkpoint
+	intervals []Interval
+
+	// Clock/reference partition bookkeeping. The mark* fields anchor the
+	// stretch currently executing; the accumulators total closed stretches.
+	markClock      Time
+	markRefs       uint64
+	markSync       Time
+	markMisses     uint64
+	markMissLat    Time
+	funcCycles     Time
+	funcRefs       uint64
+	funcMisses     uint64
+	funcMissLat    Time
+	detCycles      Time
+	lastFuncCycles Time
+	lastFuncRefs   uint64
+	lastFuncSync   Time
+}
+
+// sumSync totals SyncStall across nodes: the machine-wide waiting-cycle
+// counter the work/wait split needs at stretch boundaries.
+func (s *sampler) sumSync() Time {
+	var t Time
+	for _, n := range s.m.Nodes {
+		t += n.St.SyncStall
+	}
+	return t
+}
+
+// sumMiss totals second-level read misses and their accumulated latency
+// across nodes, for the per-stretch miss accounting.
+func (s *sampler) sumMiss() (uint64, Time) {
+	var n uint64
+	var lat Time
+	for _, nd := range s.m.Nodes {
+		n += nd.St.LocalMiss + nd.St.RemoteMiss
+		lat += nd.St.L2MissLat
+	}
+	return n, lat
+}
+
+// mix64 is SplitMix64's finalizer over (seed, x): the stratified-placement
+// PRNG. A pure function of its inputs, so interval placement — and with it
+// the whole sampled run — is content-addressable by the spec alone.
+func mix64(seed, x uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(x+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// schedule places the next measured epoch within the current stratum,
+// relative to the epoch offset of the current period regime.
+func (s *sampler) schedule() {
+	per, iv := s.period, s.plan.IntervalRefs
+	k := per - 1
+	if s.plan.Stratified {
+		// strataOff+stratum is distinct for every stratum ever scheduled, so
+		// placement stays a pure function of the spec across regime changes.
+		k = mix64(s.plan.Seed, s.strataOff+s.stratum) % per
+	}
+	s.measureAt = (s.strataOff + s.stratum*per + k) * iv
+	s.endAt = s.measureAt + iv
+	warmAt := uint64(0)
+	if s.plan.WarmupRefs < s.measureAt {
+		warmAt = s.measureAt - s.plan.WarmupRefs
+	}
+	if warmAt < s.refs {
+		warmAt = s.refs
+	}
+	s.phase = phaseFunctional
+	s.next = warmAt
+	s.stratum++
+}
+
+// step counts and classifies the next demand reference. Called from app
+// context (under engine exclusivity) before the reference is serviced, so a
+// checkpoint taken on a phase boundary cleanly separates measured references
+// from the rest.
+func (s *sampler) step(p *sim.Proc) refMode {
+	r := s.refs
+	s.refs++
+	if r >= s.next {
+		s.advance(r)
+	}
+	switch s.phase {
+	case phaseWarm, phaseMeasure:
+		return refDetailed
+	default:
+		// One compare on the per-reference fast path; the stride logic
+		// lives behind it.
+		if r >= s.nextYield {
+			s.yieldPoint(r, p)
+		}
+		return refFunctional
+	}
+}
+
+// yieldPoint rotates processors and polls cancellation during engine-free
+// stretches, then arms the fast-path threshold for the next candidate. On a
+// failed run the Invoke hands control to the engine, which unwinds every
+// processor via poison; the no-op service never executes.
+func (s *sampler) yieldPoint(r uint64, p *sim.Proc) {
+	stride := uint64(warmYieldEvery)
+	if s.next-r > warmConvergeRefs {
+		stride = warmYieldCoarse
+	}
+	s.nextYield = (r/stride + 1) * stride
+	if r%stride != 0 {
+		return
+	}
+	if r%cancelPollEvery == 0 && s.m.Eng.CheckCancel() {
+		p.Invoke(func() {})
+		return
+	}
+	p.Yield()
+}
+
+func (s *sampler) advance(r uint64) {
+	for r >= s.next {
+		switch s.phase {
+		case phaseFunctional:
+			now, sync := s.m.Eng.SumClock(), s.sumSync()
+			mi, ml := s.sumMiss()
+			s.lastFuncCycles = now - s.markClock
+			s.lastFuncRefs = r - s.markRefs
+			s.lastFuncSync = sync - s.markSync
+			s.funcCycles += s.lastFuncCycles
+			s.funcRefs += s.lastFuncRefs
+			s.funcMisses += mi - s.markMisses
+			s.funcMissLat += ml - s.markMissLat
+			s.markClock, s.markRefs, s.markSync = now, r, sync
+			s.markMisses, s.markMissLat = mi, ml
+			s.phase = phaseWarm
+			s.next = s.measureAt
+		case phaseWarm:
+			s.cp = s.m.Checkpoint(r)
+			s.phase = phaseMeasure
+			s.next = s.endAt
+		case phaseMeasure:
+			iv := s.m.DeltaSince(s.cp, len(s.intervals))
+			iv.Refs = r - s.cp.Refs
+			iv.FuncRefs, iv.FuncCycles, iv.FuncSync = s.lastFuncRefs, s.lastFuncCycles, s.lastFuncSync
+			s.intervals = append(s.intervals, iv)
+			now := s.m.Eng.SumClock()
+			s.detCycles += now - s.markClock
+			s.markClock, s.markRefs, s.markSync = now, r, s.sumSync()
+			s.markMisses, s.markMissLat = s.sumMiss()
+			// Detailed execution moved the write buffers without maintaining
+			// the functional drain bounds; recompute them on first use.
+			for _, nd := range s.m.Nodes {
+				nd.warmNext = 0
+			}
+			if mi := s.plan.MaxIntervals; mi > 0 && len(s.intervals)%mi == 0 {
+				// Budget rollover: rebase the schedule at the current epoch
+				// and double the period, so the same interval budget covers
+				// the next, twice-as-long span of the run.
+				s.strataOff += s.stratum * s.period
+				s.stratum = 0
+				s.period *= 2
+			}
+			s.schedule()
+		}
+	}
+}
+
+// finish closes out the schedule at end of run and builds the record.
+func (s *sampler) finish() *SampleStats {
+	if s.phase == phaseMeasure {
+		// Partial final interval: keep it when it covers enough of an epoch
+		// to give a stable rate.
+		refs := s.refs - s.cp.Refs
+		if refs > 0 && refs >= s.plan.IntervalRefs/4 {
+			iv := s.m.DeltaSince(s.cp, len(s.intervals))
+			iv.Refs = refs
+			iv.FuncRefs, iv.FuncCycles, iv.FuncSync = s.lastFuncRefs, s.lastFuncCycles, s.lastFuncSync
+			s.intervals = append(s.intervals, iv)
+		}
+	}
+	// Close the trailing stretch so the clock partition is exact.
+	now := s.m.Eng.SumClock()
+	switch s.phase {
+	case phaseFunctional:
+		mi, ml := s.sumMiss()
+		s.funcCycles += now - s.markClock
+		s.funcRefs += s.refs - s.markRefs
+		s.funcMisses += mi - s.markMisses
+		s.funcMissLat += ml - s.markMissLat
+	default:
+		s.detCycles += now - s.markClock
+	}
+	st := &SampleStats{
+		Plan:        s.plan,
+		TotalRefs:   s.refs,
+		FuncRefs:    s.funcRefs,
+		FuncCycles:  s.funcCycles,
+		DetCycles:   s.detCycles,
+		FuncMisses:  s.funcMisses,
+		FuncMissLat: s.funcMissLat,
+		Intervals:   s.intervals,
+	}
+	if len(st.Intervals) == 0 {
+		// The run ended before one interval completed: fall back to a single
+		// whole-run delta so extrapolation degrades to the hybrid totals.
+		iv := s.m.DeltaSince(Checkpoint{Nodes: make([]NodeStats, len(s.m.Nodes))}, 0)
+		iv.Refs = s.refs
+		st.Degraded = true
+		st.Intervals = []Interval{iv}
+	}
+	for i := range st.Intervals {
+		st.MeasuredRefs += st.Intervals[i].Refs
+	}
+	return st
+}

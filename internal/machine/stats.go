@@ -11,6 +11,11 @@ type RunStats struct {
 	Nodes []NodeStats
 	Ring  ring.Stats
 	Proto map[string]uint64
+
+	// Sampling holds the per-interval record of a sampled run; nil (and
+	// omitted from the JSON encoding) for full-detail runs, which therefore
+	// keep their pre-sampling result bytes.
+	Sampling *SampleStats `json:",omitempty"`
 }
 
 func (m *Machine) collect(cycles Time) RunStats {
@@ -40,6 +45,9 @@ func (m *Machine) collect(cycles Time) RunStats {
 	rs.Proto["mem_reads"] = memReads
 	rs.Proto["mem_updates"] = memUpds
 	rs.Proto["mem_stall_cycles"] = memStall
+	if m.smp != nil {
+		rs.Sampling = m.smp.finish()
+	}
 	return rs
 }
 

@@ -368,6 +368,101 @@ func (p *Proto) Evict(n *machine.Node, block mem.Addr, st mem.State, t Time) {
 	p.m.Mems[home].Occupy(arrive, wbService+dirUpdateService)
 }
 
+// ---- Functional warmup (machine.Warmer) --------------------------------
+
+// WarmReadMiss advances directory and cache state for a functional read
+// miss: an I-SPEED owner is downgraded exactly as forward does, but no
+// channel is reserved and the latency is the Table 2 contention-free
+// estimate (plus the bounce-and-lookup overhead on forwarded service).
+func (p *Proto) WarmReadMiss(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	if !sp.IsShared(addr) {
+		p.counters.Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	home := sp.Home(addr)
+	block := sp.Block(addr)
+	if p.variant == Invalidate {
+		if owner, ok := p.dir.Get(sp.BlockIndex(block)); ok && owner != n.ID {
+			p.counters.Inc(counter.Forwards)
+			on := p.m.Nodes[owner]
+			if st, ok := on.L2.Lookup(block); ok {
+				if st == mem.Exclusive {
+					on.L2.SetState(block, mem.Shared)
+				}
+			} else {
+				p.counters.Inc(counter.ForwardMisses)
+			}
+			return md.DMONMiss() + md.MemRequestDMON + md.Flight + dirLookupService, mem.Clean
+		}
+	}
+	if home == n.ID {
+		p.counters.Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	p.counters.Inc(counter.RemoteReads)
+	return md.DMONMiss(), mem.Clean
+}
+
+// WarmDrain performs the coherence state transition for one entry: DMON-U
+// delivers the update to snoopers; I-SPEED writes owned copies silently,
+// write-allocates misses, then invalidates remote copies and takes
+// ownership — the same state machine as drainInvalidate, without timing.
+func (p *Proto) WarmDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		p.counters.Inc(counter.PrivateWrites)
+		return
+	}
+	if p.variant == Update {
+		p.counters.Inc(counter.Updates)
+		p.deliverUpdate(n.ID, e.Block)
+		return
+	}
+	block := e.Block
+	st, present := n.L2.Lookup(block)
+	if present && st == mem.Exclusive {
+		p.counters.Inc(counter.OwnerWrites)
+		return
+	}
+	if !present {
+		p.counters.Inc(counter.WriteMisses)
+		_, fst := p.WarmReadMiss(n, block)
+		n.WarmFillL2(block, fst)
+	}
+	p.counters.Inc(counter.Invalidations)
+	p.deliverInval(n.ID, block)
+	p.dir.Put(p.m.Space.BlockIndex(block), n.ID)
+	n.L2.SetState(block, mem.Exclusive)
+}
+
+// WarmEvict clears the I-SPEED directory entry for an owned victim (the
+// state half of Evict; the writeback's memory occupancy is timing-only).
+func (p *Proto) WarmEvict(n *machine.Node, block mem.Addr, st mem.State) {
+	if p.variant != Invalidate {
+		return
+	}
+	if st != mem.Exclusive && st != mem.Shared {
+		return
+	}
+	idx := p.m.Space.BlockIndex(block)
+	if owner, ok := p.dir.Get(idx); !ok || owner != n.ID {
+		return
+	}
+	p.dir.Delete(idx)
+	p.counters.Inc(counter.Writebacks)
+}
+
+// WarmDrainLatency is the Table 3 contention-free write transaction.
+func (p *Proto) WarmDrainLatency() Time {
+	if p.variant == Update {
+		return p.m.Model.CoherenceDMONU(8)
+	}
+	return p.m.Model.CoherenceDMONI()
+}
+
+var _ machine.Warmer = (*Proto)(nil)
+
 // SyncXmit broadcasts a synchronization message on the broadcast channel
 // after a control-channel reservation.
 func (p *Proto) SyncXmit(n *machine.Node, t Time) Time {

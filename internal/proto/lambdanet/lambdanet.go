@@ -133,3 +133,37 @@ func (p *Proto) SyncXmit(n *machine.Node, t Time) Time {
 
 // Evict is a no-op: memory is always current under update coherence.
 func (p *Proto) Evict(n *machine.Node, block mem.Addr, st mem.State, t Time) {}
+
+// ---- Functional warmup (machine.Warmer) --------------------------------
+
+// WarmReadMiss charges the Table 2 contention-free miss latency and advances
+// counters; the LambdaNet has no protocol state beyond the caches.
+func (p *Proto) WarmReadMiss(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	if !sp.IsShared(addr) || sp.Home(addr) == n.ID {
+		p.counters.Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	p.counters.Inc(counter.RemoteReads)
+	return md.LambdaMiss(), mem.Clean
+}
+
+// WarmDrain delivers one coalesced update functionally through the same
+// snooper walk the detailed path schedules.
+func (p *Proto) WarmDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		p.counters.Inc(counter.PrivateWrites)
+		return
+	}
+	p.counters.Inc(counter.Updates)
+	p.deliverUpdate(n.ID, e.Block)
+}
+
+// WarmEvict is a no-op like Evict: update coherence never writes back.
+func (p *Proto) WarmEvict(n *machine.Node, block mem.Addr, st mem.State) {}
+
+// WarmDrainLatency is the Table 3 contention-free 8-word write transaction.
+func (p *Proto) WarmDrainLatency() Time { return p.m.Model.CoherenceLambda(8) }
+
+var _ machine.Warmer = (*Proto)(nil)

@@ -253,4 +253,49 @@ func (p *Proto) SyncXmit(n *machine.Node, t Time) Time {
 // replacements never write back.
 func (p *Proto) Evict(n *machine.Node, block mem.Addr, st mem.State, t Time) {}
 
+// ---- Functional warmup (machine.Warmer) --------------------------------
+
+// WarmReadMiss advances ring and counter state for a functional read miss:
+// the shared cache is probed (recency updated) and filled on a home fetch,
+// but no channel is arbitrated and race-FIFO residency is skipped — the
+// latency is the Section 5 contention-free estimate.
+func (p *Proto) WarmReadMiss(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	home := sp.Home(addr)
+	if !sp.IsShared(addr) || home == n.ID {
+		p.counters.Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	if p.rc != nil {
+		if hit, _ := p.rc.Lookup(addr, n.ID, n.Now()); hit {
+			n.St.SharedHits++
+			p.counters.Inc(counter.SharedHits)
+			return md.SharedCacheHit(), mem.Clean
+		}
+		p.rc.Insert(addr, home, n.Now())
+	}
+	p.counters.Inc(counter.HomeFetches)
+	return md.SharedCacheMiss(), mem.Clean
+}
+
+// WarmDrain delivers one coalesced update functionally: snoopers and the
+// ring copy are refreshed through the same deliverUpdate the detailed path
+// schedules, just immediately and without channel acquisition.
+func (p *Proto) WarmDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		p.counters.Inc(counter.PrivateWrites)
+		return
+	}
+	p.counters.Inc(counter.Updates)
+	p.deliverUpdate(n.ID, e.Block, n.Now())
+}
+
+// WarmEvict is a no-op like Evict: update coherence never writes back.
+func (p *Proto) WarmEvict(n *machine.Node, block mem.Addr, st mem.State) {}
+
+// WarmDrainLatency is the Table 3 contention-free 8-word write transaction.
+func (p *Proto) WarmDrainLatency() Time { return p.m.Model.CoherenceNetCache(8) }
+
 var _ machine.Protocol = (*Proto)(nil)
+var _ machine.Warmer = (*Proto)(nil)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -162,7 +163,9 @@ func (s *Server) startRepair() {
 	s.repairDone = make(chan struct{})
 	go func() {
 		defer close(s.repairDone)
-		t := time.NewTicker(interval)
+		// Jittered ±25%: replicas restarted together must not replay their
+		// handoff queues against the same recovered owner in lockstep.
+		t := time.NewTimer(jitter(interval))
 		defer t.Stop()
 		for {
 			select {
@@ -170,6 +173,7 @@ func (s *Server) startRepair() {
 				return
 			case <-t.C:
 				s.RepairHandoffs(s.base)
+				t.Reset(jitter(interval))
 			}
 		}
 	}()
@@ -351,4 +355,14 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.m.request("/v1/cluster", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// jitter spreads a maintenance interval uniformly over [0.75d, 1.25d]; see
+// the store compactor, which uses the same policy.
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Microsecond {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(int64(d) - half/2 + rand.Int64N(half+1))
 }

@@ -80,6 +80,8 @@ type Proc struct {
 	resume   chan struct{}
 	yield    chan yieldKind
 	poisoned bool // set by the engine before resuming a proc it is aborting
+
+	yieldFn func() // cached Yield service closure
 }
 
 type yieldKind int
@@ -140,6 +142,47 @@ func NewEngine(n int) *Engine {
 
 // Now returns the current global simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// MaxClock returns the run's wall-clock envelope: the maximum of the global
+// clock and every processor's local clock. Fast-path and functional-warmup
+// execution let a processor's clock run ahead of fired events, so the
+// envelope — not Now — is the meaningful "time so far" when measurement
+// checkpoints are taken from app context.
+func (e *Engine) MaxClock() Time {
+	t := e.now
+	for _, p := range e.procs {
+		if p.clock > t {
+			t = p.clock
+		}
+	}
+	return t
+}
+
+// SumClock returns the sum of every processor's local clock: P times the
+// machine's average per-processor progress. Unlike MaxClock it is immune to
+// the clock skew functional-warmup bursts create (one processor running far
+// ahead while the rest are parked), so deltas of SumClock are the robust
+// cycle measure for sampled-execution intervals.
+func (e *Engine) SumClock() Time {
+	var t Time
+	for _, p := range e.procs {
+		t += p.clock
+	}
+	return t
+}
+
+// CheckCancel polls the Interrupt hook immediately (no action batching) and
+// reports whether the run has failed. Safe to call from app code under engine
+// exclusivity; long functional-warmup stretches poll it so cancellation does
+// not wait for the next engine handoff.
+func (e *Engine) CheckCancel() bool {
+	if e.failed == nil && e.Interrupt != nil {
+		if err := e.Interrupt(); err != nil {
+			e.fail(fmt.Errorf("sim: interrupted at cycle %d: %w", e.now, err))
+		}
+	}
+	return e.failed != nil
+}
 
 // Procs returns the engine's processor contexts.
 func (e *Engine) Procs() []*Proc { return e.procs }
@@ -575,6 +618,19 @@ func (p *Proc) Invoke(svc func()) {
 	if p.poisoned {
 		panic(abortSignal{})
 	}
+}
+
+// Yield hands control back to the engine without advancing the clock: the
+// processor re-enters the runnable queue at its current time and resumes
+// once it is the earliest actor again. Functional-warmup stretches call it
+// periodically so processors advance in near-lockstep — unbounded bursts
+// would run one processor's clock far ahead of the parked rest, and the
+// artificial skew would resolve as phantom sync stall at the next barrier.
+func (p *Proc) Yield() {
+	if p.yieldFn == nil {
+		p.yieldFn = func() { p.ResumeAt(p.clock) }
+	}
+	p.Invoke(p.yieldFn)
 }
 
 // ResumeAt marks the processor runnable again at time t. Must be called from

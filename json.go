@@ -26,6 +26,17 @@ func (s RunSpec) Canonical() RunSpec {
 		// NewMachine runs OPTNET as NetCache with no ring.
 		s.Config.SharedCacheKB = 0
 	}
+	if s.Sampling != nil {
+		if !s.Sampling.Enabled() {
+			// A zero-valued (or mode-less) Sampling runs exactly like a full
+			// simulation, so it canonicalizes to the pre-sampling encoding —
+			// existing store keys cannot shift.
+			s.Sampling = nil
+		} else {
+			ns := s.Sampling.withDefaults()
+			s.Sampling = &ns
+		}
+	}
 	return s
 }
 

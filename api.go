@@ -101,6 +101,9 @@ func runApp(ctx context.Context, spec RunSpec, app apps.App) (Result, error) {
 	if spec.Scale == 0 {
 		spec.Scale = 0.25
 	}
+	if err := spec.Config.Validate(); err != nil {
+		return Result{}, fmt.Errorf("netcache: %s on %s: %w", spec.App, spec.System, err)
+	}
 	m := NewMachine(spec.System, spec.Config)
 	if spec.Sampling.Enabled() {
 		plan, err := spec.Sampling.plan()
@@ -205,6 +208,9 @@ func RunCustom(name string, sys System, cfg Config, setup func(*Machine) func(*C
 
 // RunCustomContext is RunCustom with cancellation, mirroring RunContext.
 func RunCustomContext(ctx context.Context, name string, sys System, cfg Config, setup func(*Machine) func(*Ctx)) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("netcache: custom %s on %s: %w", name, sys, err)
+	}
 	m := NewMachine(sys, cfg)
 	body := setup(m)
 	rs, err := m.RunContext(ctx, body)

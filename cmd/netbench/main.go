@@ -13,7 +13,8 @@
 //
 // Experiments: tables, table4, fig5, fig6, fig7, fig8, fig9, fig10,
 // blocksize, fig11, fig12, fig13, fig14, fig15, plus the extension studies
-// ablation (dual-start reads), scaling (machine sizes) and prefetch.
+// ablation (dual-start reads), scaling (machine sizes), bigscaling
+// (sampled 16-256-node machines) and prefetch.
 //
 // Simulations are farmed out to a worker pool (-j, default GOMAXPROCS).
 // Every simulation is bit-deterministic and parallelism lives only between
@@ -29,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -53,7 +55,7 @@ func run() int {
 		which   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		scale   = flag.Float64("scale", 0.25, "input scale (1.0 = paper inputs)")
 		apps    = flag.String("apps", "", "comma-separated app subset (default all twelve)")
-		jobs    = flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent simulations; sampled runs also parallelize their own functional fast-forward across up to GOMAXPROCS warm workers per simulation, so the pools share cores (results are byte-identical at any setting of either)")
 		timeout = flag.Duration("timeout", 0, "per-simulation wall-clock limit (0 = none)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -169,7 +171,7 @@ func writeCSV(name string, rows []exp.SweepRow) {
 var allIDs = []string{
 	"tables", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"blocksize", "fig11", "fig12", "fig13", "fig14", "fig15",
-	"ablation", "scaling", "prefetch",
+	"ablation", "scaling", "bigscaling", "prefetch",
 }
 
 var experiments = map[string]func(context.Context, *exp.Runner) error{
@@ -193,9 +195,10 @@ var experiments = map[string]func(context.Context, *exp.Runner) error{
 	"fig15": func(ctx context.Context, r *exp.Runner) error {
 		return sweepTable(ctx, r, "Figure 15: run time vs memory block read latency (pc)", exp.Figure15)
 	},
-	"ablation": ablation,
-	"scaling":  scaling,
-	"prefetch": prefetchStudy,
+	"ablation":   ablation,
+	"scaling":    scaling,
+	"bigscaling": bigScaling,
+	"prefetch":   prefetchStudy,
 }
 
 func header(title string) {
@@ -400,6 +403,43 @@ func scaling(ctx context.Context, r *exp.Runner) error {
 		fmt.Fprintf(out, "%s-%s", k.app, k.sys)
 		for _, p := range exp.ScalingProcs {
 			fmt.Fprintf(out, "\t%.2f", vals[k][p])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func bigScaling(ctx context.Context, r *exp.Runner) error {
+	rows, err := exp.BigScaling(ctx, r)
+	if err != nil {
+		return err
+	}
+	header("Extension: big-machine scaling (sampled, p = 16/64/256)")
+	fmt.Fprintf(out, "app-system")
+	for _, p := range exp.BigScalingProcs {
+		fmt.Fprintf(out, "	p=%d cycles	hit%%", p)
+	}
+	fmt.Fprintln(out)
+	type key struct{ app, sys string }
+	type point struct {
+		cycles int64
+		hit    float64
+	}
+	vals := map[key]map[int]point{}
+	var order []key
+	for _, row := range rows {
+		k := key{row.App, row.System}
+		if vals[k] == nil {
+			vals[k] = map[int]point{}
+			order = append(order, k)
+		}
+		vals[k][row.Procs] = point{row.Cycles, row.HitPc}
+	}
+	for _, k := range order {
+		fmt.Fprintf(out, "%s-%s", k.app, k.sys)
+		for _, p := range exp.BigScalingProcs {
+			v := vals[k][p]
+			fmt.Fprintf(out, "	%d	%.1f", v.cycles, v.hit)
 		}
 		fmt.Fprintln(out)
 	}

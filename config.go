@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"netcache/internal/machine"
+	"netcache/internal/nodeset"
 	"netcache/internal/ring"
 	"netcache/internal/timing"
 
@@ -170,6 +171,29 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxProcs is the largest machine the simulator builds: the width of the
+// word-packed node sets that coherence fan-out and the home directory
+// iterate. Sixteen nodes is the paper's machine; up to 256 supports the
+// big-machine scaling sweeps.
+const MaxProcs = nodeset.MaxNodes
+
+// Validate checks the architectural parameters after default substitution,
+// so a RunSpec fails with a clear error before any machine state is built.
+// Procs must be a power of two — the interleaved home mapping, the TDMA
+// frame layout and the paired coherence channels all assume one — and at
+// most MaxProcs, the packed node-set width.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	p := c.Procs
+	if p < 1 || p > MaxProcs {
+		return fmt.Errorf("netcache: Procs = %d out of range [1, %d]", p, MaxProcs)
+	}
+	if p&(p-1) != 0 {
+		return fmt.Errorf("netcache: Procs = %d is not a power of two (home interleaving and TDMA framing require one)", p)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.Procs == 0 {
@@ -249,9 +273,14 @@ func (c Config) ringConfig(model timing.Model) ring.Config {
 	}
 }
 
-// NewMachine builds a simulated machine of the given system.
+// NewMachine builds a simulated machine of the given system. The
+// configuration must satisfy Validate; NewMachine panics otherwise (the
+// Run/RunCustom entry points validate first and return the error instead).
 func NewMachine(sys System, cfg Config) *machine.Machine {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if sys == SystemOptNet {
 		cfg.SharedCacheKB = 0
 		sys = SystemNetCache

@@ -84,7 +84,12 @@ func (r *Runner) Opt() Options { return r.opt }
 func (r *Runner) key(s Spec) string {
 	k := fmt.Sprintf("%s|%s|%+v|%g", s.App, s.Sys, s.Cfg, r.opt.Scale)
 	if r.opt.Sampling.Enabled() {
-		k += fmt.Sprintf("|sample:%+v", *r.opt.Sampling)
+		// Workers parameterizes the execution strategy, not the experiment —
+		// results are byte-identical at every worker count — so it must not
+		// fragment the memoization key.
+		smp := *r.opt.Sampling
+		smp.Workers = 0
+		k += fmt.Sprintf("|sample:%+v", smp)
 	}
 	return k
 }

@@ -95,6 +95,58 @@ func Scaling(ctx context.Context, r *Runner) ([]ScalingRow, error) {
 	return rows, nil
 }
 
+// BigScalingRow is one point of the big-machine scaling study: a Figure
+// 8-style table over the node count instead of the shared-cache size.
+type BigScalingRow struct {
+	App    string
+	System string
+	Procs  int
+	Cycles int64
+	HitPc  float64 // shared cache hit rate % (NetCache rows)
+}
+
+// BigScalingProcs are the big-machine node counts. 256 is MaxProcs, the
+// packed node-set width.
+var BigScalingProcs = []int{16, 64, 256}
+
+// BigScalingSystems contrasts the ring's behaviour at scale against an
+// update-coherence system with no shared cache.
+var BigScalingSystems = []netcache.System{netcache.SystemNetCache, netcache.SystemDMONU}
+
+// BigScaling sweeps the full 12-application corpus across 16-to-256-node
+// machines. Full-detail runs at 256 nodes are prohibitively slow, so the
+// sweep always executes sampled: when the runner was not configured for
+// sampling it re-runs under the default stratified plan.
+func BigScaling(ctx context.Context, r *Runner) ([]BigScalingRow, error) {
+	if !r.opt.Sampling.Enabled() {
+		opt := r.opt
+		opt.Sampling = &netcache.Sampling{Mode: netcache.SampleStratified}
+		r = NewRunner(opt)
+	}
+	apps := r.opt.apps()
+	var specs []Spec
+	var rows []BigScalingRow
+	for _, app := range apps {
+		for _, sys := range BigScalingSystems {
+			for _, p := range BigScalingProcs {
+				cfg := Base()
+				cfg.Procs = p
+				specs = append(specs, Spec{App: app, Sys: sys, Cfg: cfg})
+				rows = append(rows, BigScalingRow{App: app, System: sys.String(), Procs: p})
+			}
+		}
+	}
+	res, err := r.runAll(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Cycles = cyc(res[i])
+		rows[i].HitPc = 100 * res[i].EstimatedSharedHitRate()
+	}
+	return rows, nil
+}
+
 // PrefetchRow compares the base NetCache against the Section 6 extension
 // with sequential next-block prefetching.
 type PrefetchRow struct {

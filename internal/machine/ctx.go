@@ -39,7 +39,7 @@ func (c *Ctx) Compute(n int) {
 // timestamps inside the current run of L1 hits are applied when the
 // processor next yields — a bounded, deterministic skew.)
 func (c *Ctx) Read(a Addr) {
-	if s := c.M.smp; s != nil && s.step(c.P) == refFunctional {
+	if s := c.M.smp; s != nil && s.step(c.P, c.N) == refFunctional {
 		c.N.warmRead(c.P, a)
 		return
 	}
@@ -60,7 +60,7 @@ func (c *Ctx) Read(a Addr) {
 // they only widen the entry's dirty-word mask, and the drain pipeline
 // already has a pending step whenever the buffer is non-empty.
 func (c *Ctx) Write(a Addr) {
-	if s := c.M.smp; s != nil && s.step(c.P) == refFunctional {
+	if s := c.M.smp; s != nil && s.step(c.P, c.N) == refFunctional {
 		c.N.warmWrite(c.P, a)
 		return
 	}
@@ -86,21 +86,32 @@ func (c *Ctx) Fence() {
 }
 
 // Barrier synchronizes all processors at the numbered barrier. The fence is
-// applied first, as the release-consistent machines require.
+// applied first, as the release-consistent machines require. A processor
+// inside a parallel functional round leaves it before touching the engine —
+// the engine is parked on the round leader's yield until the round closes.
 func (c *Ctx) Barrier(id int) {
 	c.Fence()
+	if s := c.M.smp; s != nil {
+		s.roundStop(c.N, c.P)
+	}
 	c.P.Invoke(func() { c.M.barrierArrive(c.N, c.P, id) })
 }
 
 // Lock acquires the numbered queue lock (fenced first).
 func (c *Ctx) Lock(id int) {
 	c.Fence()
+	if s := c.M.smp; s != nil {
+		s.roundStop(c.N, c.P)
+	}
 	c.P.Invoke(func() { c.M.lockAcquire(c.N, c.P, id) })
 }
 
 // Unlock releases the numbered lock (fenced first).
 func (c *Ctx) Unlock(id int) {
 	c.Fence()
+	if s := c.M.smp; s != nil {
+		s.roundStop(c.N, c.P)
+	}
 	c.P.Invoke(func() { c.M.lockRelease(c.N, c.P, id) })
 }
 

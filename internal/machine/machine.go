@@ -8,8 +8,10 @@ package machine
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"netcache/internal/mem"
+	"netcache/internal/nodeset"
 	"netcache/internal/optical"
 	"netcache/internal/ring"
 	"netcache/internal/sim"
@@ -104,6 +106,15 @@ type Machine struct {
 	warm         Warmer
 	warmDrainLat Time
 
+	// sharers maps a shared block to the set of nodes whose L2 currently
+	// holds it; pending maps a shared block to the nodes with an outstanding
+	// read miss on it. Coherence fan-out (update/invalidation delivery,
+	// critical-race poisoning) iterates these word-packed sets instead of
+	// walking all P nodes, so delivery cost scales with the actual sharer
+	// count rather than the machine size.
+	sharers mem.BlockTable[nodeset.Set]
+	pending mem.BlockTable[nodeset.Set]
+
 	finished bool
 }
 
@@ -123,20 +134,31 @@ func New(cfg Config, proto func(*Machine) Protocol) *Machine {
 		barriers: make(map[int]*barrier),
 		locks:    make(map[int]*lockState),
 	}
+	// Backing arrays: one allocation per component kind instead of O(P)
+	// little objects, so a P=256 machine is a handful of allocations.
+	memBack := make([]optical.Memory, p)
 	m.Mems = make([]*optical.Memory, p)
-	for i := range m.Mems {
-		m.Mems[i] = optical.NewMemory(model.MemQueueHyst, model.MemUpdateService, model.MemBlockRead)
-	}
-	m.Nodes = make([]*Node, p)
-	for i := range m.Nodes {
-		n := &Node{
-			ID:           i,
-			M:            m,
-			L1:           mem.NewCache(cfg.L1Bytes, cfg.L1Block),
-			L2:           mem.NewCache(cfg.L2Bytes, cfg.L2Block),
-			WB:           mem.NewWriteBuffer(cfg.WBEntries),
-			pendingBlock: -1,
+	for i := range memBack {
+		memBack[i] = optical.Memory{
+			HystDepth:   model.MemQueueHyst,
+			UpdService:  model.MemUpdateService,
+			ReadService: model.MemBlockRead,
 		}
+		m.Mems[i] = &memBack[i]
+	}
+	l1s := mem.NewCacheArray(p, cfg.L1Bytes, cfg.L1Block)
+	l2s := mem.NewCacheArray(p, cfg.L2Bytes, cfg.L2Block)
+	wbs := mem.NewWriteBufferArray(p, cfg.WBEntries)
+	nodeBack := make([]Node, p)
+	m.Nodes = make([]*Node, p)
+	for i := range nodeBack {
+		n := &nodeBack[i]
+		n.ID = i
+		n.M = m
+		n.L1 = l1s[i]
+		n.L2 = l2s[i]
+		n.WB = wbs[i]
+		n.pendingBlock = -1
 		n.drainFn = n.drainStep
 		n.drainAckFn = n.drainAck
 		n.pfDoneFn = func(block, st int64) {
@@ -147,8 +169,57 @@ func New(cfg Config, proto func(*Machine) Protocol) *Machine {
 		n.fenceSvcFn = func() { n.fence(n.proc) }
 		m.Nodes[i] = n
 	}
+	m.pending.Reserve(p)
+	m.sharers.Reserve(8 * p)
 	m.Proto = proto(m)
 	return m
+}
+
+// addSharer records that node id's L2 now holds shared block.
+func (m *Machine) addSharer(block Addr, id int) {
+	m.sharers.Ref(int64(block)).Add(id)
+}
+
+// dropSharer records that node id's L2 no longer holds shared block.
+func (m *Machine) dropSharer(block Addr, id int) {
+	s := m.sharers.Find(int64(block))
+	if s == nil {
+		return
+	}
+	s.Remove(id)
+	if s.Empty() {
+		m.sharers.Delete(int64(block))
+	}
+}
+
+// Sharers returns the set of nodes whose L2 holds shared block. The set is a
+// value; callers iterate it without holding a reference into the table.
+func (m *Machine) Sharers(block Addr) nodeset.Set {
+	s, _ := m.sharers.Get(int64(block))
+	return s
+}
+
+// addPending records that node id has an outstanding read miss on block.
+func (m *Machine) addPending(block Addr, id int) {
+	m.pending.Ref(int64(block)).Add(id)
+}
+
+// dropPending clears node id's outstanding read miss on block.
+func (m *Machine) dropPending(block Addr, id int) {
+	s := m.pending.Find(int64(block))
+	if s == nil {
+		return
+	}
+	s.Remove(id)
+	if s.Empty() {
+		m.pending.Delete(int64(block))
+	}
+}
+
+// Pending returns the set of nodes with an outstanding read miss on block.
+func (m *Machine) Pending(block Addr) nodeset.Set {
+	s, _ := m.pending.Get(int64(block))
+	return s
 }
 
 // P returns the number of processors.
@@ -177,9 +248,19 @@ func (m *Machine) AttachSampler(plan SamplePlan) error {
 	if plan.Period == 0 {
 		plan.Period = 16
 	}
+	if plan.Workers <= 0 {
+		plan.Workers = runtime.GOMAXPROCS(0)
+	}
 	m.warm = w
 	m.warmDrainLat = w.WarmDrainLatency()
-	m.smp = &sampler{m: m, plan: plan, period: plan.Period}
+	m.smp = &sampler{
+		m:          m,
+		plan:       plan,
+		period:     plan.Period,
+		workers:    plan.Workers,
+		roundQuota: w.WarmRoundQuota(),
+		doneCh:     make(chan struct{}, len(m.Nodes)),
+	}
 	m.smp.schedule()
 	return nil
 }
@@ -206,6 +287,11 @@ func (m *Machine) RunContext(ctx context.Context, body func(*Ctx)) (RunStats, er
 	cycles, err := m.Eng.Run(func(p *sim.Proc) {
 		n := m.Nodes[p.ID]
 		n.proc = p
+		if s := m.smp; s != nil {
+			// A processor finishing (or unwinding) inside a parallel round must
+			// not reach the engine until the round closes.
+			defer s.procExit(n, p)
+		}
 		body(&Ctx{M: m, P: p, N: n})
 	})
 	rs := m.collect(cycles)

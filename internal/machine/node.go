@@ -2,6 +2,7 @@ package machine
 
 import (
 	"netcache/internal/mem"
+	"netcache/internal/proto/counter"
 	"netcache/internal/sim"
 	"netcache/internal/stats"
 	"netcache/internal/trace"
@@ -69,6 +70,19 @@ type Node struct {
 	// so functional stretches coalesce writes at the same effective rate as
 	// the event-driven pipeline.
 	warmFree Time
+	// Round (parallel functional fast-forward) state. While inRound, this
+	// node may execute concurrently with others against frozen shared state:
+	// warm paths write only node-local state, count protocol events into
+	// scratch, and record shared-state mutations as deferred effects replayed
+	// in node-ID order at round close. roundLeft is the remaining reference
+	// quota; roundRefs counts references consumed this round (folded into the
+	// sampler's machine-wide count at close).
+	inRound   bool
+	roundLeft uint64
+	roundRefs uint64
+	effects   []WarmEffect
+	scratch   counter.Set
+
 	// warmNext is a lower bound on the earliest time the write buffer's head
 	// entry can drain — warmTick's single-compare fast path. It is lowered
 	// to zero whenever an event could make the head eligible earlier (first
@@ -153,8 +167,17 @@ func (n *Node) read(p *sim.Proc, a Addr) {
 	tTag := t + m.Model.L1TagCheck + m.Model.L2TagCheck
 	n.pendingBlock = l2block
 	n.poisoned = false
+	shared := m.Space.IsShared(a)
+	if shared {
+		// Register the outstanding read so racing invalidations can poison it
+		// without scanning every node.
+		m.addPending(l2block, n.ID)
+	}
 	done, st := m.Proto.ReadMiss(n, a, tTag)
-	if m.Space.IsShared(a) && m.Space.Home(a) != n.ID {
+	if shared {
+		m.dropPending(l2block, n.ID)
+	}
+	if shared && m.Space.Home(a) != n.ID {
 		n.St.RemoteMiss++
 	} else {
 		n.St.LocalMiss++
@@ -165,6 +188,7 @@ func (n *Node) read(p *sim.Proc, a Addr) {
 		// pending read completes; the read itself uses the received data.
 		n.L2.Invalidate(l2block)
 		n.L1.InvalidateRange(l2block, block)
+		m.dropSharer(l2block, n.ID)
 	} else {
 		n.FillL1(a)
 	}
@@ -283,8 +307,23 @@ func (n *Node) FillL2(block Addr, st mem.State, t Time) {
 	evicted, evState := n.L2.Fill(block, st)
 	if evicted >= 0 {
 		n.L1.InvalidateRange(evicted, n.L2.BlockBytes())
+		if n.M.Space.IsShared(evicted) {
+			n.M.dropSharer(evicted, n.ID)
+		}
 		n.M.Proto.Evict(n, evicted, evState, t)
 	}
+	if n.M.Space.IsShared(block) {
+		n.M.addSharer(block, n.ID)
+	}
+}
+
+// InvalidateL2 drops block from the node's caches on behalf of a remotely
+// delivered invalidation, clearing the node's sharer-set membership so later
+// fan-out skips it. Callers have already confirmed presence via L2.Lookup.
+func (n *Node) InvalidateL2(block Addr) {
+	n.L2.Invalidate(block)
+	n.L1.InvalidateRange(block, n.L2.BlockBytes())
+	n.M.dropSharer(block, n.ID)
 }
 
 // write services a processor store to the 8-byte word at a. Stores cost one
@@ -445,13 +484,57 @@ func (n *Node) Poison(block Addr) {
 // FIFO residency) consistent with the advancing clocks.
 func (n *Node) Now() Time { return n.proc.Clock() }
 
+// InRound reports whether the node is executing inside a parallel functional
+// round: shared protocol structures may be read but not written; mutations
+// must be deferred via Defer and counters recorded in RoundCounters.
+func (n *Node) InRound() bool { return n.inRound }
+
+// Defer records a shared-state mutation for node-ID-ordered replay when the
+// current round closes.
+func (n *Node) Defer(e WarmEffect) {
+	n.effects = append(n.effects, e)
+	if len(n.effects) >= roundEffectsCap {
+		// Effect-heavy access patterns (every reference missing L2 defers
+		// fill bookkeeping) would otherwise accumulate quota*3 deferred
+		// effects live on all P nodes at once — tens of MB at 256 nodes.
+		// Spending the rest of the quota ends this node's participation at
+		// its next step; node-local state, so determinism is unaffected.
+		n.roundLeft = 0
+	}
+}
+
+// RoundCounters is the node's round-scratch counter bank: protocols count
+// into it during rounds, and the round collector merges it via WarmMerge.
+func (n *Node) RoundCounters() *counter.Set { return &n.scratch }
+
 // WarmFillL2 installs block functionally: the victim's L1 halves are
-// invalidated and the protocol sees a state-only eviction.
+// invalidated and the protocol sees a state-only eviction. Inside a round the
+// sharer-set updates and the eviction are deferred — both touch shared
+// machine/protocol state.
 func (n *Node) WarmFillL2(block Addr, st mem.State) {
 	evicted, evState := n.L2.Fill(block, st)
+	if n.inRound {
+		if evicted >= 0 {
+			n.L1.InvalidateRange(evicted, n.L2.BlockBytes())
+			if n.M.Space.IsShared(evicted) {
+				n.Defer(WarmEffect{Kind: EffSharerDrop, Block: evicted})
+			}
+			n.Defer(WarmEffect{Kind: EffEvict, Block: evicted, Aux: int64(evState)})
+		}
+		if n.M.Space.IsShared(block) {
+			n.Defer(WarmEffect{Kind: EffSharerAdd, Block: block})
+		}
+		return
+	}
 	if evicted >= 0 {
 		n.L1.InvalidateRange(evicted, n.L2.BlockBytes())
+		if n.M.Space.IsShared(evicted) {
+			n.M.dropSharer(evicted, n.ID)
+		}
 		n.M.warm.WarmEvict(n, evicted, evState)
+	}
+	if n.M.Space.IsShared(block) {
+		n.M.addSharer(block, n.ID)
 	}
 }
 
@@ -487,7 +570,13 @@ func (n *Node) warmRead(p *sim.Proc, a Addr) {
 		p.Advance(m.Model.L2HitTotal)
 		return
 	}
-	lat, st := m.warm.WarmReadMiss(n, a)
+	var lat Time
+	var st mem.State
+	if n.inRound {
+		lat, st = m.warm.WarmRoundRead(n, a)
+	} else {
+		lat, st = m.warm.WarmReadMiss(n, a)
+	}
 	if m.Space.IsShared(a) && m.Space.Home(a) != n.ID {
 		n.St.RemoteMiss++
 	} else {
@@ -576,6 +665,10 @@ func (n *Node) warmWrite(p *sim.Proc, a Addr) {
 func (n *Node) warmDrainEntry(e mem.WBEntry) {
 	if e.Shared {
 		n.St.UpdatesIssued++
+	}
+	if n.inRound {
+		n.M.warm.WarmRoundDrain(n, e)
+		return
 	}
 	n.M.warm.WarmDrain(n, e)
 }

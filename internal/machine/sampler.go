@@ -2,6 +2,7 @@ package machine
 
 import (
 	"netcache/internal/mem"
+	"netcache/internal/proto/counter"
 	"netcache/internal/sim"
 )
 
@@ -39,6 +40,13 @@ type SamplePlan struct {
 	// length — long runs get the speedup of sparse sampling without losing
 	// late-phase coverage to a hard cutoff.
 	MaxIntervals int
+	// Workers bounds how many processors execute a functional round
+	// concurrently (non-positive: runtime.GOMAXPROCS(0)). Results are
+	// byte-identical at every worker count — rounds freeze shared state and
+	// replay deferred effects in node-ID order — so Workers trades wall clock
+	// only. Excluded from JSON: it parameterizes the execution strategy, not
+	// the experiment.
+	Workers int `json:"-"`
 }
 
 // Warmer is the protocol half of functional warmup: state-only transaction
@@ -59,6 +67,132 @@ type Warmer interface {
 	// WarmDrainLatency is the contention-free cost charged per drained entry
 	// when a fence or a full buffer forces a functional drain.
 	WarmDrainLatency() Time
+
+	// The WarmRound* methods are the round-mode (parallel fast-forward)
+	// variants of WarmReadMiss/WarmDrain: the calling node may be executing
+	// concurrently with other nodes against frozen shared state, so they may
+	// read shared protocol structures (directory, ring presence) but must
+	// write only node-local state, count into n.RoundCounters(), and record
+	// every shared-state mutation as a deferred effect via n.Defer.
+	WarmRoundRead(n *Node, addr Addr) (lat Time, st mem.State)
+	WarmRoundDrain(n *Node, e mem.WBEntry)
+	// WarmApply replays one protocol effect recorded by a WarmRound* method.
+	// Called sequentially, in node-ID order, after every round participant
+	// has parked; full mutation rights apply.
+	WarmApply(n *Node, e WarmEffect)
+	// WarmMerge folds a node's round-scratch counter bank into the protocol's
+	// counters at round close.
+	WarmMerge(cs *counter.Set)
+	// WarmRoundQuota bounds how many references one participant may execute
+	// per round against frozen shared state. Deferred effects are invisible
+	// to the other participants until the round closes, so a protocol whose
+	// warm state depends on the fine-grained cross-node interleave must keep
+	// rounds short (WarmRoundMinQuota) or — when staleness within even the
+	// shortest round distorts its totals — return 0 to opt out of rounds
+	// entirely. Protocols whose deferred effects replay losslessly return
+	// WarmRoundMaxQuota.
+	WarmRoundQuota() uint64
+}
+
+// WarmEffectKind discriminates the deferred shared-state mutations a round
+// participant records for replay.
+type WarmEffectKind uint8
+
+const (
+	// EffSharerAdd/EffSharerDrop are machine-level sharer-set bookkeeping,
+	// applied by the round collector itself.
+	EffSharerAdd WarmEffectKind = iota
+	EffSharerDrop
+	// EffEvict replays the protocol's WarmEvict for an L2 victim (Aux holds
+	// the victim's cache state).
+	EffEvict
+	// EffUpdate is an update-coherence delivery (update protocols; T is the
+	// writer's clock at drain time).
+	EffUpdate
+	// EffInval is an I-SPEED invalidation broadcast plus ownership transfer.
+	EffInval
+	// EffRingHit/EffRingMiss replay a shared-ring probe: recency touch on a
+	// hit, miss bookkeeping plus insertion (Aux holds the home) on a miss.
+	// Block carries the full probed address.
+	EffRingHit
+	EffRingMiss
+	// EffForward replays an I-SPEED owner forward: the owner (Aux) downgrades
+	// its copy, or the forward-miss fallback is counted.
+	EffForward
+)
+
+// WarmEffect is one deferred shared-state mutation recorded during a round.
+type WarmEffect struct {
+	Kind  WarmEffectKind
+	Block Addr
+	T     Time
+	Aux   int64
+}
+
+// nodeDelta is the slim per-node snapshot the sampler checkpoints with: only
+// the scalar counters DeltaSince differences, excluding the ~400-byte miss
+// histogram a full NodeStats copy would drag along. At P=256 with thousands
+// of checkpoints per run, the full copies dominated the allocation profile.
+type nodeDelta struct {
+	Reads, Writes              uint64
+	L1Hits, WBHits, L2Hits     uint64
+	LocalMiss, RemoteMiss      uint64
+	SharedHits, UpdatesIssued  uint64
+	ReadStall, WriteStall      Time
+	SyncStall, Busy, L2MissLat Time
+}
+
+// slimCheckpoint is the sampler-internal checkpoint: a reused buffer, so a
+// steady-state run checkpoints without allocating.
+type slimCheckpoint struct {
+	Refs  uint64
+	Clock Time
+	Nodes []nodeDelta
+}
+
+// mark snapshots the measurement state into the reused checkpoint buffer.
+func (s *sampler) mark(refs uint64) {
+	cp := &s.cp
+	cp.Refs = refs
+	cp.Clock = s.m.Eng.SumClock()
+	if cp.Nodes == nil {
+		cp.Nodes = make([]nodeDelta, len(s.m.Nodes))
+	}
+	for i, n := range s.m.Nodes {
+		st := &n.St
+		cp.Nodes[i] = nodeDelta{
+			Reads: st.Reads, Writes: st.Writes,
+			L1Hits: st.L1Hits, WBHits: st.WBHits, L2Hits: st.L2Hits,
+			LocalMiss: st.LocalMiss, RemoteMiss: st.RemoteMiss,
+			SharedHits: st.SharedHits, UpdatesIssued: st.UpdatesIssued,
+			ReadStall: st.ReadStall, WriteStall: st.WriteStall,
+			SyncStall: st.SyncStall, Busy: st.Busy, L2MissLat: st.L2MissLat,
+		}
+	}
+}
+
+// delta measures the interval from the current checkpoint buffer to now.
+func (s *sampler) delta(index int) Interval {
+	cp := &s.cp
+	iv := Interval{Index: index, StartRef: cp.Refs, Cycles: s.m.Eng.SumClock() - cp.Clock}
+	for i, n := range s.m.Nodes {
+		a, b := &n.St, &cp.Nodes[i]
+		iv.Reads += a.Reads - b.Reads
+		iv.Writes += a.Writes - b.Writes
+		iv.L1Hits += a.L1Hits - b.L1Hits
+		iv.WBHits += a.WBHits - b.WBHits
+		iv.L2Hits += a.L2Hits - b.L2Hits
+		iv.LocalMiss += a.LocalMiss - b.LocalMiss
+		iv.RemoteMiss += a.RemoteMiss - b.RemoteMiss
+		iv.SharedHits += a.SharedHits - b.SharedHits
+		iv.ReadStall += a.ReadStall - b.ReadStall
+		iv.WriteStall += a.WriteStall - b.WriteStall
+		iv.SyncStall += a.SyncStall - b.SyncStall
+		iv.Busy += a.Busy - b.Busy
+		iv.L2MissLat += a.L2MissLat - b.L2MissLat
+		iv.UpdatesIssued += a.UpdatesIssued - b.UpdatesIssued
+	}
+	return iv
 }
 
 // Checkpoint is a snapshot of the run's measurement state at an interval
@@ -171,6 +305,12 @@ type SampleStats struct {
 	// the functional clock deliberately omits.
 	FuncMisses  uint64
 	FuncMissLat Time
+	// Rounds counts the parallel functional rounds executed (0 when the
+	// protocol opts out via WarmRoundQuota or the stretches were too short);
+	// RoundRefs totals the references executed inside them. Diagnostic only:
+	// both are invariant under SamplePlan.Workers.
+	Rounds    uint64 `json:",omitempty"`
+	RoundRefs uint64 `json:",omitempty"`
 	// Degraded marks a run too short to complete a single measured interval;
 	// Intervals then holds one whole-run delta so estimators still have
 	// data, but its figures are hybrid (functional + detailed), not sampled.
@@ -240,8 +380,22 @@ type sampler struct {
 	strataOff uint64 // epoch offset of the current period regime
 	period    uint64 // current period (doubles when the budget rolls over)
 
-	cp        Checkpoint
+	cp        slimCheckpoint
 	intervals []Interval
+
+	// Round (parallel functional fast-forward) state. workers bounds the
+	// concurrent participants; roundQuota is the protocol's WarmRoundQuota
+	// (0: rounds disabled); roundLead marks the node orchestrating the
+	// current round; detached holds the member processors taken off the
+	// runnable heap; doneCh is the buffered park-notification channel (one
+	// slot per processor, so a parking member never blocks on it).
+	workers    int
+	roundQuota uint64
+	roundLead  *Node
+	detached   []*sim.Proc
+	doneCh     chan struct{}
+	rounds     uint64
+	roundRefs  uint64
 
 	// Clock/reference partition bookkeeping. The mark* fields anchor the
 	// stretch currently executing; the accumulators total closed stretches.
@@ -320,10 +474,30 @@ func (s *sampler) schedule() {
 }
 
 // step counts and classifies the next demand reference. Called from app
-// context (under engine exclusivity) before the reference is serviced, so a
-// checkpoint taken on a phase boundary cleanly separates measured references
-// from the rest.
-func (s *sampler) step(p *sim.Proc) refMode {
+// context before the reference is serviced, so a checkpoint taken on a phase
+// boundary cleanly separates measured references from the rest. Outside a
+// round it runs under engine exclusivity; a round participant touches only
+// its own node's round quota and returns without reaching the shared state
+// below the round block.
+func (s *sampler) step(p *sim.Proc, nd *Node) refMode {
+	if nd.inRound {
+		for nd.inRound {
+			if nd.roundLeft > 0 {
+				nd.roundLeft--
+				nd.roundRefs++
+				return refFunctional
+			}
+			if nd == s.roundLead {
+				// Quota spent: close the round, then count this reference
+				// through the normal path below.
+				s.collectRound(p)
+				break
+			}
+			// Member quota spent: park until the leader closes the round (or
+			// redrafts this processor into a later one with fresh quota).
+			s.roundPause(p)
+		}
+	}
 	r := s.refs
 	s.refs++
 	if r >= s.next {
@@ -336,7 +510,7 @@ func (s *sampler) step(p *sim.Proc) refMode {
 		// One compare on the per-reference fast path; the stride logic
 		// lives behind it.
 		if r >= s.nextYield {
-			s.yieldPoint(r, p)
+			s.yieldPoint(r, p, nd)
 		}
 		return refFunctional
 	}
@@ -345,8 +519,9 @@ func (s *sampler) step(p *sim.Proc) refMode {
 // yieldPoint rotates processors and polls cancellation during engine-free
 // stretches, then arms the fast-path threshold for the next candidate. On a
 // failed run the Invoke hands control to the engine, which unwinds every
-// processor via poison; the no-op service never executes.
-func (s *sampler) yieldPoint(r uint64, p *sim.Proc) {
+// processor via poison; the no-op service never executes. Deep inside a
+// functional stretch it launches a parallel round instead of yielding.
+func (s *sampler) yieldPoint(r uint64, p *sim.Proc, nd *Node) {
 	stride := uint64(warmYieldEvery)
 	if s.next-r > warmConvergeRefs {
 		stride = warmYieldCoarse
@@ -359,7 +534,164 @@ func (s *sampler) yieldPoint(r uint64, p *sim.Proc) {
 		p.Invoke(func() {})
 		return
 	}
+	if stride == warmYieldCoarse && s.tryRound(r, nd) {
+		// This processor now leads a round; its next steps consume the round
+		// quota without engine handoffs.
+		return
+	}
 	p.Yield()
+}
+
+// Round sizing: a participant's quota is capped so rounds close frequently
+// enough to redraft processors that change phase, and a round below the
+// minimum quota is not worth its collection overhead. Protocols pick their
+// point on this scale through WarmRoundQuota.
+const (
+	// WarmRoundMaxQuota is the per-node round budget for protocols whose
+	// deferred effects replay losslessly (update coherence: deliveries
+	// change data, not hit/miss state).
+	WarmRoundMaxQuota = 2048
+	// WarmRoundMinQuota is the shortest round worth its collection
+	// overhead — the budget for protocols where in-round staleness skews
+	// totals that fine interleaving would keep honest (e.g. deferred
+	// invalidations leaving stale copies readable).
+	WarmRoundMinQuota = 256
+)
+
+// roundEffectsCap bounds one participant's deferred-effect buffer: reaching
+// it retires the node's remaining quota, keeping a round's live effect
+// memory at ~8KB per node no matter how miss-heavy the access pattern.
+const roundEffectsCap = 256
+
+// tryRound attempts to start a parallel functional round led by nd's
+// processor: every resumable processor is detached from the engine's runnable
+// heap and becomes a member, each participant gets an equal reference quota
+// sized so the round cannot reach the fine-rotation convergence window before
+// the next detailed phase, and the leader keeps running (its own steps now
+// draw on its quota). Members execute on demand when the leader collects.
+func (s *sampler) tryRound(r uint64, nd *Node) bool {
+	if s.roundQuota < WarmRoundMinQuota {
+		return false
+	}
+	headroom := s.next - warmConvergeRefs - r
+	s.detached = s.m.Eng.DetachRunnable(s.detached[:0])
+	members := s.detached
+	if len(members) == 0 {
+		return false
+	}
+	quota := headroom / uint64(len(members)+1)
+	if quota > s.roundQuota {
+		quota = s.roundQuota
+	}
+	if quota < WarmRoundMinQuota {
+		s.m.Eng.Reattach(members)
+		s.detached = s.detached[:0]
+		return false
+	}
+	for _, mp := range members {
+		mn := s.m.Nodes[mp.ID]
+		mn.inRound = true
+		mn.roundLeft = quota
+		mn.roundRefs = 0
+	}
+	nd.inRound = true
+	nd.roundLeft = quota
+	nd.roundRefs = 0
+	s.roundLead = nd
+	return true
+}
+
+// roundPause parks a member processor at a round boundary (quota spent, sync
+// point, or body exit): it signals the collector and blocks until released —
+// by the engine after the round closes, or by a later round redrafting it.
+func (s *sampler) roundPause(p *sim.Proc) {
+	s.doneCh <- struct{}{}
+	p.Park()
+}
+
+// collectRound closes the round its caller leads: members are released in ID
+// order onto at most `workers` concurrent slots and run until they park, then
+// — with every participant quiescent — their deferred effects are replayed
+// and scratch counters merged in strict node-ID order, making the final state
+// a pure function of the round composition, independent of the worker count
+// and of the actual interleaving. Runs in the leader's app context; the
+// engine stays parked on the leader's yield channel throughout.
+func (s *sampler) collectRound(p *sim.Proc) {
+	members := s.detached
+	slots := s.workers
+	outstanding := 0
+	for _, mp := range members {
+		if slots == 0 {
+			<-s.doneCh
+			outstanding--
+			slots++
+		}
+		mp.Release()
+		slots--
+		outstanding++
+	}
+	for ; outstanding > 0; outstanding-- {
+		<-s.doneCh
+	}
+	// Quiescent: replay and merge deterministically, node-ID order.
+	m := s.m
+	var total uint64
+	for _, pn := range m.Nodes {
+		if !pn.inRound {
+			continue
+		}
+		pn.inRound = false
+		for _, e := range pn.effects {
+			switch e.Kind {
+			case EffSharerAdd:
+				m.addSharer(e.Block, pn.ID)
+			case EffSharerDrop:
+				m.dropSharer(e.Block, pn.ID)
+			case EffEvict:
+				m.warm.WarmEvict(pn, e.Block, mem.State(e.Aux))
+			default:
+				m.warm.WarmApply(pn, e)
+			}
+		}
+		pn.effects = pn.effects[:0]
+		m.warm.WarmMerge(&pn.scratch)
+		pn.scratch = counter.Set{}
+		total += pn.roundRefs
+		pn.roundRefs = 0
+		pn.roundLeft = 0
+	}
+	s.refs += total
+	s.rounds++
+	s.roundRefs += total
+	s.roundLead = nil
+	m.Eng.Reattach(members)
+	s.detached = s.detached[:0]
+	// Fine rotation resumes at the next step; the members' advanced clocks
+	// decide who runs.
+	s.nextYield = 0
+	if m.Eng.CheckCancel() {
+		p.Invoke(func() {})
+	}
+}
+
+// roundStop ends the caller's round participation before an engine
+// interaction (synchronization service or body exit): a leader collects the
+// round it leads; a member parks until the leader closes it.
+func (s *sampler) roundStop(nd *Node, p *sim.Proc) {
+	for nd.inRound {
+		if nd == s.roundLead {
+			s.collectRound(p)
+			return
+		}
+		s.roundPause(p)
+	}
+}
+
+// procExit runs as a processor's body returns or unwinds. A processor
+// finishing inside a round must not touch the engine until the round closes;
+// afterwards the normal exit path (or panic propagation) proceeds.
+func (s *sampler) procExit(nd *Node, p *sim.Proc) {
+	s.roundStop(nd, p)
 }
 
 func (s *sampler) advance(r uint64) {
@@ -380,11 +712,11 @@ func (s *sampler) advance(r uint64) {
 			s.phase = phaseWarm
 			s.next = s.measureAt
 		case phaseWarm:
-			s.cp = s.m.Checkpoint(r)
+			s.mark(r)
 			s.phase = phaseMeasure
 			s.next = s.endAt
 		case phaseMeasure:
-			iv := s.m.DeltaSince(s.cp, len(s.intervals))
+			iv := s.delta(len(s.intervals))
 			iv.Refs = r - s.cp.Refs
 			iv.FuncRefs, iv.FuncCycles, iv.FuncSync = s.lastFuncRefs, s.lastFuncCycles, s.lastFuncSync
 			s.intervals = append(s.intervals, iv)
@@ -417,7 +749,7 @@ func (s *sampler) finish() *SampleStats {
 		// to give a stable rate.
 		refs := s.refs - s.cp.Refs
 		if refs > 0 && refs >= s.plan.IntervalRefs/4 {
-			iv := s.m.DeltaSince(s.cp, len(s.intervals))
+			iv := s.delta(len(s.intervals))
 			iv.Refs = refs
 			iv.FuncRefs, iv.FuncCycles, iv.FuncSync = s.lastFuncRefs, s.lastFuncCycles, s.lastFuncSync
 			s.intervals = append(s.intervals, iv)
@@ -443,12 +775,15 @@ func (s *sampler) finish() *SampleStats {
 		DetCycles:   s.detCycles,
 		FuncMisses:  s.funcMisses,
 		FuncMissLat: s.funcMissLat,
+		Rounds:      s.rounds,
+		RoundRefs:   s.roundRefs,
 		Intervals:   s.intervals,
 	}
 	if len(st.Intervals) == 0 {
 		// The run ended before one interval completed: fall back to a single
 		// whole-run delta so extrapolation degrades to the hybrid totals.
-		iv := s.m.DeltaSince(Checkpoint{Nodes: make([]NodeStats, len(s.m.Nodes))}, 0)
+		s.cp = slimCheckpoint{Nodes: make([]nodeDelta, len(s.m.Nodes))}
+		iv := s.delta(0)
 		iv.Refs = s.refs
 		st.Degraded = true
 		st.Intervals = []Interval{iv}

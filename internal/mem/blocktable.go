@@ -69,6 +69,46 @@ func (t *BlockTable[V]) Put(key int64, value V) {
 	}
 }
 
+// Find returns a pointer to the value stored under key, or nil if absent.
+// The pointer is valid only until the next Put, Ref, Delete or Reserve.
+func (t *BlockTable[V]) Find(key int64) *V {
+	if t.n == 0 {
+		return nil
+	}
+	mask := len(t.keys) - 1
+	for i := t.home(key); ; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		if t.keys[i] == emptySlot {
+			return nil
+		}
+	}
+}
+
+// Ref returns a pointer to the value stored under key, inserting a zero
+// value first if the key is absent. Updating an entry through Ref costs a
+// single probe where a Get/Put pair costs two plus a value copy each way.
+// The pointer is valid only until the next Put, Ref, Delete or Reserve.
+func (t *BlockTable[V]) Ref(key int64) *V {
+	if t.keys == nil {
+		t.grow(tableMinCap)
+	} else if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow(2 * len(t.keys))
+	}
+	mask := len(t.keys) - 1
+	for i := t.home(key); ; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		if t.keys[i] == emptySlot {
+			t.keys[i] = key
+			t.n++
+			return &t.vals[i]
+		}
+	}
+}
+
 // Delete removes key, reporting whether it was present. The probe chain is
 // compacted by backward shifting, so no tombstones remain.
 func (t *BlockTable[V]) Delete(key int64) bool {
@@ -109,6 +149,20 @@ func (t *BlockTable[V]) Delete(key int64) bool {
 	t.vals[i] = zero
 	t.n--
 	return true
+}
+
+// Reserve grows the table so that n entries fit without further rehashing
+// (the 75% load bound is respected). Sizing tables from configuration at
+// construction turns the doubling-rehash sequence of a big-machine run into
+// a single allocation. Shrinking is never performed.
+func (t *BlockTable[V]) Reserve(n int) {
+	capacity := tableMinCap
+	for 4*n > 3*capacity {
+		capacity <<= 1
+	}
+	if capacity > len(t.keys) {
+		t.grow(capacity)
+	}
 }
 
 func (t *BlockTable[V]) grow(capacity int) {

@@ -28,6 +28,42 @@ func TestBlockTableBasics(t *testing.T) {
 	}
 }
 
+// TestBlockTableRefFind checks the pointer accessors: Ref upserts a zero
+// value, in-place updates through the pointer are visible to Get, and Find
+// returns nil for absent keys without inserting.
+func TestBlockTableRefFind(t *testing.T) {
+	var bt BlockTable[int]
+	if bt.Find(7) != nil {
+		t.Fatal("Find on empty table")
+	}
+	p := bt.Ref(7)
+	if p == nil || *p != 0 || bt.Len() != 1 {
+		t.Fatalf("Ref insert: p=%v len=%d", p, bt.Len())
+	}
+	*p = 70
+	if v, ok := bt.Get(7); !ok || v != 70 {
+		t.Fatalf("Get after Ref update = %d,%v", v, ok)
+	}
+	if q := bt.Ref(7); q == nil || *q != 70 {
+		t.Fatal("Ref on existing key lost value")
+	}
+	if q := bt.Find(7); q == nil || *q != 70 {
+		t.Fatal("Find on existing key")
+	}
+	if bt.Find(8) != nil || bt.Len() != 1 {
+		t.Fatal("Find inserted a key")
+	}
+	// Ref must grow the table like Put does; stored values survive rehash.
+	for i := int64(0); i < 100; i++ {
+		*bt.Ref(100 + i) = int(i)
+	}
+	for i := int64(0); i < 100; i++ {
+		if v, ok := bt.Get(100 + i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) after growth = %d,%v", 100+i, v, ok)
+		}
+	}
+}
+
 // TestBlockTableVsMap drives the table against a reference map with a
 // deterministic op stream over a dense key range (the shared block-index
 // pattern), crossing several growth and backward-shift-deletion cycles.

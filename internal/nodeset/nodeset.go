@@ -1,0 +1,79 @@
+// Package nodeset provides a word-packed node bitset sized for the largest
+// supported machine (256 nodes). Coherence fan-out — invalidation and update
+// delivery, directory sharer bookkeeping — iterates these sets with
+// bits.TrailingZeros64, so the work scales with the number of actual sharers
+// rather than with Procs. The zero value is the empty set and the type is a
+// small value (four words): it lives inline in BlockTable entries without
+// indirection or allocation.
+package nodeset
+
+import "math/bits"
+
+// MaxNodes is the largest node ID + 1 a Set can hold; it matches the
+// public Config.MaxProcs contract.
+const MaxNodes = 256
+
+// words is the number of 64-bit words backing a Set.
+const words = MaxNodes / 64
+
+// Set is a fixed-size bitset over node IDs [0, MaxNodes).
+type Set [words]uint64
+
+// Add sets bit id.
+func (s *Set) Add(id int) { s[id>>6] |= 1 << uint(id&63) }
+
+// Remove clears bit id.
+func (s *Set) Remove(id int) { s[id>>6] &^= 1 << uint(id&63) }
+
+// Has reports whether bit id is set.
+func (s Set) Has(id int) bool { return s[id>>6]&(1<<uint(id&63)) != 0 }
+
+// Len returns the number of set bits.
+func (s Set) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bits are set.
+func (s Set) Empty() bool {
+	var z Set
+	return s == z
+}
+
+// Next returns the smallest set bit >= from, or -1 when none remains. It
+// lets hot delivery loops iterate a set without a callback closure:
+//
+//	for id := s.Next(0); id >= 0; id = s.Next(id + 1) { ... }
+func (s Set) Next(from int) int {
+	if from >= MaxNodes {
+		return -1
+	}
+	wi := from >> 6
+	w := s[wi] >> uint(from&63) << uint(from&63)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= words {
+			return -1
+		}
+		w = s[wi]
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. The callback must
+// not retain s; iteration reads a snapshot of each word, so mutating the set
+// from fn affects later words only.
+func (s Set) ForEach(fn func(id int)) {
+	for wi, w := range s {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

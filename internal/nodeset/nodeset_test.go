@@ -1,0 +1,123 @@
+package nodeset
+
+import "testing"
+
+// The word-boundary IDs are the interesting ones: 63/64/65 straddle the
+// first word edge, 255 is the last representable bit.
+var boundaryIDs = []int{0, 1, 62, 63, 64, 65, 127, 128, 191, 192, 254, 255}
+
+func TestSetAddRemoveHas(t *testing.T) {
+	var s Set
+	for _, id := range boundaryIDs {
+		if s.Has(id) {
+			t.Fatalf("zero set has %d", id)
+		}
+		s.Add(id)
+		if !s.Has(id) {
+			t.Fatalf("Add(%d) not visible", id)
+		}
+	}
+	if got := s.Len(); got != len(boundaryIDs) {
+		t.Fatalf("Len = %d, want %d", got, len(boundaryIDs))
+	}
+	for _, id := range boundaryIDs {
+		s.Remove(id)
+		if s.Has(id) {
+			t.Fatalf("Remove(%d) left bit set", id)
+		}
+	}
+	if !s.Empty() {
+		t.Fatalf("set not empty after removing all: %v", s)
+	}
+}
+
+func TestSetAddIdempotent(t *testing.T) {
+	var s Set
+	s.Add(64)
+	s.Add(64)
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len after double Add = %d, want 1", got)
+	}
+	s.Remove(63) // absent: no-op
+	if !s.Has(64) || s.Len() != 1 {
+		t.Fatalf("Remove of absent id perturbed set: %v", s)
+	}
+}
+
+func TestSetIterateAscending(t *testing.T) {
+	for _, p := range []int{63, 64, 65, 256} {
+		var s Set
+		want := []int{}
+		for id := 0; id < p; id += 3 {
+			s.Add(id)
+			want = append(want, id)
+		}
+		got := []int{}
+		s.ForEach(func(id int) { got = append(got, id) })
+		if len(got) != len(want) {
+			t.Fatalf("P=%d: iterated %d ids, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d: iteration[%d] = %d, want %d (ascending order)", p, i, got[i], want[i])
+			}
+		}
+		if s.Len() != len(want) {
+			t.Fatalf("P=%d: Len = %d, want %d", p, s.Len(), len(want))
+		}
+	}
+}
+
+func TestSetNext(t *testing.T) {
+	for _, p := range []int{63, 64, 65, 256} {
+		var s Set
+		want := []int{}
+		for id := 1; id < p; id += 7 {
+			s.Add(id)
+			want = append(want, id)
+		}
+		got := []int{}
+		for id := s.Next(0); id >= 0; id = s.Next(id + 1) {
+			got = append(got, id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("P=%d: Next iterated %d ids, want %d", p, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("P=%d: Next[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+	var s Set
+	if got := s.Next(0); got != -1 {
+		t.Fatalf("empty set Next(0) = %d, want -1", got)
+	}
+	s.Add(255)
+	if got := s.Next(255); got != 255 {
+		t.Fatalf("Next(255) = %d, want 255", got)
+	}
+	if got := s.Next(256); got != -1 {
+		t.Fatalf("Next(256) = %d, want -1", got)
+	}
+}
+
+func TestSetFullPopulation(t *testing.T) {
+	var s Set
+	for id := 0; id < MaxNodes; id++ {
+		s.Add(id)
+	}
+	if s.Len() != MaxNodes {
+		t.Fatalf("full set Len = %d, want %d", s.Len(), MaxNodes)
+	}
+	n := 0
+	s.ForEach(func(id int) {
+		if id != n {
+			t.Fatalf("full iteration out of order: got %d at position %d", id, n)
+		}
+		n++
+	})
+	if n != MaxNodes {
+		t.Fatalf("full iteration visited %d ids", n)
+	}
+}

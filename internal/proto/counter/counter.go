@@ -127,6 +127,15 @@ func (s *Set) Store(id ID, v uint64) {
 // Get returns the current value of id.
 func (s *Set) Get(id ID) uint64 { return s.v[id] }
 
+// Merge adds every counter value of o into s. Stored-gauge flags are left
+// untouched: scratch banks accumulated off the main set only ever Inc/Add,
+// and gauges are recomputed at collection time anyway.
+func (s *Set) Merge(o *Set) {
+	for i := range s.v {
+		s.v[i] += o.v[i]
+	}
+}
+
 // Map materializes the counter bank as the reporting map: every nonzero
 // counter plus every Stored gauge, keyed by report name.
 func (s *Set) Map() map[string]uint64 {

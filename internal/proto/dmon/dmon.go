@@ -43,9 +43,9 @@ type Proto struct {
 	m       *machine.Machine
 	variant Variant
 
-	ctrl   *optical.TDMA        // control channel: distributed reservation
-	bcast  [2]*optical.Timeline // broadcast/coherence channels (U uses both; I uses [0])
-	homeCh []*optical.Timeline  // home channels: requests in, replies out
+	ctrl   *optical.TDMA       // control channel: distributed reservation
+	bcast  [2]optical.Timeline // broadcast/coherence channels (U uses both; I uses [0])
+	homeCh []optical.Timeline  // home channels: requests in, replies out (one backing array)
 
 	// I-SPEED directory: block index -> owner node (absent = no owner,
 	// memory current). Shared blocks are dense above mem.SharedBase, so the
@@ -69,11 +69,9 @@ func New(m *machine.Machine, v Variant) *Proto {
 		variant: v,
 		ctrl:    optical.NewTDMA(md.SlotUnit, md.Procs),
 	}
-	p.bcast[0] = &optical.Timeline{}
-	p.bcast[1] = &optical.Timeline{}
-	p.homeCh = make([]*optical.Timeline, md.Procs)
-	for i := range p.homeCh {
-		p.homeCh[i] = &optical.Timeline{}
+	p.homeCh = make([]optical.Timeline, md.Procs)
+	if v == Invalidate {
+		p.dir.Reserve(16 * md.Procs)
 	}
 	p.deliverUpdateFn = func(writer, block int64) {
 		p.deliverUpdate(int(writer), mem.Addr(block))
@@ -126,9 +124,9 @@ func (p *Proto) reserve(node int, t Time) Time {
 
 func (p *Proto) bcastFor(node int) *optical.Timeline {
 	if p.variant == Update {
-		return p.bcast[node%2]
+		return &p.bcast[node%2]
 	}
-	return p.bcast[0]
+	return &p.bcast[0]
 }
 
 // ReadMiss implements the Table 2 read transaction, plus I-SPEED owner
@@ -263,10 +261,12 @@ func (p *Proto) drainUpdate(n *machine.Node, e mem.WBEntry, t Time) (nextAt, mem
 
 func (p *Proto) deliverUpdate(writer int, block mem.Addr) {
 	l2b := p.m.Nodes[0].L2.BlockBytes()
-	for _, node := range p.m.Nodes {
-		if node.ID == writer {
+	sh := p.m.Sharers(block)
+	for id := sh.Next(0); id >= 0; id = sh.Next(id + 1) {
+		if id == writer {
 			continue
 		}
+		node := p.m.Nodes[id]
 		if _, ok := node.L2.Lookup(block); ok {
 			node.L1.InvalidateRange(block, l2b)
 			node.St.UpdatesSeen++
@@ -319,19 +319,29 @@ func (p *Proto) drainInvalidate(n *machine.Node, e mem.WBEntry, t Time) (nextAt,
 }
 
 func (p *Proto) deliverInval(writer int, block mem.Addr) {
-	l2b := p.m.Nodes[0].L2.BlockBytes()
-	for _, node := range p.m.Nodes {
-		if node.ID == writer {
+	// Sharers is a superset of the nodes actually holding the block (the
+	// L2.Lookup recheck preserves exact semantics); iterating it makes the
+	// broadcast cost proportional to the sharer count, not the machine size.
+	sh := p.m.Sharers(block)
+	for id := sh.Next(0); id >= 0; id = sh.Next(id + 1) {
+		if id == writer {
 			continue
 		}
+		node := p.m.Nodes[id]
 		if _, ok := node.L2.Lookup(block); ok {
-			node.L2.Invalidate(block)
-			node.L1.InvalidateRange(block, l2b)
+			node.InvalidateL2(block)
 			node.St.InvalsSeen++
 		}
-		// Critical race: a pending read on this block is poisoned and will
-		// be invalidated right after it completes.
-		node.Poison(block)
+	}
+	// Critical race: pending reads on this block are poisoned and will be
+	// invalidated right after they complete. Only nodes with an outstanding
+	// read on the block can be affected; the pending set names exactly those.
+	pend := p.m.Pending(block)
+	for id := pend.Next(0); id >= 0; id = pend.Next(id + 1) {
+		if id == writer {
+			continue
+		}
+		p.m.Nodes[id].Poison(block)
 	}
 }
 
@@ -459,6 +469,104 @@ func (p *Proto) WarmDrainLatency() Time {
 		return p.m.Model.CoherenceDMONU(8)
 	}
 	return p.m.Model.CoherenceDMONI()
+}
+
+// WarmRoundRead is WarmReadMiss under round isolation: the directory is read
+// (frozen during the round) but the owner's cache — another node, possibly
+// executing concurrently — is not touched; the downgrade-or-forward-miss
+// resolution is deferred to replay. The charged latency is owner-independent,
+// so it matches WarmReadMiss for either resolution.
+func (p *Proto) WarmRoundRead(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	if !sp.IsShared(addr) {
+		n.RoundCounters().Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	home := sp.Home(addr)
+	block := sp.Block(addr)
+	if p.variant == Invalidate {
+		if owner, ok := p.dir.Get(sp.BlockIndex(block)); ok && owner != n.ID {
+			n.RoundCounters().Inc(counter.Forwards)
+			n.Defer(machine.WarmEffect{Kind: machine.EffForward, Block: block, Aux: int64(owner)})
+			return md.DMONMiss() + md.MemRequestDMON + md.Flight + dirLookupService, mem.Clean
+		}
+	}
+	if home == n.ID {
+		n.RoundCounters().Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	n.RoundCounters().Inc(counter.RemoteReads)
+	return md.DMONMiss(), mem.Clean
+}
+
+// WarmRoundDrain performs the node-local half of the write transition and
+// defers everything that crosses nodes: DMON-U update delivery, and I-SPEED
+// invalidation broadcast plus directory ownership. The writer's own L2 (a
+// write-allocate fill, the Exclusive upgrade) mutates inline — it is
+// node-local.
+func (p *Proto) WarmRoundDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		n.RoundCounters().Inc(counter.PrivateWrites)
+		return
+	}
+	if p.variant == Update {
+		n.RoundCounters().Inc(counter.Updates)
+		n.Defer(machine.WarmEffect{Kind: machine.EffUpdate, Block: e.Block})
+		return
+	}
+	block := e.Block
+	st, present := n.L2.Lookup(block)
+	if present && st == mem.Exclusive {
+		n.RoundCounters().Inc(counter.OwnerWrites)
+		return
+	}
+	if !present {
+		n.RoundCounters().Inc(counter.WriteMisses)
+		_, fst := p.WarmRoundRead(n, block)
+		n.WarmFillL2(block, fst)
+	}
+	n.RoundCounters().Inc(counter.Invalidations)
+	n.Defer(machine.WarmEffect{Kind: machine.EffInval, Block: block})
+	n.L2.SetState(block, mem.Exclusive)
+}
+
+// WarmApply replays one deferred effect (n is the recording node). Replays
+// run sequentially in node-ID order with full mutation rights, so competing
+// writers of one round converge exactly as sequential delivery order would:
+// the last replayed invalidation clears every other copy and owns the block.
+func (p *Proto) WarmApply(n *machine.Node, e machine.WarmEffect) {
+	switch e.Kind {
+	case machine.EffUpdate:
+		p.deliverUpdate(n.ID, e.Block)
+	case machine.EffInval:
+		p.deliverInval(n.ID, e.Block)
+		p.dir.Put(p.m.Space.BlockIndex(e.Block), n.ID)
+	case machine.EffForward:
+		on := p.m.Nodes[int(e.Aux)]
+		if st, ok := on.L2.Lookup(e.Block); ok {
+			if st == mem.Exclusive {
+				on.L2.SetState(e.Block, mem.Shared)
+			}
+		} else {
+			p.counters.Inc(counter.ForwardMisses)
+		}
+	}
+}
+
+// WarmMerge folds a node's round-scratch counters into the protocol bank.
+func (p *Proto) WarmMerge(cs *counter.Set) { p.counters.Merge(cs) }
+
+// WarmRoundQuota keeps I-SPEED rounds at the minimum worthwhile length:
+// deferred invalidations leave stale copies readable until the round
+// closes, and long rounds convert read misses the fine interleave would
+// charge into phantom hits. The update variant replays losslessly and
+// takes the full budget.
+func (p *Proto) WarmRoundQuota() uint64 {
+	if p.variant == Invalidate {
+		return machine.WarmRoundMinQuota
+	}
+	return machine.WarmRoundMaxQuota
 }
 
 var _ machine.Warmer = (*Proto)(nil)

@@ -24,7 +24,7 @@ type Time = sim.Time
 // Proto is the LambdaNet protocol instance.
 type Proto struct {
 	m      *machine.Machine
-	nodeCh []*optical.Timeline // per-node transmit channel
+	nodeCh []optical.Timeline // per-node transmit channel (one backing array)
 
 	// deliverFn is the update-delivery event bound once, scheduled through
 	// ScheduleArgs so each drained entry does not allocate a closure.
@@ -36,10 +36,7 @@ type Proto struct {
 // New builds a LambdaNet protocol over m.
 func New(m *machine.Machine) *Proto {
 	p := &Proto{m: m}
-	p.nodeCh = make([]*optical.Timeline, m.P())
-	for i := range p.nodeCh {
-		p.nodeCh[i] = &optical.Timeline{}
-	}
+	p.nodeCh = make([]optical.Timeline, m.P())
 	p.deliverFn = func(writer, block int64) {
 		p.deliverUpdate(int(writer), mem.Addr(block))
 	}
@@ -113,10 +110,12 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 
 func (p *Proto) deliverUpdate(writer int, block mem.Addr) {
 	l2b := p.m.Nodes[0].L2.BlockBytes()
-	for _, node := range p.m.Nodes {
-		if node.ID == writer {
+	sh := p.m.Sharers(block)
+	for id := sh.Next(0); id >= 0; id = sh.Next(id + 1) {
+		if id == writer {
 			continue
 		}
+		node := p.m.Nodes[id]
 		if _, ok := node.L2.Lookup(block); ok {
 			node.L1.InvalidateRange(block, l2b)
 			node.St.UpdatesSeen++
@@ -165,5 +164,45 @@ func (p *Proto) WarmEvict(n *machine.Node, block mem.Addr, st mem.State) {}
 
 // WarmDrainLatency is the Table 3 contention-free 8-word write transaction.
 func (p *Proto) WarmDrainLatency() Time { return p.m.Model.CoherenceLambda(8) }
+
+// WarmRoundRead is WarmReadMiss under round isolation: the LambdaNet has no
+// shared protocol state, so only the counters move — into the node's scratch
+// bank.
+func (p *Proto) WarmRoundRead(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	if !sp.IsShared(addr) || sp.Home(addr) == n.ID {
+		n.RoundCounters().Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	n.RoundCounters().Inc(counter.RemoteReads)
+	return md.LambdaMiss(), mem.Clean
+}
+
+// WarmRoundDrain defers the update delivery — the snooper walk touches other
+// nodes' caches — and counts into the scratch bank.
+func (p *Proto) WarmRoundDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		n.RoundCounters().Inc(counter.PrivateWrites)
+		return
+	}
+	n.RoundCounters().Inc(counter.Updates)
+	n.Defer(machine.WarmEffect{Kind: machine.EffUpdate, Block: e.Block})
+}
+
+// WarmApply replays a deferred update delivery (n is the recording writer).
+func (p *Proto) WarmApply(n *machine.Node, e machine.WarmEffect) {
+	if e.Kind == machine.EffUpdate {
+		p.deliverUpdate(n.ID, e.Block)
+	}
+}
+
+// WarmMerge folds a node's round-scratch counters into the protocol bank.
+func (p *Proto) WarmMerge(cs *counter.Set) { p.counters.Merge(cs) }
+
+// WarmRoundQuota takes the full round budget: deferred update deliveries
+// refresh data in caches that already hold the block, so replaying them at
+// round close loses nothing.
+func (p *Proto) WarmRoundQuota() uint64 { return machine.WarmRoundMaxQuota }
 
 var _ machine.Warmer = (*Proto)(nil)

@@ -24,9 +24,9 @@ type Time = sim.Time
 type Proto struct {
 	m *machine.Machine
 
-	reqCh  *optical.TDMA       // request channel: memory requests + update acks
-	cohCh  [2]*optical.Token   // coherence channels (node transmits on ID%2)
-	homeCh []*optical.Timeline // one point-to-point channel per home node
+	reqCh  *optical.TDMA      // request channel: memory requests + update acks
+	cohCh  [2]*optical.Token  // coherence channels (node transmits on ID%2)
+	homeCh []optical.Timeline // one point-to-point channel per home node (one backing array)
 
 	rc *ring.Cache // shared cache; nil for OPTNET
 
@@ -61,7 +61,7 @@ func New(m *machine.Machine, rc *ring.Cache) *Proto {
 	p := &Proto{
 		m:      m,
 		reqCh:  optical.NewTDMA(md.SlotUnit, md.Procs),
-		homeCh: make([]*optical.Timeline, md.Procs),
+		homeCh: make([]optical.Timeline, md.Procs),
 		rc:     rc,
 	}
 	half := md.Procs / 2
@@ -70,9 +70,6 @@ func New(m *machine.Machine, rc *ring.Cache) *Proto {
 	}
 	p.cohCh[0] = optical.NewToken(md.CoherenceSlot, half)
 	p.cohCh[1] = optical.NewToken(md.CoherenceSlot, half)
-	for i := range p.homeCh {
-		p.homeCh[i] = &optical.Timeline{}
-	}
 	// The engine sets Now to the event's cycle before dispatch, so the
 	// delivery time does not need to travel with the event.
 	p.deliverFn = func(writer, block int64) {
@@ -222,10 +219,12 @@ func (p *Proto) DrainEntry(n *machine.Node, e mem.WBEntry, t Time) (nextAt, memA
 func (p *Proto) deliverUpdate(writer int, block mem.Addr, t Time) {
 	md := p.m.Model
 	l2b := p.m.Nodes[0].L2.BlockBytes()
-	for _, node := range p.m.Nodes {
-		if node.ID == writer {
+	sh := p.m.Sharers(block)
+	for id := sh.Next(0); id >= 0; id = sh.Next(id + 1) {
+		if id == writer {
 			continue
 		}
+		node := p.m.Nodes[id]
 		if _, ok := node.L2.Lookup(block); ok {
 			// The secondary cache is updated; the L1 copy is invalidated.
 			node.L1.InvalidateRange(block, l2b)
@@ -296,6 +295,75 @@ func (p *Proto) WarmEvict(n *machine.Node, block mem.Addr, st mem.State) {}
 
 // WarmDrainLatency is the Table 3 contention-free 8-word write transaction.
 func (p *Proto) WarmDrainLatency() Time { return p.m.Model.CoherenceNetCache(8) }
+
+// WarmRoundRead is WarmReadMiss under round isolation: the ring is probed
+// through the read-only Contains (the same present/absent criterion Lookup
+// applies), and the recency touch or insertion is deferred for ID-ordered
+// replay. Latency and miss classification match WarmReadMiss against the
+// frozen ring state.
+func (p *Proto) WarmRoundRead(n *machine.Node, addr mem.Addr) (Time, mem.State) {
+	md := p.m.Model
+	sp := p.m.Space
+	home := sp.Home(addr)
+	if !sp.IsShared(addr) || home == n.ID {
+		n.RoundCounters().Inc(counter.LocalReads)
+		return md.L1TagCheck + md.L2TagCheck + md.MemBlockRead(Time(p.m.Cfg.L2Block)), mem.Clean
+	}
+	if p.rc != nil && p.rc.Contains(addr) {
+		n.St.SharedHits++
+		n.RoundCounters().Inc(counter.SharedHits)
+		n.Defer(machine.WarmEffect{Kind: machine.EffRingHit, Block: addr, T: n.Now()})
+		return md.SharedCacheHit(), mem.Clean
+	}
+	if p.rc != nil {
+		n.Defer(machine.WarmEffect{Kind: machine.EffRingMiss, Block: addr, T: n.Now(), Aux: int64(home)})
+	}
+	n.RoundCounters().Inc(counter.HomeFetches)
+	return md.SharedCacheMiss(), mem.Clean
+}
+
+// WarmRoundDrain defers the update delivery (snoopers, ring refresh, race
+// FIFO all touch shared state) and counts into the scratch bank.
+func (p *Proto) WarmRoundDrain(n *machine.Node, e mem.WBEntry) {
+	if !e.Shared {
+		n.RoundCounters().Inc(counter.PrivateWrites)
+		return
+	}
+	n.RoundCounters().Inc(counter.Updates)
+	n.Defer(machine.WarmEffect{Kind: machine.EffUpdate, Block: e.Block, T: n.Now()})
+}
+
+// WarmApply replays one deferred effect (n is the recording node). Ring
+// probes re-run against the evolving replay state: a recorded hit touches
+// recency, a recorded miss inserts unless an earlier replay already did.
+func (p *Proto) WarmApply(n *machine.Node, e machine.WarmEffect) {
+	switch e.Kind {
+	case machine.EffRingHit:
+		p.rc.Lookup(e.Block, n.ID, e.T)
+	case machine.EffRingMiss:
+		if hit, _ := p.rc.Lookup(e.Block, n.ID, e.T); !hit {
+			p.rc.Insert(e.Block, int(e.Aux), e.T)
+		}
+	case machine.EffUpdate:
+		p.deliverUpdate(n.ID, e.Block, e.T)
+	}
+}
+
+// WarmMerge folds a node's round-scratch counters into the protocol bank.
+func (p *Proto) WarmMerge(cs *counter.Set) { p.counters.Merge(cs) }
+
+// WarmRoundQuota opts the ring-bearing system out of parallel rounds: the
+// shared ring is a recency structure whose warm contents depend on the
+// fine-grained cross-node insertion interleave (a node reuses a line its
+// neighbor inserted moments earlier), and a frozen-ring round blinds every
+// such probe. The ring-less OPTNET variant has no such state and takes the
+// full round budget.
+func (p *Proto) WarmRoundQuota() uint64 {
+	if p.rc != nil {
+		return 0
+	}
+	return machine.WarmRoundMaxQuota
+}
 
 var _ machine.Protocol = (*Proto)(nil)
 var _ machine.Warmer = (*Proto)(nil)

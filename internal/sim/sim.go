@@ -620,6 +620,53 @@ func (p *Proc) Invoke(svc func()) {
 	}
 }
 
+// Park blocks the processor until it is released: by Release (a functional
+// round leader dispatching it to a worker slot) or by the engine selecting it
+// after Reattach. A parked processor is indistinguishable from one waiting at
+// its normal resume point, so the engine's resume/yield protocol and the
+// abort path (poison) both work on it unchanged. App-context only.
+func (p *Proc) Park() {
+	<-p.resume
+	if p.poisoned {
+		panic(abortSignal{})
+	}
+}
+
+// Release wakes a processor parked at Park or at its Invoke resume point.
+// Called from app context by a functional round leader; the engine itself
+// stays parked on the leader's yield channel, so engine exclusivity holds
+// for everything the released processor is allowed to touch (its own node
+// state only — see the sampler's round protocol).
+func (p *Proc) Release() { p.resume <- struct{}{} }
+
+// DetachRunnable removes every resumable (procResume) processor from the
+// runnable heap and appends it to dst in ascending ID order. The caller takes
+// responsibility for running the detached processors outside the engine and
+// must Reattach them before the engine regains control. Processors with a
+// pending service stay queued; blocked and finished processors are untouched.
+// Must be called from app context under engine exclusivity.
+func (e *Engine) DetachRunnable(dst []*Proc) []*Proc {
+	start := len(dst)
+	for _, p := range e.procs {
+		if p.state == procResume && p.qi >= 0 {
+			dst = append(dst, p)
+		}
+	}
+	for _, p := range dst[start:] {
+		e.runqRemove(p)
+	}
+	return dst
+}
+
+// Reattach returns processors taken by DetachRunnable to the runnable heap,
+// keyed by their (possibly advanced) clocks. Must be called from app context
+// under engine exclusivity before control returns to the engine.
+func (e *Engine) Reattach(ps []*Proc) {
+	for _, p := range ps {
+		e.runqPush(p)
+	}
+}
+
 // Yield hands control back to the engine without advancing the clock: the
 // processor re-enters the runnable queue at its current time and resumes
 // once it is the earliest actor again. Functional-warmup stretches call it

@@ -2,9 +2,14 @@ package netcache
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSamplingCanonicalZeroValue pins the store-key compatibility contract:
@@ -195,5 +200,93 @@ func TestSamplingUnknownMode(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "sampling mode") {
 		t.Fatalf("unknown mode error = %v", err)
+	}
+}
+
+// TestSampledWorkerInvariance pins the parallel fast-forward contract: the
+// Result — estimates, confidence intervals and the raw interval record
+// included — is byte-identical at every worker count, because rounds freeze
+// shared state and replay deferred effects in node-ID order. The reference
+// run must actually execute rounds, or the test would vacuously pass.
+func TestSampledWorkerInvariance(t *testing.T) {
+	run := func(workers int) ([]byte, Result) {
+		spec := RunSpec{
+			App: "sor", System: SystemDMONU, Scale: 0.25,
+			Sampling: &Sampling{
+				Mode: SampleStratified, IntervalRefs: 8192,
+				WarmupRefs: 1024, Period: 16, Seed: 5, Workers: workers,
+			},
+		}
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, r
+	}
+	ref, r := run(1)
+	if r.Raw.Sampling == nil || r.Raw.Sampling.Rounds == 0 {
+		t.Fatal("test premise broken: no parallel rounds executed; lengthen the functional stretches")
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if b, _ := run(w); !bytes.Equal(ref, b) {
+			t.Errorf("Workers=%d result differs from Workers=1", w)
+		}
+	}
+}
+
+// TestSampledRoundOptOut checks a ring-bearing NetCache run never enters
+// round mode: the shared ring is a recency structure whose warm contents
+// depend on the fine-grained cross-node insertion interleave, so its
+// WarmRoundQuota is zero.
+func TestSampledRoundOptOut(t *testing.T) {
+	spec := RunSpec{
+		App: "sor", System: SystemNetCache, Scale: 0.25,
+		Sampling: &Sampling{
+			Mode: SampleStratified, IntervalRefs: 8192,
+			WarmupRefs: 1024, Period: 16, Seed: 5,
+		},
+	}
+	r, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Raw.Sampling == nil {
+		t.Fatal("no sampling record")
+	}
+	if n := r.Raw.Sampling.Rounds; n != 0 {
+		t.Fatalf("ring-bearing netcache executed %d rounds", n)
+	}
+}
+
+// TestSampledCancellationJoins cancels a sampled run mid-warmup — with
+// round members potentially parked off the runnable heap — and checks the
+// abort still joins every processor goroutine.
+func TestSampledCancellationJoins(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, RunSpec{
+		App: "sor", System: SystemDMONU, Scale: 1,
+		Sampling: &Sampling{
+			Mode: SampleStratified, IntervalRefs: 8192,
+			WarmupRefs: 1024, Period: 16, Seed: 5,
+		},
+	})
+	if err == nil {
+		t.Skip("run finished before the deadline; nothing to cancel")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want deadline exceeded", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked across cancelled sampled run: %d before, %d after", before, n)
 	}
 }

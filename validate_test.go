@@ -1,0 +1,72 @@
+package netcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestConfigValidateBoundaries drives Validate over the Procs boundary
+// lattice: powers of two within [1, MaxProcs] pass (zero defaults to the
+// paper's 16), everything else fails with a clear parameter error.
+func TestConfigValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		procs int
+		ok    bool
+		want  string // error substring when !ok
+	}{
+		{0, true, ""}, // defaults to 16
+		{1, true, ""},
+		{2, true, ""},
+		{16, true, ""},
+		{64, true, ""},
+		{128, true, ""},
+		{MaxProcs, true, ""},
+		{3, false, "power of two"},
+		{17, false, "power of two"},
+		{255, false, "power of two"},
+		{MaxProcs + 1, false, "out of range"},
+		{MaxProcs * 2, false, "out of range"},
+		{-1, false, "out of range"},
+		{-16, false, "out of range"},
+	}
+	for _, c := range cases {
+		err := Config{Procs: c.procs}.Validate()
+		if c.ok {
+			if err != nil {
+				t.Errorf("Procs=%d: unexpected error %v", c.procs, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Procs=%d: Validate passed, want error", c.procs)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Procs=%d: error %q does not mention %q", c.procs, err, c.want)
+		}
+	}
+}
+
+// TestRunRejectsBadProcs checks the Run entry points surface a validation
+// error — before any machine state is built, and as an error rather than the
+// NewMachine panic.
+func TestRunRejectsBadProcs(t *testing.T) {
+	_, err := Run(RunSpec{App: "sor", System: SystemNetCache, Config: Config{Procs: 12}})
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("Run(Procs=12) error = %v", err)
+	}
+	_, err = RunCustom("probe", SystemLambdaNet, Config{Procs: MaxProcs * 2},
+		func(m *Machine) func(*Ctx) { return func(c *Ctx) {} })
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("RunCustom(Procs=%d) error = %v", MaxProcs*2, err)
+	}
+}
+
+// TestNewMachinePanicsOnInvalid pins the documented NewMachine contract for
+// callers that bypass the validating entry points.
+func TestNewMachinePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMachine(Procs=5) did not panic")
+		}
+	}()
+	NewMachine(SystemNetCache, Config{Procs: 5})
+}

@@ -14,18 +14,26 @@
 //	          [-chaos "seed=42,store.write=0.1,http.error=0.05"] \
 //	          [-peers http://a:8100,http://b:8100 -self http://a:8100] \
 //	          [-vnodes 64] [-replication 1] [-upstream http://hub:8100] \
-//	          [-probe-interval 2s] [-repair-interval 5s]
+//	          [-probe-interval 2s] [-repair-interval 5s] \
+//	          [-join http://a:8100] [-rebalance-interval 30s] \
+//	          [-rebalance-rate 200] [-antientropy-interval 1m]
+//
+//	netcached -admin http://a:8100 -decommission http://b:8100   # one-shot
+//	netcached -admin http://a:8100 -remove http://c:8100         # one-shot
 //
 // Endpoints:
 //
-//	POST /v1/run          one RunSpec -> Result JSON
-//	POST /v1/batch        {"specs":[...]} -> {"results":[...]} in spec order
-//	GET  /v1/apps         the Table 4 application list
-//	GET  /v1/stats        per-tier store occupancy and maintenance counters
-//	GET  /v1/result/{key} store-only lookup (PUT: hinted-handoff push target)
-//	GET  /v1/cluster      ring parameters, per-peer health, handoff backlog
-//	GET  /healthz         liveness (503 while draining)
-//	GET  /metrics         Prometheus text format
+//	POST /v1/run                 one RunSpec -> Result JSON
+//	POST /v1/batch               {"specs":[...]} -> {"results":[...]} in spec order
+//	GET  /v1/apps                the Table 4 application list
+//	GET  /v1/stats               per-tier store occupancy and maintenance counters
+//	GET  /v1/result/{key}        store-only lookup (PUT: replication push target)
+//	GET  /v1/cluster             ring, per-peer health, handoff/rebalance state
+//	GET  /v1/cluster/membership  current membership (POST: join/remove/decommission/adopt)
+//	GET  /v1/cluster/digest      anti-entropy range digest (internode)
+//	GET  /v1/cluster/keys        anti-entropy range key list (internode)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text format
 //
 // Clustering: -peers turns N daemons into one logical store. Every node
 // gets the same -peers list plus its own entry as -self; a consistent-hash
@@ -33,6 +41,17 @@
 // when the owner is unreachable they recompute locally and hand the result
 // off once it returns. -upstream chains a read-through parent cache that is
 // consulted (store-only) before simulating.
+//
+// Membership is versioned: every change (POST /v1/cluster/membership, the
+// -join handshake, or the one-shot -admin mode) produces a new ring with a
+// higher epoch, gossiped via epoch headers on probes and proxy traffic. On
+// an epoch change each node streams the keys whose replica set moved to
+// their new owners (resumable, rate-limited by -rebalance-rate), and a
+// periodic anti-entropy digest sweep heals any replica gaps churn left
+// behind. A decommissioned node keeps serving while it drains; stop it once
+// GET /v1/cluster reports rebalance done at the decommission epoch. With a
+// -store, the adopted membership is persisted under <store>/cluster/ and
+// resumed at boot.
 //
 // Example:
 //
@@ -58,6 +77,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -93,10 +113,27 @@ func main() {
 		upstream    = flag.String("upstream", "", "base URL of a read-through parent cache consulted before simulating (empty = none)")
 		probeIvl    = flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
 		repairIvl   = flag.Duration("repair-interval", 5*time.Second, "hinted-handoff repair period")
+
+		join      = flag.String("join", "", "base URL of an existing member to join at boot (requires -self; -peers defaults to just -self)")
+		rebalIvl  = flag.Duration("rebalance-interval", 30*time.Second, "background rebalance walk period (doubles as its retry schedule)")
+		rebalRate = flag.Int("rebalance-rate", 0, "rebalance push rate limit, keys/sec (0 = unlimited)")
+		antiIvl   = flag.Duration("antientropy-interval", time.Minute, "anti-entropy digest sweep period")
+
+		admin        = flag.String("admin", "", "one-shot admin mode: send a membership change via this member, print the new membership, exit")
+		decommission = flag.String("decommission", "", "with -admin: drain-then-leave this peer (it streams its keys away; stop it once rebalance reports done)")
+		remove       = flag.String("remove", "", "with -admin: drop this dead peer from the membership immediately")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "netcached: ", log.LstdFlags)
+
+	if *admin != "" {
+		runAdmin(logger, *admin, *decommission, *remove)
+		return
+	}
+	if *decommission != "" || *remove != "" {
+		logger.Fatal("-decommission/-remove require -admin")
+	}
 
 	inj, err := faults.Parse(*chaos)
 	if err != nil {
@@ -153,6 +190,14 @@ func main() {
 	}
 
 	var cl *cluster.Cluster
+	if *join != "" && *self == "" {
+		logger.Fatal("-join requires -self")
+	}
+	if *join != "" && *peers == "" {
+		// A joiner boots as a single-node ring; the join handshake below
+		// (and gossip after it) replaces that with the real membership.
+		*peers = *self
+	}
 	if *peers != "" {
 		list := strings.Split(*peers, ",")
 		for i := range list {
@@ -170,8 +215,26 @@ func main() {
 		if err != nil {
 			logger.Fatalf("-peers: %v", err)
 		}
-		logger.Printf("cluster: %d peers, %d vnodes, replication %d, self %s",
-			len(cl.Peers()), cl.Ring().VNodes(), cl.Replication(), cl.Self())
+		if *storeDir != "" {
+			// Membership survives restarts alongside the store: adopt the
+			// persisted ring (epochs make stale files harmless — gossip wins
+			// if the cluster moved on) and checkpoint every change.
+			memPath := filepath.Join(*storeDir, "cluster", "membership.json")
+			if m, ok := cluster.LoadMembership(memPath); ok {
+				if changed, err := cl.Adopt(m); err != nil {
+					logger.Printf("cluster: persisted membership %s: %v", memPath, err)
+				} else if changed {
+					logger.Printf("cluster: resumed membership epoch %d (%d peers) from %s", m.Epoch, len(m.Peers), memPath)
+				}
+			}
+			cl.OnChange(func(m cluster.Membership) {
+				if err := cluster.SaveMembership(memPath, m); err != nil {
+					logger.Printf("cluster: persisting membership: %v", err)
+				}
+			})
+		}
+		logger.Printf("cluster: epoch %d, %d peers, %d vnodes, replication %d, self %s",
+			cl.Epoch(), len(cl.Peers()), cl.Ring().VNodes(), cl.Replication(), cl.Self())
 	} else if *self != "" {
 		logger.Fatal("-self requires -peers")
 	}
@@ -183,15 +246,18 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Store:          st,
-		Workers:        *jobs,
-		QueueDepth:     *queue,
-		Timeout:        *timeout,
-		Log:            logger,
-		Inject:         inj,
-		Cluster:        cl,
-		Upstream:       up,
-		RepairInterval: *repairIvl,
+		Store:               st,
+		Workers:             *jobs,
+		QueueDepth:          *queue,
+		Timeout:             *timeout,
+		Log:                 logger,
+		Inject:              inj,
+		Cluster:             cl,
+		Upstream:            up,
+		RepairInterval:      *repairIvl,
+		RebalanceInterval:   *rebalIvl,
+		RebalanceRate:       *rebalRate,
+		AntiEntropyInterval: *antiIvl,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -202,6 +268,26 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
+
+	if *join != "" {
+		// Announce ourselves once we can answer the membership pushes and
+		// rebalance traffic the join triggers. The seed bumps the epoch and
+		// gossips the new ring; adopting its response is just the fast path.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			m, err := server.NewResilientClient(*join).UpdateMembership(ctx, cluster.ActionJoin, *self)
+			if err != nil {
+				logger.Printf("join via %s failed (will keep serving standalone): %v", *join, err)
+				return
+			}
+			if _, err := cl.Adopt(m); err != nil {
+				logger.Printf("join: adopting membership: %v", err)
+				return
+			}
+			logger.Printf("joined cluster via %s: epoch %d, %d peers", *join, m.Epoch, len(m.Peers))
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -219,5 +305,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netcached:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runAdmin performs a one-shot membership change through any live member
+// and exits: `netcached -admin http://a:8100 -decommission http://b:8100`
+// starts b draining, `-remove` drops a dead peer outright.
+func runAdmin(logger *log.Logger, member, decommission, remove string) {
+	var action, peer string
+	switch {
+	case decommission != "" && remove != "":
+		logger.Fatal("-admin takes exactly one of -decommission or -remove")
+	case decommission != "":
+		action, peer = cluster.ActionDecommission, decommission
+	case remove != "":
+		action, peer = cluster.ActionRemove, remove
+	default:
+		logger.Fatal("-admin requires -decommission or -remove")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	m, err := server.NewResilientClient(member).UpdateMembership(ctx, action, peer)
+	if err != nil {
+		logger.Fatalf("%s %s via %s: %v", action, peer, member, err)
+	}
+	fmt.Printf("epoch %d (%d peers):\n", m.Epoch, len(m.Peers))
+	for _, p := range m.Peers {
+		fmt.Printf("  %s\n", p)
+	}
+	if action == cluster.ActionDecommission {
+		fmt.Printf("%s is draining; stop it once GET %s/v1/cluster shows rebalance done at epoch %d\n", peer, peer, m.Epoch)
 	}
 }

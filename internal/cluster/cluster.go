@@ -54,16 +54,21 @@ type peerState struct {
 	since time.Time
 }
 
-// Cluster is the node-local view of the peer set: the (immutable) ring
-// plus (mutable) per-peer health. Safe for concurrent use.
+// Cluster is the node-local view of the peer set: the current versioned
+// ring (swapped atomically by membership adoption) plus mutable per-peer
+// health. Safe for concurrent use.
 type Cluster struct {
-	ring *Ring
 	self string
 	rf   int
 	cfg  Config
 
-	mu    sync.Mutex
-	peers map[string]*peerState // remote peers only; Self is always up
+	mu        sync.Mutex
+	ring      *Ring  // current ring; immutable once installed
+	epoch     uint64 // the ring's membership epoch
+	prev      *Ring  // ring before the last adoption (nil: never changed)
+	prevEpoch uint64
+	peers     map[string]*peerState // remote peers; Self is always up
+	onChange  []func(Membership)
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -71,8 +76,10 @@ type Cluster struct {
 	probing  bool // StartProbes launched the loop; Close must join it
 }
 
-// New validates cfg and builds a Cluster. Every peer starts optimistically
-// up: the first failed exchange or probe marks it down.
+// New validates cfg and builds a Cluster at membership epoch 0. Every
+// peer starts optimistically up: the first failed exchange or probe marks
+// it down. A joining node bootstraps with Peers = [Self] and adopts the
+// cluster's real membership from its seed.
 func New(cfg Config) (*Cluster, error) {
 	ring, err := NewRing(cfg.Peers, cfg.VNodes)
 	if err != nil {
@@ -81,22 +88,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: Self is required")
 	}
-	found := false
-	for _, p := range ring.Peers() {
-		if p == cfg.Self {
-			found = true
-			break
-		}
-	}
-	if !found {
+	if !ring.contains(cfg.Self) {
 		return nil, fmt.Errorf("cluster: self %q is not in the peer set %v", cfg.Self, ring.Peers())
 	}
 	if cfg.Replication <= 0 {
 		cfg.Replication = 1
 	}
-	if cfg.Replication > len(ring.Peers()) {
-		cfg.Replication = len(ring.Peers())
-	}
+	// Replication is intentionally NOT clamped to the bootstrap peer count:
+	// the ring clamps per call, so a node that boots alone and then joins a
+	// bigger cluster replicates at the configured factor once peers exist.
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
 	}
@@ -126,20 +126,27 @@ func New(cfg Config) (*Cluster, error) {
 // Self returns this node's peer URL.
 func (c *Cluster) Self() string { return c.self }
 
-// Ring exposes the underlying ring, for tests and tooling.
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Ring snapshots the current ring, for tests and tooling. Rings are
+// immutable; membership changes swap the pointer.
+func (c *Cluster) Ring() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
 
-// Peers returns the full sorted peer set, Self included.
-func (c *Cluster) Peers() []string { return c.ring.Peers() }
+// Peers returns the current membership's sorted peer set, Self included
+// (unless this node has left).
+func (c *Cluster) Peers() []string { return c.Ring().Peers() }
 
-// Replication reports the configured replication factor.
+// Replication reports the configured replication factor (clamped to the
+// live peer count at each ring walk, not here).
 func (c *Cluster) Replication() int { return c.rf }
 
-// Owner returns the peer owning key.
-func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+// Owner returns the peer owning key under the current ring.
+func (c *Cluster) Owner(key string) string { return c.Ring().Owner(key) }
 
-// Replicas returns key's replica set, owner first.
-func (c *Cluster) Replicas(key string) []string { return c.ring.Replicas(key, c.rf) }
+// Replicas returns key's replica set under the current ring, owner first.
+func (c *Cluster) Replicas(key string) []string { return c.Ring().Replicas(key, c.rf) }
 
 // IsReplica reports whether this node is in key's replica set — i.e.
 // whether it should serve the key authoritatively instead of proxying.
@@ -188,17 +195,21 @@ func (c *Cluster) mark(peer string, up bool) {
 	}
 }
 
-// Status snapshots every peer's health, sorted by URL (Self included).
+// Status snapshots every member's health, sorted by URL (Self included
+// while it is a member).
 func (c *Cluster) Status() []PeerStatus {
-	out := make([]PeerStatus, 0, len(c.peers)+1)
 	c.mu.Lock()
-	for _, p := range c.ring.Peers() {
+	out := make([]PeerStatus, 0, len(c.ring.peers))
+	for _, p := range c.ring.peers {
 		if p == c.self {
 			out = append(out, PeerStatus{URL: p, Self: true, Up: true})
 			continue
 		}
-		s := c.peers[p]
-		out = append(out, PeerStatus{URL: p, Up: s.up, Since: s.since})
+		if s := c.peers[p]; s != nil {
+			out = append(out, PeerStatus{URL: p, Up: s.up, Since: s.since})
+		} else {
+			out = append(out, PeerStatus{URL: p})
+		}
 	}
 	c.mu.Unlock()
 	return out
@@ -212,24 +223,30 @@ func (c *Cluster) SetProbe(f func(ctx context.Context, peer string) error) {
 	}
 }
 
-// Member reports whether peer is part of the static peer set.
+// Member reports whether peer is part of the current membership. Unlike
+// health, membership is routing truth: hints and rebalance targets aimed
+// at a non-member are stale and get dropped.
 func (c *Cluster) Member(peer string) bool {
-	if peer == c.self {
-		return true
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.peers[peer] != nil
+	return c.ring.contains(peer)
 }
 
 // ProbeNow runs one synchronous probe pass over every remote peer,
 // updating health state. It is the probe loop's body, exported so tests
-// and operators can force an immediate pass.
+// and operators can force an immediate pass. The peer set is snapshotted
+// first: a membership adoption mid-pass swaps the map out from under us.
 func (c *Cluster) ProbeNow(ctx context.Context) {
 	if c.cfg.Probe == nil {
 		return
 	}
+	c.mu.Lock()
+	peers := make([]string, 0, len(c.peers))
 	for peer := range c.peers {
+		peers = append(peers, peer)
+	}
+	c.mu.Unlock()
+	for _, peer := range peers {
 		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 		err := c.cfg.Probe(pctx, peer)
 		cancel()

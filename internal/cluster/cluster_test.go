@@ -38,8 +38,15 @@ func TestClusterValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Replication() != 2 {
-		t.Fatalf("replication clamped to %d, want 2", c.Replication())
+	// The configured factor survives New (a node bootstrapping alone keeps
+	// it for when the ring grows); each walk clamps to the live peer count.
+	if c.Replication() != 99 {
+		t.Fatalf("replication = %d, want 99", c.Replication())
+	}
+	for _, k := range testKeys(20) {
+		if got := c.Replicas(k); len(got) != 2 {
+			t.Fatalf("Replicas(%s) returned %d peers from a 2-peer ring, want 2", k[:8], len(got))
+		}
 	}
 }
 

@@ -1,8 +1,8 @@
 // Package cluster turns N netcached daemons into one logical
 // content-addressed store.
 //
-// The key space (hex SHA-256 RunSpec keys) is consistent-hashed over a
-// static peer set: each peer projects VNodes pseudo-random points onto a
+// The key space (hex SHA-256 RunSpec keys) is consistent-hashed over the
+// peer set: each peer projects VNodes pseudo-random points onto a
 // 64-bit ring, and a key belongs to the first Replication distinct peers
 // clockwise from its own hash. Virtual-node positions depend only on
 // (peer name, vnode index), never on the peer count or vnode total, which
@@ -10,13 +10,19 @@
 // reassigns only the keys it owned, and adding one steals only the keys
 // it now owns — every other key keeps its owner.
 //
-// Membership is static (the -peers flag); what is dynamic is *health*.
-// Cluster tracks per-peer up/down state fed by an active probe loop and by
-// passive observations from the proxy path (a transport failure marks the
-// peer down immediately, a successful exchange marks it up). Because every
-// result is a deterministic recomputation, a down peer never threatens
-// correctness — only locality — so health state is advisory routing
-// metadata, not a membership change: the ring never moves.
+// Membership is dynamic but versioned: each peer set is frozen into an
+// immutable Ring stamped with a membership epoch (see Membership), and
+// admin-driven changes — join, remove, decommission — produce a new ring
+// at the next epoch that spreads through probe-time gossip and epoch
+// headers on inter-node traffic. Health stays a separate, per-node,
+// advisory layer: Cluster tracks up/down state fed by an active probe
+// loop and by passive observations from the proxy path (a transport
+// failure marks the peer down immediately, a successful exchange marks
+// it up). Because every result is a deterministic recomputation, neither
+// a down peer nor a stale ring view ever threatens correctness — only
+// locality — so a wrong guess costs an extra hop or a recompute, and the
+// streaming rebalance plus anti-entropy repair restore locality after
+// every ring move.
 package cluster
 
 import (
@@ -24,8 +30,9 @@ import (
 	"sort"
 )
 
-// Ring is an immutable consistent-hash ring over a static peer set. It is
-// safe for concurrent use (it is never mutated after construction).
+// Ring is an immutable consistent-hash ring over one membership's peer
+// set. It is safe for concurrent use (it is never mutated after
+// construction); membership changes build a new Ring and swap pointers.
 type Ring struct {
 	peers  []string // sorted, deduped
 	vnodes int
@@ -80,6 +87,12 @@ func NewRing(peers []string, vnodes int) (*Ring, error) {
 
 // Peers returns the sorted peer set.
 func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// contains reports whether peer is in the ring's peer set.
+func (r *Ring) contains(peer string) bool {
+	i := sort.SearchStrings(r.peers, peer)
+	return i < len(r.peers) && r.peers[i] == peer
+}
 
 // VNodes reports the virtual-node count per peer.
 func (r *Ring) VNodes() int { return r.vnodes }

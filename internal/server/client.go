@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
 
 	"netcache"
+	"netcache/internal/cluster"
 )
 
 // defaultMaxBodyBytes caps response body reads when Client.MaxBodyBytes is
@@ -48,6 +50,16 @@ type Client struct {
 	// to mark inter-node traffic so the receiving peer serves it
 	// authoritatively instead of re-proxying.
 	Headers map[string]string
+
+	// PerRequest, when non-nil, may mutate each outgoing request's headers
+	// after Headers is applied. The inter-node client uses it to stamp the
+	// sender's current membership epoch, which changes between requests.
+	PerRequest func(h http.Header)
+
+	// OnResponse, when non-nil, observes every response's headers (success
+	// or failure). The inter-node client uses it to notice a peer running a
+	// newer membership epoch and trigger a gossip pull.
+	OnResponse func(h http.Header)
 
 	mu  sync.Mutex
 	rng uint64 // jitter PRNG state, lazily seeded from Retry.Seed
@@ -166,12 +178,18 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	for k, v := range c.Headers {
 		req.Header.Set(k, v)
 	}
+	if c.PerRequest != nil {
+		c.PerRequest(req.Header)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		c.Breaker.Record(false)
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if c.OnResponse != nil {
+		c.OnResponse(resp.Header)
+	}
 	raw, err := c.readBody(resp.Body)
 	if err != nil {
 		c.Breaker.Record(false)
@@ -336,17 +354,55 @@ func (c *Client) batchOnce(ctx context.Context, specs []netcache.RunSpec) ([]Bat
 	return resp.Results, nil
 }
 
+// ChunkError is one RunMany chunk whose transport failed outright, with
+// the canonical spec keys it covered — enough for a caller to retry or
+// report exactly the affected specs.
+type ChunkError struct {
+	Start, End int      // spec index range [Start, End) within the RunMany call
+	Keys       []string // canonical spec keys of the failed chunk, in order
+	Err        error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("chunk [%d:%d) (%d specs): %v", e.Start, e.End, e.End-e.Start, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// RunManyError aggregates the failed chunks of a RunMany call. The call's
+// entries are still fully populated — failed chunks' entries carry the
+// failure status — so callers can consume partial results and inspect or
+// retry only the failed spec keys.
+type RunManyError struct {
+	Chunks []ChunkError
+}
+
+func (e *RunManyError) Error() string {
+	failed := 0
+	for _, ce := range e.Chunks {
+		failed += ce.End - ce.Start
+	}
+	return fmt.Sprintf("netcached: %d chunks (%d specs) failed; first: %v",
+		len(e.Chunks), failed, e.Chunks[0].Err)
+}
+
 // RunMany streams specs through /v1/batch in bounded-size chunks (default
 // 256 per request when chunk <= 0) and returns one entry per spec, in
 // order. It lets sweeps of arbitrary size ride the batch endpoint without
 // building a single enormous request body; each chunk gets the client's
-// full retry treatment via Batch. A chunk whose transport fails outright
-// aborts the call — partial results are not returned.
+// full retry treatment via Batch.
+//
+// A chunk whose transport fails outright no longer aborts the call: its
+// entries are filled with the failure (status and error message), the
+// remaining chunks still run, and the returned error is a *RunManyError
+// listing each failed chunk with its spec keys. The entry slice is always
+// complete — one entry per spec — even when err is non-nil.
 func (c *Client) RunMany(ctx context.Context, specs []netcache.RunSpec, chunk int) ([]BatchEntry, error) {
 	if chunk <= 0 {
 		chunk = 256
 	}
 	out := make([]BatchEntry, 0, len(specs))
+	var failed []ChunkError
 	for start := 0; start < len(specs); start += chunk {
 		end := start + chunk
 		if end > len(specs) {
@@ -354,9 +410,32 @@ func (c *Client) RunMany(ctx context.Context, specs []netcache.RunSpec, chunk in
 		}
 		entries, err := c.Batch(ctx, specs[start:end])
 		if err != nil {
-			return nil, fmt.Errorf("netcached: chunk [%d:%d): %w", start, end, err)
+			if ctx.Err() != nil {
+				// The caller's context ended: nothing further will succeed,
+				// and partial entries would be misleading. Abort outright.
+				return nil, fmt.Errorf("netcached: chunk [%d:%d): %w", start, end, err)
+			}
+			code := http.StatusServiceUnavailable
+			var se *StatusError
+			if errors.As(err, &se) {
+				code = se.Code
+			}
+			ce := ChunkError{Start: start, End: end, Err: err}
+			for _, spec := range specs[start:end] {
+				key, kerr := spec.Key()
+				if kerr != nil {
+					key = "unkeyable:" + kerr.Error()
+				}
+				ce.Keys = append(ce.Keys, key)
+				out = append(out, BatchEntry{Status: code, Error: err.Error()})
+			}
+			failed = append(failed, ce)
+			continue
 		}
 		out = append(out, entries...)
+	}
+	if len(failed) > 0 {
+		return out, &RunManyError{Chunks: failed}
 	}
 	return out, nil
 }
@@ -394,6 +473,72 @@ func (c *Client) ClusterStatus(ctx context.Context) (ClusterResponse, error) {
 	var resp ClusterResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		return ClusterResponse{}, fmt.Errorf("netcached: decoding cluster status: %w", err)
+	}
+	return resp, nil
+}
+
+// Membership fetches the server's current membership view (epoch + peer
+// set) from GET /v1/cluster/membership — the gossip pull primitive.
+func (c *Client) Membership(ctx context.Context) (cluster.Membership, error) {
+	raw, err := c.get(ctx, "/v1/cluster/membership")
+	if err != nil {
+		return cluster.Membership{}, err
+	}
+	var m cluster.Membership
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return cluster.Membership{}, fmt.Errorf("netcached: decoding membership: %w", err)
+	}
+	return m, nil
+}
+
+// UpdateMembership applies a membership change (cluster.ActionJoin,
+// ActionRemove, ActionDecommission) to peer via any cluster member and
+// returns the resulting membership. The member bumps the epoch, adopts the
+// new ring, and pushes it to the other peers; gossip finishes convergence.
+func (c *Client) UpdateMembership(ctx context.Context, action, peer string) (cluster.Membership, error) {
+	raw, err := c.post(ctx, "/v1/cluster/membership", MembershipRequest{Action: action, Peer: peer})
+	if err != nil {
+		return cluster.Membership{}, err
+	}
+	var m cluster.Membership
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return cluster.Membership{}, fmt.Errorf("netcached: decoding membership: %w", err)
+	}
+	return m, nil
+}
+
+// offerMembership pushes m to a peer (gossip push after an admin change);
+// the peer adopts it if newer.
+func (c *Client) offerMembership(ctx context.Context, m cluster.Membership) error {
+	_, err := c.post(ctx, "/v1/cluster/membership", MembershipRequest{Action: membershipActionAdopt, Membership: &m})
+	return err
+}
+
+// rangeDigest fetches the peer's digest of one anti-entropy key range,
+// restricted to keys both asker and peer replicate.
+func (c *Client) rangeDigest(ctx context.Context, rng int, asker string) (DigestResponse, error) {
+	raw, err := c.get(ctx, fmt.Sprintf("/v1/cluster/digest?range=%d&peer=%s", rng, url.QueryEscape(asker)))
+	if err != nil {
+		return DigestResponse{}, err
+	}
+	var resp DigestResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return DigestResponse{}, fmt.Errorf("netcached: decoding digest: %w", err)
+	}
+	return resp, nil
+}
+
+// rangeKeys fetches the peer's key list for one anti-entropy range, same
+// restriction as rangeDigest — the expensive half, fetched only on digest
+// mismatch.
+func (c *Client) rangeKeys(ctx context.Context, rng int, asker string) (KeysResponse, error) {
+	raw, err := c.get(ctx, fmt.Sprintf("/v1/cluster/keys?range=%d&peer=%s", rng, url.QueryEscape(asker)))
+	if err != nil {
+		return KeysResponse{}, err
+	}
+	var resp KeysResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return KeysResponse{}, fmt.Errorf("netcached: decoding keys: %w", err)
 	}
 	return resp, nil
 }

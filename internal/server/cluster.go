@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,29 @@ func (s *Server) peerClient(peer string) *Client {
 			self = s.cfg.Cluster.Self()
 		}
 		c.Headers[internodeHeader] = self
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		// Epoch gossip rides every inter-node exchange: requests carry our
+		// membership epoch, and a response advertising a newer one triggers
+		// an async membership pull from that peer. This is what lets a
+		// membership change spread through the existing probe loop — the
+		// /healthz response header is the gossip signal.
+		if c.PerRequest == nil {
+			c.PerRequest = func(h http.Header) {
+				h.Set(epochHeader, strconv.FormatUint(cl.Epoch(), 10))
+			}
+		}
+		if c.OnResponse == nil {
+			c.OnResponse = func(h http.Header) {
+				v := h.Get(epochHeader)
+				if v == "" {
+					return
+				}
+				if theirs, err := strconv.ParseUint(v, 10, 64); err == nil && theirs > cl.Epoch() {
+					s.syncMembership(peer)
+				}
+			}
+		}
 	}
 	if s.peerClients == nil {
 		s.peerClients = make(map[string]*Client)
@@ -211,6 +235,16 @@ func (s *Server) RepairHandoffs(ctx context.Context) (pushed int) {
 		if !cl.Up(e.Owner) {
 			continue // still down; keep the hint
 		}
+		// Probe before pushing: the owner may already hold the key (it
+		// recomputed it itself, a rebalance pass moved it, or another
+		// replica's hint won the race). A store-only lookup costs a small
+		// GET; re-sending the body costs the whole value. A failed probe
+		// falls through to the push — an extra write is never wrong.
+		if _, found, err := s.peerClient(e.Owner).Lookup(ctx, e.Key); err == nil && found {
+			st.HandoffRemove(e.Key)
+			s.m.add(&s.m.handoffReaped)
+			continue
+		}
 		body, ok := st.Get(e.Key)
 		if !ok {
 			// Evicted before the owner recovered: the value is gone but
@@ -324,10 +358,22 @@ type ClusterResponse struct {
 	Peers       []cluster.PeerStatus `json:"peers,omitempty"`
 	Upstream    string               `json:"upstream,omitempty"`
 
+	// Epoch is the membership epoch this node routes with; Left reports
+	// that this node has been decommissioned out of the membership and is
+	// draining its keys to the remaining owners.
+	Epoch uint64 `json:"epoch"`
+	Left  bool   `json:"left,omitempty"`
+
 	// HandoffDepth counts queued hinted handoffs; HandoffAgeSeconds is the
 	// oldest hint's age — together the repair loop's backlog signal.
 	HandoffDepth      int     `json:"handoff_depth"`
 	HandoffAgeSeconds float64 `json:"handoff_age_seconds"`
+
+	// Rebalance and AntiEntropy summarize the churn-repair machinery; a
+	// draining node is safe to stop once Rebalance.Done holds at the epoch
+	// that decommissioned it.
+	Rebalance   *RebalanceStatus   `json:"rebalance,omitempty"`
+	AntiEntropy *AntiEntropyStatus `json:"anti_entropy,omitempty"`
 }
 
 // handleCluster serves GET /v1/cluster: ring parameters, per-peer health,
@@ -344,6 +390,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		resp.VNodes = cl.Ring().VNodes()
 		resp.Replication = cl.Replication()
 		resp.Peers = cl.Status()
+		resp.Epoch = cl.Epoch()
+		resp.Left = cl.Left()
+		reb := s.RebalanceStatus()
+		resp.Rebalance = &reb
+		ae := s.AntiEntropyStatus()
+		resp.AntiEntropy = &ae
 	}
 	if s.cfg.Upstream != nil {
 		resp.Upstream = s.cfg.Upstream.BaseURL

@@ -55,9 +55,10 @@ func (n *cnode) stop(t *testing.T) {
 // bootClusterNode builds and starts member i of the peer set on l. The
 // probe/repair intervals are test-fast, and the inter-node transport uses
 // short retries so a dead peer costs milliseconds, not the default backoff.
-func bootClusterNode(t *testing.T, urls []string, i int, dir string, l net.Listener, rf int, mutate func(int, *Config)) *cnode {
+// fsys (nil = the real filesystem) lets churn tests arm store-level chaos.
+func bootClusterNode(t *testing.T, urls []string, i int, dir string, fsys store.FS, l net.Listener, rf int, mutate func(int, *Config)) *cnode {
 	t.Helper()
-	st, err := store.Open(dir, 0)
+	st, err := store.OpenFS(dir, 0, fsys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func startCluster(t *testing.T, n, rf int, mutate func(int, *Config)) []*cnode {
 	}
 	nodes := make([]*cnode, n)
 	for i := range nodes {
-		nodes[i] = bootClusterNode(t, urls, i, t.TempDir(), listeners[i], rf, mutate)
+		nodes[i] = bootClusterNode(t, urls, i, t.TempDir(), nil, listeners[i], rf, mutate)
 	}
 	return nodes
 }
@@ -141,7 +142,7 @@ func restartNode(t *testing.T, nodes []*cnode, i, rf int, mutate func(int, *Conf
 	if err != nil {
 		t.Fatalf("rebinding %s: %v", addr, err)
 	}
-	return bootClusterNode(t, urls, i, nodes[i].dir, l, rf, mutate)
+	return bootClusterNode(t, urls, i, nodes[i].dir, nil, l, rf, mutate)
 }
 
 // fullSweep returns the 12-app x 4-system figure corpus at test scale.

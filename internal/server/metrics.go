@@ -34,6 +34,15 @@ type metrics struct {
 	handoffQueued     uint64            // hinted handoffs enqueued
 	handoffPushed     uint64            // hints pushed home by the repair loop
 	handoffReceived   uint64            // handoff pushes accepted from peers
+	handoffReaped     uint64            // hints dropped because the owner already held the key
+	membershipSyncs   uint64            // memberships adopted via epoch-gossip pulls
+	rebalancePasses   uint64            // rebalance walks started
+	rebalanceMoved    uint64            // keys streamed to a new replica
+	rebalanceSkipped  uint64            // keys the destination already had
+	rebalanceErrors   uint64            // failed rebalance pushes/reads (retried next pass)
+	antiEntropyPasses uint64            // anti-entropy sweeps completed
+	antiEntropyPulled uint64            // keys pulled from a peer during repair
+	antiEntropyPushed uint64            // keys pushed to a peer during repair
 	upstreamHits      uint64            // upstream read-through hits
 	upstreamMisses    uint64            // upstream lookups that missed
 	upstreamErrors    uint64            // upstream lookups that failed
@@ -89,6 +98,8 @@ func (m *metrics) render(b *strings.Builder, s *Server, degraded bool) {
 	// own lock, and lock-ordering discipline is cheaper than a deadlock.
 	var peerStatus []clusterPeerGauge
 	handoffDepth := -1
+	var epoch uint64
+	var left, rebalDone int64
 	if cl := s.cfg.Cluster; cl != nil {
 		for _, ps := range cl.Status() {
 			up := int64(0)
@@ -99,6 +110,13 @@ func (m *metrics) render(b *strings.Builder, s *Server, degraded bool) {
 		}
 		if st != nil {
 			handoffDepth = st.HandoffDepth()
+		}
+		epoch = cl.Epoch()
+		if cl.Left() {
+			left = 1
+		}
+		if s.RebalanceStatus().Done {
+			rebalDone = 1
 		}
 	}
 
@@ -181,9 +199,21 @@ func (m *metrics) render(b *strings.Builder, s *Server, degraded bool) {
 		counter("netcached_cluster_handoff_enqueued_total", "Hinted handoffs enqueued after fallback recomputes.", m.handoffQueued)
 		counter("netcached_cluster_handoff_pushed_total", "Hints pushed home by the repair loop.", m.handoffPushed)
 		counter("netcached_cluster_handoff_received_total", "Handoff pushes accepted from peers.", m.handoffReceived)
+		counter("netcached_cluster_handoff_reaped_total", "Hints dropped because the owner already held the key.", m.handoffReaped)
 		if handoffDepth >= 0 {
 			gauge("netcached_cluster_handoff_depth", "Hinted handoffs queued for unreachable owners.", int64(handoffDepth))
 		}
+		gauge("netcached_cluster_epoch", "Membership epoch this node currently routes with.", int64(epoch))
+		gauge("netcached_cluster_left", "1 after this node is decommissioned out of the membership (draining), else 0.", left)
+		counter("netcached_cluster_membership_syncs_total", "Memberships adopted via epoch-gossip pulls.", m.membershipSyncs)
+		counter("netcached_cluster_rebalance_passes_total", "Rebalance walks started.", m.rebalancePasses)
+		counter("netcached_cluster_rebalance_moved_total", "Keys streamed to a new replica by the rebalance mover.", m.rebalanceMoved)
+		counter("netcached_cluster_rebalance_skipped_total", "Rebalance pushes skipped because the destination already held the key.", m.rebalanceSkipped)
+		counter("netcached_cluster_rebalance_errors_total", "Failed rebalance reads/pushes, retried on the next pass.", m.rebalanceErrors)
+		gauge("netcached_cluster_rebalance_done", "1 while the last rebalance walk completed cleanly at the current epoch, else 0.", rebalDone)
+		counter("netcached_cluster_antientropy_passes_total", "Anti-entropy sweeps completed.", m.antiEntropyPasses)
+		counter("netcached_cluster_antientropy_pulled_total", "Keys pulled from a peer by anti-entropy repair.", m.antiEntropyPulled)
+		counter("netcached_cluster_antientropy_pushed_total", "Keys pushed to a peer by anti-entropy repair.", m.antiEntropyPushed)
 	}
 	if s.cfg.Upstream != nil {
 		counter("netcached_upstream_hits_total", "Misses answered by the read-through upstream tier.", m.upstreamHits)

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"netcache/internal/cluster"
+)
+
+// Streaming rebalance.
+//
+// When a membership change moves part of the key space, the keys do not
+// teleport: the nodes that hold them stream them to their new replicas in
+// the background, one PUT /v1/result/{key} at a time — the same push the
+// hinted-handoff repair loop uses, safe to issue unconditionally because
+// values are content-addressed and immutable. The walk is rate-limited,
+// checkpointed through the store's persisted cursor (crash mid-rebalance
+// resumes instead of restarting), and aborts as soon as a newer epoch is
+// adopted (the wake-up that follows restarts it against the new ring).
+//
+// Decommission rides the same path: a node that observes it has left the
+// membership (cluster.Left) is no longer a replica for anything, so the
+// very same walk drains its entire store to the new owners — drain-then-
+// leave, with RebalanceStatus.Done signalling the operator it is safe to
+// stop the process.
+//
+// A pass is best-effort by design: down targets and failed pushes are
+// retried on the next pass, and the anti-entropy sweep heals anything a
+// crashed or interrupted pass missed.
+
+// RebalanceStatus is one node's rebalance progress, exposed on
+// GET /v1/cluster.
+type RebalanceStatus struct {
+	// Epoch is the membership epoch the last (or current) walk priced
+	// keys against.
+	Epoch uint64 `json:"epoch"`
+	// Done reports that a full walk at Epoch completed with zero errors —
+	// every key this node holds is present on every replica that should
+	// hold it (as far as this node can see). A draining node with Done set
+	// has finished handing off and can be stopped.
+	Done bool `json:"done"`
+	// Moved counts keys pushed to a new replica; Skipped counts keys the
+	// destination already had; Errors counts failed pushes (retried on the
+	// next pass).
+	Moved   uint64 `json:"moved"`
+	Skipped uint64 `json:"skipped"`
+	Errors  uint64 `json:"errors"`
+}
+
+// cursorStride is how many keys the mover walks between cursor writes: a
+// crash re-walks at most this many already-priced keys.
+const cursorStride = 32
+
+// startRebalance launches the background mover: woken by every membership
+// adoption and by a periodic timer (which doubles as the retry schedule
+// for passes that ended with errors).
+func (s *Server) startRebalance() {
+	interval := s.cfg.RebalanceInterval
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	s.rebalStop = make(chan struct{})
+	s.rebalDone = make(chan struct{})
+	s.rebalWake = make(chan struct{}, 1)
+	s.cfg.Cluster.OnChange(func(cluster.Membership) {
+		select {
+		case s.rebalWake <- struct{}{}:
+		default:
+		}
+	})
+	go func() {
+		defer close(s.rebalDone)
+		t := time.NewTimer(jitter(interval))
+		defer t.Stop()
+		for {
+			select {
+			case <-s.rebalStop:
+				return
+			case <-s.rebalWake:
+			case <-t.C:
+			}
+			s.RebalancePass(s.base)
+			// Drain a tick that fired while the pass ran, so slow passes
+			// still leave a full idle interval between walks instead of
+			// running back to back.
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			t.Reset(jitter(interval))
+		}
+	}()
+}
+
+// stopRebalance stops the mover, if running. Idempotent.
+func (s *Server) stopRebalance() {
+	if s.rebalStop == nil {
+		return
+	}
+	s.rebalOnce.Do(func() { close(s.rebalStop) })
+	<-s.rebalDone
+}
+
+// RebalanceStatus snapshots the mover's progress.
+func (s *Server) RebalanceStatus() RebalanceStatus {
+	s.rebalMu.Lock()
+	defer s.rebalMu.Unlock()
+	return s.rebal
+}
+
+// RebalancePass walks every locally resident key and pushes the ones whose
+// replica set gained members (or lost this node) to the replicas that lack
+// them. It prices every key against one consistent ring snapshot and
+// aborts early when a newer epoch lands mid-walk — the adoption's wake-up
+// restarts it against the new ring. It returns how many keys were pushed
+// and how many the destinations already had. The background mover calls it
+// on every membership change; tests and operators may force a pass.
+func (s *Server) RebalancePass(ctx context.Context) (moved, skipped int) {
+	st, cl := s.cfg.Store, s.cfg.Cluster
+	if st == nil || cl == nil {
+		return 0, 0
+	}
+	epoch, ring := cl.View()
+	prevEpoch, prev := cl.PrevView()
+	rf := cl.Replication()
+	self := cl.Self()
+
+	// Resume from the persisted cursor if it matches this epoch; a cursor
+	// from an older epoch is stale (that walk priced keys against a ring
+	// that no longer routes) and is discarded.
+	after := ""
+	if ce, ca, ok := st.RebalanceCursor(); ok && ce == epoch {
+		after = ca
+	}
+
+	// A new epoch starts the status from scratch; a re-walk at the same
+	// epoch keeps the published state (cumulative counters and, crucially,
+	// the Done flag from the last completed walk) — otherwise a retry pass
+	// that is slower than the poll interval makes a drained node flicker
+	// back to "not drained" and an operator watching /v1/cluster can miss
+	// the drain-complete signal entirely.
+	s.rebalMu.Lock()
+	if s.rebal.Epoch != epoch {
+		s.rebal = RebalanceStatus{Epoch: epoch}
+	}
+	s.rebalMu.Unlock()
+	s.m.add(&s.m.rebalancePasses)
+
+	var perKeyDelay time.Duration
+	if s.cfg.RebalanceRate > 0 {
+		perKeyDelay = time.Second / time.Duration(s.cfg.RebalanceRate)
+	}
+
+	errored := 0
+	sinceCursor := 0
+	for _, key := range st.Keys() {
+		if key <= after {
+			continue
+		}
+		if ctx.Err() != nil {
+			return moved, skipped // shutdown; cursor persists, next boot resumes
+		}
+		if cl.Epoch() != epoch {
+			return moved, skipped // newer ring adopted; the wake-up restarts us
+		}
+
+		targets := ring.Replicas(key, rf)
+		selfIn := false
+		for _, p := range targets {
+			if p == self {
+				selfIn = true
+			}
+		}
+		// Fast skip: when the previous ring is known and this key's replica
+		// set did not move, there is nothing to stream — the common case,
+		// since consistent hashing remaps only the churned peers' share.
+		if selfIn && prev != nil && prevEpoch < epoch && sameStrings(prev.Replicas(key, rf), targets) {
+			sinceCursor = s.advanceCursor(epoch, key, sinceCursor)
+			continue
+		}
+		for _, peer := range targets {
+			if peer == self {
+				continue
+			}
+			if !cl.Up(peer) {
+				// Down target: the push would only burn the retry budget.
+				// Count it as an error so this pass is not Done and the
+				// periodic retry (or anti-entropy) finishes the job.
+				errored++
+				continue
+			}
+			// Probe before pushing: the destination may already hold the key
+			// (it was a replica before, or another node pushed it first). A
+			// failed probe falls through to the push — writing a key the
+			// destination already has is wasted bytes, never wrong.
+			if _, found, err := s.peerClient(peer).Lookup(ctx, key); err == nil && found {
+				skipped++
+				s.m.add(&s.m.rebalanceSkipped)
+				continue
+			}
+			body, ok := st.Get(key)
+			if !ok {
+				// Evicted or unreadable mid-walk. Count it as an error: a
+				// draining node must not report Done while a key it failed
+				// to read never reached its new owner (a transient injected
+				// read fault heals on the retry pass).
+				errored++
+				s.m.add(&s.m.rebalanceErrors)
+				break
+			}
+			if err := s.peerClient(peer).PushResult(ctx, key, body); err != nil {
+				errored++
+				s.m.add(&s.m.rebalanceErrors)
+				var se *StatusError
+				if !errors.As(err, &se) && ctx.Err() == nil {
+					cl.MarkDown(peer)
+				}
+				s.cfg.Log.Printf("rebalance: push %s -> %s: %v", key[:8], peer, err)
+				continue
+			}
+			moved++
+			s.m.add(&s.m.rebalanceMoved)
+			if perKeyDelay > 0 {
+				select {
+				case <-time.After(perKeyDelay):
+				case <-ctx.Done():
+					return moved, skipped
+				}
+			}
+		}
+		sinceCursor = s.advanceCursor(epoch, key, sinceCursor)
+	}
+
+	// Full walk completed. With zero errors the walk is done for this
+	// epoch and the cursor is retired; with errors the cursor is cleared
+	// too — the next pass re-walks from the top (cheap: unchanged keys
+	// fast-skip, pushed keys probe-skip) and retries the failures.
+	st.ClearRebalanceCursor()
+	s.rebalMu.Lock()
+	if s.rebal.Epoch == epoch {
+		s.rebal.Done = errored == 0
+		s.rebal.Moved += uint64(moved)
+		s.rebal.Skipped += uint64(skipped)
+		s.rebal.Errors += uint64(errored)
+	}
+	s.rebalMu.Unlock()
+	if moved > 0 || errored > 0 {
+		s.cfg.Log.Printf("rebalance: epoch %d pass: %d moved, %d already present, %d errors", epoch, moved, skipped, errored)
+	}
+	return moved, skipped
+}
+
+// advanceCursor checkpoints the walk every cursorStride keys.
+func (s *Server) advanceCursor(epoch uint64, key string, since int) int {
+	since++
+	if since >= cursorStride {
+		if err := s.cfg.Store.SetRebalanceCursor(epoch, key); err == nil {
+			return 0
+		}
+	}
+	return since
+}
+
+// sameStrings reports element-wise equality (order-sensitive — replica
+// sets are emitted in ring order, which is deterministic per key).
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,7 +3,11 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
+	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"sync/atomic"
 	"testing"
 
@@ -70,5 +74,118 @@ func TestRunManyChunks(t *testing.T) {
 	}
 	if out, err := c.RunMany(ctx, specs[:2], 100); err != nil || len(out) != 2 {
 		t.Fatalf("oversized chunk RunMany = (%d entries, %v)", len(out), err)
+	}
+}
+
+// TestRunManyPartialFailure: a chunk whose transport fails must not abort
+// the whole sweep. The remaining chunks still run, the entry slice stays
+// complete (failed chunks carry the failure status), and the returned
+// *RunManyError names exactly the failed specs by canonical key.
+func TestRunManyPartialFailure(t *testing.T) {
+	ctx := context.Background()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var sims atomic.Int32
+	_, backend := start(t, Config{Store: st, Workers: 4, RunFunc: countingRun(&sims)})
+
+	// Front the real server with a proxy that fails exactly the second
+	// /v1/batch POST — a deterministic mid-sweep transport failure.
+	target, err := url.Parse(backend.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(target)
+	var batchCalls atomic.Int32
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/batch" && batchCalls.Add(1) == 2 {
+			http.Error(w, "injected transport failure", http.StatusBadGateway)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	})}
+	go front.Serve(l)
+	t.Cleanup(func() { front.Close() })
+
+	c := NewClient("http://" + l.Addr().String())
+	c.HTTPClient = &http.Client{}
+	t.Cleanup(c.HTTPClient.CloseIdleConnections)
+	c.Retry = RetryPolicy{MaxAttempts: 1} // surface the failure, don't heal it
+
+	var specs []netcache.RunSpec
+	for _, app := range netcache.Apps() {
+		specs = append(specs, netcache.RunSpec{App: app, System: netcache.SystemNetCache, Scale: 0.05})
+	}
+	const chunk = 5 // chunks [0:5) [5:10) [10:12); the middle one fails
+
+	entries, err := c.RunMany(ctx, specs, chunk)
+	if err == nil {
+		t.Fatal("RunMany returned nil error despite a failed chunk")
+	}
+	var rme *RunManyError
+	if !errors.As(err, &rme) {
+		t.Fatalf("RunMany error = %T (%v), want *RunManyError", err, err)
+	}
+	if len(rme.Chunks) != 1 {
+		t.Fatalf("failed chunks = %d, want 1", len(rme.Chunks))
+	}
+	ce := rme.Chunks[0]
+	if ce.Start != 5 || ce.End != 10 {
+		t.Fatalf("failed chunk range = [%d:%d), want [5:10)", ce.Start, ce.End)
+	}
+	if len(ce.Keys) != 5 {
+		t.Fatalf("failed chunk keys = %d, want 5", len(ce.Keys))
+	}
+	for j, key := range ce.Keys {
+		want, err := specs[5+j].Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != want {
+			t.Fatalf("failed key %d = %s, want %s (spec %d)", j, key[:8], want[:8], 5+j)
+		}
+	}
+	var se *StatusError
+	if !errors.As(ce.Err, &se) || se.Code != http.StatusBadGateway {
+		t.Fatalf("chunk error = %v, want a 502 StatusError", ce.Err)
+	}
+
+	// The entry slice is complete: surviving chunks succeeded, the failed
+	// chunk's entries carry the failure status.
+	if len(entries) != len(specs) {
+		t.Fatalf("entries = %d, want %d despite the failed chunk", len(entries), len(specs))
+	}
+	for i, e := range entries {
+		if i >= 5 && i < 10 {
+			if e.Status != http.StatusBadGateway || e.Error == "" || e.Result != nil {
+				t.Fatalf("failed-chunk entry %d = status %d error %q", i, e.Status, e.Error)
+			}
+			continue
+		}
+		if e.Status != http.StatusOK {
+			t.Fatalf("surviving entry %d = %d %s", i, e.Status, e.Error)
+		}
+		want, err := backend.RunRaw(ctx, specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e.Result, want) {
+			t.Fatalf("surviving entry %d: bytes differ from direct run", i)
+		}
+	}
+
+	// A canceled context still aborts outright — partial entries would lie.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if out, err := c.RunMany(canceled, specs, chunk); err == nil || out != nil {
+		t.Fatalf("canceled RunMany = (%d entries, %v), want (nil, error)", len(out), err)
+	} else if errors.As(err, &rme) {
+		t.Fatalf("canceled RunMany returned *RunManyError; want outright abort")
 	}
 }

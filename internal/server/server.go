@@ -113,6 +113,22 @@ type Config struct {
 	// RepairInterval is the hinted-handoff repair loop period
 	// (<= 0: 5s). The loop only runs with both Cluster and Store set.
 	RepairInterval time.Duration
+
+	// RebalanceInterval is the streaming-rebalance mover's periodic pass
+	// interval (<= 0: 30s). Membership adoptions additionally wake the
+	// mover immediately; the timer is the retry schedule for passes that
+	// ended with errors. Runs only with both Cluster and Store set.
+	RebalanceInterval time.Duration
+
+	// RebalanceRate caps how many keys per second the mover pushes to
+	// peers (<= 0: unlimited), so a rebalance cannot starve serving
+	// traffic of disk and network bandwidth.
+	RebalanceRate int
+
+	// AntiEntropyInterval is the replica-repair sweep period (<= 0: 1m):
+	// per-range key digests are compared with each live peer and missing
+	// entries re-replicated. Runs only with both Cluster and Store set.
+	AntiEntropyInterval time.Duration
 }
 
 // Server is the netcached HTTP service.
@@ -147,13 +163,26 @@ type Server struct {
 
 	validApps map[string]bool
 
-	// Cluster plumbing: lazily built per-peer clients and the handoff
-	// repair loop's lifecycle.
+	// Cluster plumbing: lazily built per-peer clients, in-flight gossip
+	// pulls, and the background loops' lifecycles (handoff repair,
+	// streaming rebalance, anti-entropy).
 	peerMu      sync.Mutex
 	peerClients map[string]*Client
+	syncing     map[string]bool // peers with a membership pull in flight
 	repairStop  chan struct{}
 	repairDone  chan struct{}
 	repairOnce  sync.Once
+	rebalStop   chan struct{}
+	rebalDone   chan struct{}
+	rebalWake   chan struct{}
+	rebalOnce   sync.Once
+	rebalMu     sync.Mutex
+	rebal       RebalanceStatus
+	antiStop    chan struct{}
+	antiDone    chan struct{}
+	antiOnce    sync.Once
+	antiMu      sync.Mutex
+	anti        AntiEntropyStatus
 }
 
 // call is one in-flight keyed computation; followers wait on done.
@@ -208,13 +237,19 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/batch", s.chaos(s.handleBatch))
 	mux.HandleFunc("/v1/apps", s.chaos(s.handleApps))
 	mux.HandleFunc("/v1/result/", s.chaos(s.handleResult))
-	// Like /healthz and /metrics, /v1/stats and /v1/cluster are exempt
-	// from chaos injection so fault storms stay observable.
+	// Like /healthz and /metrics, /v1/stats and the cluster control-plane
+	// endpoints are exempt from chaos injection so fault storms stay
+	// observable and operators can reshape the ring mid-storm.
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
+	mux.HandleFunc("/v1/cluster/membership", s.handleMembership)
+	mux.HandleFunc("/v1/cluster/digest", s.handleDigest)
+	mux.HandleFunc("/v1/cluster/keys", s.handleRangeKeys)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	s.http.Handler = mux
+	// Every response from a clustered node carries its membership epoch,
+	// and inter-node requests are watched for newer epochs (gossip).
+	s.http.Handler = s.epochWrap(mux)
 	if cfg.Cluster != nil {
 		s.peerClients = make(map[string]*Client)
 		cfg.Cluster.SetProbe(func(ctx context.Context, peer string) error {
@@ -224,6 +259,8 @@ func New(cfg Config) *Server {
 		cfg.Cluster.StartProbes()
 		if cfg.Store != nil {
 			s.startRepair()
+			s.startRebalance()
+			s.startAntiEntropy()
 		}
 	}
 	return s
@@ -277,12 +314,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closing = true
 	s.mu.Unlock()
 
-	// Stop the cluster loops first: no new probes, proxies, or handoff
-	// pushes while draining.
+	// Stop the cluster loops first: no new probes, proxies, handoff
+	// pushes, rebalance walks, or anti-entropy sweeps while draining.
 	if s.cfg.Cluster != nil {
 		s.cfg.Cluster.Close()
 	}
 	s.stopRepair()
+	s.stopRebalance()
+	s.stopAntiEntropy()
 
 	drained := make(chan struct{})
 	go func() {

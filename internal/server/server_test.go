@@ -69,9 +69,14 @@ func metricValue(t *testing.T, text, name string) int64 {
 	return 0
 }
 
+// waitFor polls cond until it holds. The deadline is deliberately generous:
+// under -race on a small machine the simulations themselves can monopolize
+// the CPU for tens of seconds, and a passing condition returns immediately
+// regardless — the deadline only bounds how long a genuine failure takes to
+// report.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		if cond() {
 			return

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Rebalance support: key enumeration and a persisted cursor.
+//
+// When the cluster ring changes, the server's rebalance mover walks every
+// locally resident key and pushes the ones whose replica set moved to their
+// new owners. The walk is resumable: the mover checkpoints (epoch, last key
+// pushed) here, so a crash mid-rebalance restarts from the cursor instead
+// of from the top. Like handoff hints, the cursor is advisory metadata —
+// losing it costs a re-walk (skips are cheap: the destination is probed
+// with a store-only lookup first), never a wrong answer.
+//
+// The cursor lives in the rebalance/ subdirectory, which — like handoff/
+// and quarantine/ — is invisible to the tier scans, so it is never counted
+// against or evicted by the LRU budget.
+
+// rebalanceDir is the subdirectory the rebalance cursor lives in.
+const rebalanceDir = "rebalance"
+
+// rebalanceCursor is the persisted checkpoint format.
+type rebalanceCursor struct {
+	Epoch uint64 `json:"epoch"`
+	After string `json:"after"` // last key fully processed, "" = none yet
+}
+
+func (s *Store) rebalanceCursorPath() string {
+	return filepath.Join(s.dir, rebalanceDir, "cursor.json")
+}
+
+// Keys lists every key resident in either tier, sorted ascending. Keys in
+// both tiers (promotion races) appear once. The listing is a snapshot:
+// concurrent puts and evictions may or may not be reflected — acceptable
+// for the rebalance walk, which the anti-entropy sweep backstops.
+func (s *Store) Keys() []string {
+	seen := make(map[string]bool)
+	for _, e := range s.hot.scanLRU() {
+		seen[e.key] = true
+	}
+	s.cold.mu.Lock()
+	for key := range s.cold.index {
+		seen[key] = true
+	}
+	s.cold.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for key := range seen {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetRebalanceCursor checkpoints the rebalance walk: every key <= after has
+// been priced against the ring at epoch. Written directly (not
+// temp+rename): a torn cursor fails to parse and reads as "no cursor",
+// which just restarts the walk.
+func (s *Store) SetRebalanceCursor(epoch uint64, after string) error {
+	dir := filepath.Join(s.dir, rebalanceDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(rebalanceCursor{Epoch: epoch, After: after})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.rebalanceCursorPath(), b, 0o644)
+}
+
+// RebalanceCursor reads the persisted checkpoint. ok=false means no usable
+// cursor (absent, unreadable, or torn) — start the walk from the top.
+func (s *Store) RebalanceCursor() (epoch uint64, after string, ok bool) {
+	b, err := os.ReadFile(s.rebalanceCursorPath())
+	if err != nil {
+		return 0, "", false
+	}
+	var c rebalanceCursor
+	if json.Unmarshal(b, &c) != nil {
+		return 0, "", false
+	}
+	return c.Epoch, c.After, true
+}
+
+// ClearRebalanceCursor drops the checkpoint (the walk for its epoch
+// completed). Missing cursors are not an error.
+func (s *Store) ClearRebalanceCursor() {
+	os.Remove(s.rebalanceCursorPath())
+}

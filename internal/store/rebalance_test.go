@@ -1,0 +1,113 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rebalanceKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("rebalance-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestStoreKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if got := s.Keys(); len(got) != 0 {
+		t.Fatalf("empty store lists %v", got)
+	}
+	want := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		k := rebalanceKey(i)
+		want[k] = true
+		if err := s.Put(k, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Migrate half to the cold tier so the listing spans both.
+	var batch []segEntry
+	for i := 0; i < 5; i++ {
+		k := rebalanceKey(i)
+		v, _ := s.Get(k)
+		batch = append(batch, segEntry{key: k, value: v})
+	}
+	if err := s.cold.PutBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.hot.Delete(rebalanceKey(i))
+	}
+
+	got := s.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for i, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected key %s", k)
+		}
+		if i > 0 && got[i-1] >= k {
+			t.Fatal("Keys() not sorted ascending")
+		}
+	}
+}
+
+func TestRebalanceCursor(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, _, ok := s.RebalanceCursor(); ok {
+		t.Fatal("fresh store has a cursor")
+	}
+	if err := s.SetRebalanceCursor(3, rebalanceKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	epoch, after, ok := s.RebalanceCursor()
+	if !ok || epoch != 3 || after != rebalanceKey(0) {
+		t.Fatalf("cursor = (%d, %s, %v)", epoch, after, ok)
+	}
+
+	// The cursor survives a reopen (that is its whole point) and does not
+	// appear in Keys or the LRU accounting.
+	s.Close()
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if epoch, _, ok := s2.RebalanceCursor(); !ok || epoch != 3 {
+		t.Fatalf("cursor lost across reopen: (%d, %v)", epoch, ok)
+	}
+	if got := s2.Keys(); len(got) != 0 {
+		t.Fatalf("cursor leaked into Keys(): %v", got)
+	}
+
+	s2.ClearRebalanceCursor()
+	if _, _, ok := s2.RebalanceCursor(); ok {
+		t.Fatal("cursor survived Clear")
+	}
+	s2.ClearRebalanceCursor() // idempotent
+
+	// A torn cursor reads as no cursor, not an error.
+	if err := os.MkdirAll(filepath.Join(dir, rebalanceDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s2.rebalanceCursorPath(), []byte(`{"epoch": 9, "af`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s2.RebalanceCursor(); ok {
+		t.Fatal("torn cursor parsed")
+	}
+}
